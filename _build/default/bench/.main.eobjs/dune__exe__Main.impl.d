@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List Perf Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Bechamel_notty Benchmark Gpu_analysis Gpu_sim Gpu_uarch Instance List Measure Notty_unix Regmutex Staged Test Time Toolkit Unix Workloads

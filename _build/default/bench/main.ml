@@ -1,0 +1,49 @@
+(* Benchmark harness: regenerates every table and figure of the RegMutex
+   evaluation (see DESIGN.md's per-experiment index) and, with `perf`,
+   times the core primitives with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              # all figures, full-size grids
+     dune exec bench/main.exe -- quick     # all figures, quarter grids
+     dune exec bench/main.exe -- fig7 fig10
+     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
+
+let experiments : (string * (Experiments.Exp_config.t -> unit)) list =
+  [ ("table1", Experiments.Table1.print);
+    ("fig1", Experiments.Fig1.print);
+    ("fig2", Experiments.Fig2.print);
+    ("fig7", Experiments.Fig7.print);
+    ("fig8", Experiments.Fig8.print);
+    ("fig9a", Experiments.Fig9.print_a);
+    ("fig9b", Experiments.Fig9.print_b);
+    ("fig10", Experiments.Fig10.print);
+    ("fig11", Experiments.Fig11.print);
+    ("fig12", Experiments.Fig12.print);
+    ("fig13", Experiments.Fig13.print);
+    ("storage", Experiments.Storage.print);
+    ("ablation", Experiments.Ablation.print);
+    ("sched", Experiments.Sched_ablation.print) ]
+
+let run_experiment cfg name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      Printf.printf "\n================ %s ================\n%!" name;
+      let t0 = Unix.gettimeofday () in
+      f cfg;
+      Printf.printf "(%s finished in %.1fs)\n%!" name (Unix.gettimeofday () -. t0)
+  | None ->
+      Printf.eprintf "unknown experiment %S; available: %s, perf\n" name
+        (String.concat ", " (List.map fst experiments));
+      exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let cfg =
+    if quick then Experiments.Exp_config.quick else Experiments.Exp_config.default
+  in
+  match args with
+  | [ "perf" ] -> Perf.run ()
+  | [] -> List.iter (fun (name, _) -> run_experiment cfg name) experiments
+  | names -> List.iter (run_experiment cfg) names

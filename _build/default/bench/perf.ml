@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks for the core primitives: compiler analyses,
+   the full RegMutex transform, SRP hardware operations, and the simulator
+   cycle loop. *)
+
+open Bechamel
+open Toolkit
+
+let dwt2d = (Workloads.Registry.find "DWT2D").Workloads.Spec.kernel
+let dwt2d_prog = dwt2d.Gpu_sim.Kernel.program
+let bfs = (Workloads.Registry.find "BFS").Workloads.Spec.kernel
+
+let test_liveness =
+  Test.make ~name:"liveness-analysis (dwt2d)"
+    (Staged.stage (fun () ->
+         ignore (Gpu_analysis.Liveness.analyze ~widen:false dwt2d_prog)))
+
+let test_widening =
+  Test.make ~name:"liveness+widening (dwt2d)"
+    (Staged.stage (fun () ->
+         ignore (Gpu_analysis.Liveness.analyze ~widen:true dwt2d_prog)))
+
+let test_transform =
+  Test.make ~name:"full transform (dwt2d)"
+    (Staged.stage (fun () ->
+         ignore (Regmutex.Transform.apply ~bs:38 ~es:6 dwt2d_prog)))
+
+let test_checker =
+  let plan = Regmutex.Transform.apply ~bs:38 ~es:6 dwt2d_prog in
+  Test.make ~name:"soundness checker (dwt2d)"
+    (Staged.stage (fun () ->
+         ignore (Regmutex.Checker.check ~bs:38 ~es:6 plan.Regmutex.Transform.transformed)))
+
+let test_srp =
+  Test.make ~name:"srp acquire+release x48"
+    (Staged.stage (fun () ->
+         let srp = Gpu_uarch.Srp.create ~n_warps:48 ~sections:26 in
+         for w = 0 to 47 do
+           ignore (Gpu_uarch.Srp.acquire srp ~warp:w)
+         done;
+         for w = 0 to 47 do
+           ignore (Gpu_uarch.Srp.release srp ~warp:w)
+         done))
+
+let test_occupancy =
+  let demand = Gpu_sim.Kernel.demand bfs in
+  Test.make ~name:"occupancy + heuristic (bfs)"
+    (Staged.stage (fun () ->
+         ignore
+           (Regmutex.Es_heuristic.choose Gpu_uarch.Arch_config.gtx480 ~demand
+              ~min_bs:0 ())))
+
+let test_sim =
+  let arch = { Gpu_uarch.Arch_config.gtx480 with n_sms = 1 } in
+  let kernel = { bfs with Gpu_sim.Kernel.grid_ctas = 5; params = [| 2 |] } in
+  let policy =
+    Gpu_sim.Policy.Static { regs_per_thread = Gpu_sim.Kernel.regs_per_thread kernel }
+  in
+  Test.make ~name:"simulate 5 CTAs (bfs, 1 SM)"
+    (Staged.stage (fun () ->
+         ignore (Gpu_sim.Gpu.run (Gpu_sim.Gpu.default_config arch policy) kernel)))
+
+let tests =
+  Test.make_grouped ~name:"regmutex" ~fmt:"%s %s"
+    [ test_liveness; test_widening; test_transform; test_checker; test_srp;
+      test_occupancy; test_sim ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  Bechamel_notty.Unit.add Instance.monotonic_clock
+    (Measure.unit Instance.monotonic_clock)
+
+let run () =
+  let results = benchmark () in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image

@@ -1,0 +1,247 @@
+(* Command-line interface to the RegMutex library.
+
+     regmutex list
+     regmutex occupancy BFS [--half-rf]
+     regmutex liveness BFS [--no-widen]
+     regmutex transform BFS [--bs N] [--es N] [--half-rf]
+     regmutex run BFS [--technique regmutex] [--half-rf] [--es N] [--grid N]
+     regmutex storage *)
+
+open Cmdliner
+
+let arch_of half =
+  let base = Experiments.Exp_config.default in
+  if half then base.Experiments.Exp_config.half_arch
+  else base.Experiments.Exp_config.arch
+
+let spec_conv =
+  let parse s =
+    match Workloads.Registry.find s with
+    | spec -> Ok spec
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (try: %s)" s
+               (String.concat ", " Workloads.Registry.names)))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Workloads.Spec.name)
+
+let spec_arg =
+  Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"WORKLOAD")
+
+let half_flag =
+  Arg.(value & flag & info [ "half-rf" ] ~doc:"Use the halved register file.")
+
+let min_bs_of spec =
+  let prog = spec.Workloads.Spec.kernel.Gpu_sim.Kernel.program in
+  Gpu_analysis.Liveness.live_at_barriers prog (Gpu_analysis.Liveness.analyze prog)
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the workloads of Table I." in
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-14s %2d regs  %-18s %s\n" s.Workloads.Spec.name
+          (Gpu_sim.Kernel.regs_per_thread s.Workloads.Spec.kernel)
+          (match s.Workloads.Spec.group with
+          | Workloads.Spec.Occupancy_limited -> "occupancy-limited"
+          | Workloads.Spec.Regfile_sensitive -> "regfile-sensitive")
+          s.Workloads.Spec.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- occupancy ------------------------------------------------------ *)
+
+let occupancy_cmd =
+  let doc = "Occupancy analysis and |Es| heuristic for a workload." in
+  let run spec half =
+    let arch = arch_of half in
+    let demand = Gpu_sim.Kernel.demand spec.Workloads.Spec.kernel in
+    let base = Gpu_uarch.Occupancy.calculate arch demand in
+    Format.printf "%s on %s: baseline %a@." spec.Workloads.Spec.name
+      arch.Gpu_uarch.Arch_config.name Gpu_uarch.Occupancy.pp base;
+    match Regmutex.Es_heuristic.choose arch ~demand ~min_bs:(min_bs_of spec) () with
+    | None -> Format.printf "no viable |Es| candidate@."
+    | Some c ->
+        Format.printf "heuristic: %a@." Regmutex.Es_heuristic.pp c;
+        List.iter
+          (fun (cand : Regmutex.Es_heuristic.candidate) ->
+            Format.printf "  |Es|=%2d |Bs|=%2d -> %2d warps, %2d sections@."
+              cand.Regmutex.Es_heuristic.es cand.Regmutex.Es_heuristic.bs
+              cand.Regmutex.Es_heuristic.warps cand.Regmutex.Es_heuristic.sections)
+          c.Regmutex.Es_heuristic.candidates
+  in
+  Cmd.v (Cmd.info "occupancy" ~doc) Term.(const run $ spec_arg $ half_flag)
+
+(* --- liveness ------------------------------------------------------- *)
+
+let liveness_cmd =
+  let doc = "Per-instruction liveness and pressure profile." in
+  let no_widen =
+    Arg.(value & flag & info [ "no-widen" ] ~doc:"Disable divergence widening.")
+  in
+  let run spec no_widen =
+    let prog = spec.Workloads.Spec.kernel.Gpu_sim.Kernel.program in
+    let liveness = Gpu_analysis.Liveness.analyze ~widen:(not no_widen) prog in
+    Format.printf "%a@." (Gpu_analysis.Liveness.pp prog) liveness;
+    Format.printf "max pressure: %d; live at barriers: %d@."
+      (Gpu_analysis.Liveness.max_pressure liveness)
+      (Gpu_analysis.Liveness.live_at_barriers prog liveness)
+  in
+  Cmd.v (Cmd.info "liveness" ~doc) Term.(const run $ spec_arg $ no_widen)
+
+(* --- transform ------------------------------------------------------ *)
+
+let bs_opt = Arg.(value & opt (some int) None & info [ "bs" ] ~doc:"Force |Bs|.")
+let es_opt = Arg.(value & opt (some int) None & info [ "es" ] ~doc:"Force |Es|.")
+
+let transform_cmd =
+  let doc = "Run the RegMutex compiler pass and print the instrumented kernel." in
+  let run spec half bs es =
+    let arch = arch_of half in
+    let kernel = spec.Workloads.Spec.kernel in
+    let prog = kernel.Gpu_sim.Kernel.program in
+    let bs, es =
+      match (bs, es) with
+      | Some bs, Some es -> (bs, es)
+      | _ -> (
+          let demand = Gpu_sim.Kernel.demand kernel in
+          match
+            Regmutex.Es_heuristic.choose arch ~demand ~min_bs:(min_bs_of spec) ()
+          with
+          | Some c -> (c.Regmutex.Es_heuristic.bs, c.Regmutex.Es_heuristic.es)
+          | None -> failwith "no viable split; pass --bs and --es")
+    in
+    let plan = Regmutex.Transform.apply ~bs ~es prog in
+    Format.printf "%a@.@.%a@." Regmutex.Transform.pp_plan plan Gpu_isa.Program.pp
+      plan.Regmutex.Transform.transformed
+  in
+  Cmd.v (Cmd.info "transform" ~doc)
+    Term.(const run $ spec_arg $ half_flag $ bs_opt $ es_opt)
+
+(* --- run ------------------------------------------------------------ *)
+
+let technique_conv =
+  let parse = function
+    | "baseline" -> Ok Regmutex.Technique.Baseline
+    | "regmutex" -> Ok Regmutex.Technique.Regmutex
+    | "paired" | "regmutex-paired" -> Ok Regmutex.Technique.Regmutex_paired
+    | "owf" -> Ok Regmutex.Technique.Owf
+    | "rfv" -> Ok Regmutex.Technique.Rfv
+    | s -> Error (`Msg (Printf.sprintf "unknown technique %S" s))
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Regmutex.Technique.name t))
+
+let run_cmd =
+  let doc = "Simulate a workload under a technique and print statistics." in
+  let technique =
+    Arg.(
+      value
+      & opt technique_conv Regmutex.Technique.Regmutex
+      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+  in
+  let grid =
+    Arg.(value & opt (some int) None & info [ "grid" ] ~doc:"Override grid CTAs.")
+  in
+  let run spec half technique es grid =
+    let arch = arch_of half in
+    let spec =
+      match grid with Some g -> Workloads.Spec.with_grid spec g | None -> spec
+    in
+    let options = { Regmutex.Technique.default_options with es_override = es } in
+    let run =
+      Regmutex.Runner.execute ~options arch technique spec.Workloads.Spec.kernel
+    in
+    Format.printf "%a@." Regmutex.Runner.pp run;
+    Format.printf "%a@." Gpu_sim.Stats.pp run.Regmutex.Runner.stats;
+    match run.Regmutex.Runner.prepared.Regmutex.Technique.plan with
+    | Some plan -> Format.printf "%a@." Regmutex.Transform.pp_plan plan
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ spec_arg $ half_flag $ technique $ es_opt $ grid)
+
+(* --- run-file --------------------------------------------------------- *)
+
+let run_file_cmd =
+  let doc =
+    "Parse a kernel from a .rmx assembly file and simulate it under a \
+     technique (see examples/vecscale.rmx)."
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let technique =
+    Arg.(
+      value
+      & opt technique_conv Regmutex.Technique.Regmutex
+      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+  in
+  let grid = Arg.(value & opt int 48 & info [ "grid" ] ~doc:"Grid CTAs.") in
+  let threads = Arg.(value & opt int 256 & info [ "threads" ] ~doc:"Threads per CTA.") in
+  let params =
+    Arg.(value & opt (list int) [ 8 ] & info [ "params" ] ~doc:"Launch parameters.")
+  in
+  let run path half technique grid threads params =
+    match Gpu_isa.Parser.parse_file path with
+    | exception Gpu_isa.Parser.Parse_error e ->
+        Format.eprintf "%s: %a@." path Gpu_isa.Parser.pp_error e;
+        exit 1
+    | program ->
+        let kernel =
+          Gpu_sim.Kernel.make ~name:program.Gpu_isa.Program.name ~grid_ctas:grid
+            ~cta_threads:threads ~params:(Array.of_list params) program
+        in
+        let arch = arch_of half in
+        let run = Regmutex.Runner.execute arch technique kernel in
+        Format.printf "%a@." Regmutex.Runner.pp run;
+        Format.printf "%a@." Gpu_sim.Stats.pp run.Regmutex.Runner.stats;
+        (match run.Regmutex.Runner.prepared.Regmutex.Technique.plan with
+        | Some plan -> Format.printf "%a@." Regmutex.Transform.pp_plan plan
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "run-file" ~doc)
+    Term.(const run $ path $ half_flag $ technique $ grid $ threads $ params)
+
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let doc = "Audit every workload: register count vs Table I, max pressure, barrier liveness." in
+  let run () =
+    List.iter
+      (fun spec ->
+        let kernel = spec.Workloads.Spec.kernel in
+        let prog = kernel.Gpu_sim.Kernel.program in
+        let liveness = Gpu_analysis.Liveness.analyze prog in
+        let names = Gpu_sim.Kernel.regs_per_thread kernel in
+        let pressure = Gpu_analysis.Liveness.max_pressure liveness in
+        let at_bar = Gpu_analysis.Liveness.live_at_barriers prog liveness in
+        let status =
+          if names <> spec.Workloads.Spec.paper_regs then "REGS-MISMATCH"
+          else if pressure < names - 1 then "PRESSURE-LOW"
+          else if at_bar > spec.Workloads.Spec.paper_bs then "BARRIER-HIGH"
+          else "ok"
+        in
+        Printf.printf "%-14s names=%2d (paper %2d)  max-pressure=%2d  at-bar=%2d  %s\n"
+          spec.Workloads.Spec.name names spec.Workloads.Spec.paper_regs pressure
+          at_bar status)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ const ())
+
+(* --- storage -------------------------------------------------------- *)
+
+let storage_cmd =
+  let doc = "Hardware storage cost of each technique." in
+  let run () = Experiments.Storage.print Experiments.Exp_config.default in
+  Cmd.v (Cmd.info "storage" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "RegMutex: inter-warp GPU register time-sharing (ISCA 2018)" in
+  let info = Cmd.info "regmutex" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; occupancy_cmd; liveness_cmd; transform_cmd; run_cmd;
+            run_file_cmd; check_cmd; storage_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Format Gpu_analysis Gpu_isa Gpu_sim Gpu_uarch Regmutex Workloads

@@ -1,0 +1,1 @@
+examples/liveness_trace.ml: Array Format Gpu_analysis Gpu_sim Gpu_uarch List Sys Workloads

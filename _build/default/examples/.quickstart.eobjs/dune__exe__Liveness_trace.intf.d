@@ -1,0 +1,1 @@
+examples/liveness_trace.mli:

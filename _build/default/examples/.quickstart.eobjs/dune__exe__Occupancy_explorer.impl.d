@@ -1,0 +1,1 @@
+examples/occupancy_explorer.ml: Format Gpu_sim Gpu_uarch List Regmutex Workloads

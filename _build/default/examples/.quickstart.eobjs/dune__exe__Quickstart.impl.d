@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gpu_isa Gpu_sim Gpu_uarch Regmutex Workloads

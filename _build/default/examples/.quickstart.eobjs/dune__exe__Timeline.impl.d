@@ -1,0 +1,1 @@
+examples/timeline.ml: Array Format Gpu_sim Gpu_uarch Hashtbl List Option Regmutex Sys Workloads

@@ -1,0 +1,45 @@
+(* Figure-1 style liveness traces: run each kernel and plot the percentage
+   of live registers over a sample warp's executed instructions.
+
+   Run with: dune exec examples/liveness_trace.exe [workload ...] *)
+
+module Liveness = Gpu_analysis.Liveness
+module Pressure = Gpu_analysis.Pressure
+
+let trace_one spec =
+  let kernel = Workloads.Spec.with_grid spec 4 in
+  let arch = { Gpu_uarch.Arch_config.gtx480 with n_sms = 1 } in
+  let kernel = kernel.Workloads.Spec.kernel in
+  let config =
+    {
+      (Gpu_sim.Gpu.default_config arch
+         (Gpu_sim.Policy.Static
+            { regs_per_thread = Gpu_sim.Kernel.regs_per_thread kernel }))
+      with
+      trace_warp0 = true;
+    }
+  in
+  let stats = Gpu_sim.Gpu.run config kernel in
+  let liveness = Liveness.analyze kernel.Gpu_sim.Kernel.program in
+  let profile =
+    Pressure.dynamic_profile ~liveness
+      ~allocated:(Gpu_sim.Kernel.regs_per_thread kernel)
+      (Gpu_sim.Stats.trace stats)
+  in
+  Format.printf "@.%s (%d registers, %d dynamic instructions)@."
+    spec.Workloads.Spec.name
+    (Gpu_sim.Kernel.regs_per_thread kernel)
+    (Array.length profile);
+  Format.printf "  mean live ratio: %.0f%%; <=50%% of allocation for %.0f%% of time@."
+    (100. *. Pressure.mean_ratio profile)
+    (100. *. Pressure.fraction_below ~threshold:0.5 profile);
+  Format.printf "  |%s|@." (Pressure.sparkline ~width:72 profile)
+
+let () =
+  let specs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map Workloads.Registry.find names
+    | _ -> Workloads.Registry.figure1
+  in
+  Format.printf "Live/allocated register ratio along one warp's execution";
+  List.iter trace_one specs

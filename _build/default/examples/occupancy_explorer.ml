@@ -1,0 +1,28 @@
+(* Occupancy explorer: show, for every workload, how the |Es| split moves
+   theoretical occupancy and SRP sections — the §III-A2 trade-off.
+
+   Run with: dune exec examples/occupancy_explorer.exe *)
+
+module O = Gpu_uarch.Occupancy
+module H = Regmutex.Es_heuristic
+
+let explore arch (spec : Workloads.Spec.t) =
+  let demand = Gpu_sim.Kernel.demand spec.Workloads.Spec.kernel in
+  let base = O.calculate arch demand in
+  Format.printf "@.%-14s %2d regs -> baseline %a@." spec.Workloads.Spec.name
+    demand.O.regs_per_thread O.pp base;
+  match H.choose arch ~demand ~min_bs:0 () with
+  | None -> Format.printf "  no viable |Es| candidate@."
+  | Some choice ->
+      List.iter
+        (fun (c : H.candidate) ->
+          Format.printf "  |Es|=%2d |Bs|=%2d -> %2d warps, %2d SRP sections%s@."
+            c.H.es c.H.bs c.H.warps c.H.sections
+            (if c.H.es = choice.H.es then "   <- heuristic pick" else ""))
+        choice.H.candidates
+
+let () =
+  let arch = Gpu_uarch.Arch_config.gtx480 in
+  Format.printf "Theoretical occupancy vs extended-set size (%a)@."
+    Gpu_uarch.Arch_config.pp arch;
+  List.iter (explore arch) Workloads.Registry.all

@@ -1,0 +1,55 @@
+(* Timeline: watch the SRP at work. Runs one workload under RegMutex with
+   the event trace attached and prints the first acquire/release/barrier
+   events plus a per-section occupancy summary.
+
+   Run with: dune exec examples/timeline.exe [workload] *)
+
+module E = Gpu_sim.Event_trace
+module Technique = Regmutex.Technique
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "SAD" in
+  let spec = Workloads.Spec.with_grid (Workloads.Registry.find name) 8 in
+  let arch = { Gpu_uarch.Arch_config.gtx480 with n_sms = 1 } in
+  let prepared = Technique.prepare arch Technique.Regmutex spec.Workloads.Spec.kernel in
+  let events = E.create () in
+  let config =
+    { (Gpu_sim.Gpu.default_config arch prepared.Technique.policy) with
+      Gpu_sim.Gpu.events = Some events }
+  in
+  let stats = Gpu_sim.Gpu.run config prepared.Technique.kernel in
+  Format.printf "%s under RegMutex: %d cycles, %d events recorded%s@."
+    spec.Workloads.Spec.name stats.Gpu_sim.Stats.cycles (E.length events)
+    (if E.truncated events then " (truncated)" else "");
+
+  Format.printf "@.First 24 events:@.";
+  List.iteri
+    (fun i e -> if i < 24 then Format.printf "  %a@." E.pp_entry e)
+    (E.entries events);
+
+  (* How long does each section stay acquired, on average? *)
+  let holds = Hashtbl.create 16 in
+  let acquired_at = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.E.event with
+      | E.Acquire_granted { cta; warp; section; _ } ->
+          Hashtbl.replace acquired_at (cta, warp) (section, e.E.cycle)
+      | E.Release { cta; warp; section; _ } -> (
+          match Hashtbl.find_opt acquired_at (cta, warp) with
+          | Some (s, t0) when s = section ->
+              let total, count =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt holds section)
+              in
+              Hashtbl.replace holds section (total + e.E.cycle - t0, count + 1);
+              Hashtbl.remove acquired_at (cta, warp)
+          | _ -> ())
+      | _ -> ())
+    (E.entries events);
+  Format.printf "@.SRP section usage (mean hold time):@.";
+  Hashtbl.fold (fun s v acc -> (s, v) :: acc) holds []
+  |> List.sort compare
+  |> List.iter (fun (section, (total, count)) ->
+         Format.printf "  section %2d: %4d acquires, %5.1f cycles mean hold@."
+           section count
+           (float_of_int total /. float_of_int (max 1 count)))

@@ -1,0 +1,1 @@
+lib/analysis/allocator.ml: Array Gpu_isa List Liveness

@@ -1,0 +1,1 @@
+lib/analysis/allocator.mli: Gpu_isa

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Format Gpu_isa List

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Format Gpu_isa

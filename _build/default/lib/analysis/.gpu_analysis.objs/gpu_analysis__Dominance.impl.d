@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/analysis/dominance.mli: Cfg

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Dominance Format Gpu_isa List

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Cfg Dominance Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/analysis/pressure.ml: Array Buffer Liveness

@@ -1,0 +1,1 @@
+lib/analysis/pressure.mli: Liveness

@@ -1,0 +1,35 @@
+(** Register (re)allocation by interference-graph coloring.
+
+    Kernels authored in the builder DSL may use more register names than
+    their peak live count; a hardware kernel's allocation equals the peak
+    (the property RegMutex's index arithmetic relies on, and the property
+    the Table I workloads are tested against). This pass renames registers
+    so that names with non-overlapping lifetimes share an index:
+
+    - two names interfere when one is defined while the other is live (or
+      they are live/referenced at the same instruction — conservatively, a
+      clique per instruction over [live_in ∪ live_out ∪ refs]);
+    - greedy coloring in decreasing-degree order assigns each name the
+      lowest color unused by its colored neighbours.
+
+    The result is a name→name map (not a bijection — that is the point),
+    and renaming through it preserves semantics because interfering names
+    keep distinct indices. *)
+
+type t = {
+  coloring : int array;   (** old register → new register *)
+  n_colors : int;         (** registers used after allocation *)
+}
+
+(** [allocate prog] computes the coloring from (unwidened) liveness. *)
+val allocate : Gpu_isa.Program.t -> t
+
+(** [apply prog t] renames every register through the coloring. *)
+val apply : Gpu_isa.Program.t -> t -> Gpu_isa.Program.t
+
+(** [minimize prog] = [apply prog (allocate prog)]. *)
+val minimize : Gpu_isa.Program.t -> Gpu_isa.Program.t
+
+(** [interfere prog a b] — do names [a] and [b] interfere? (Exposed for
+    tests and diagnostics.) *)
+val interfere : Gpu_isa.Program.t -> int -> int -> bool

@@ -1,0 +1,82 @@
+type t = {
+  idoms : int array;      (* -1 = entry or unreachable *)
+  ipostdoms : int array;  (* -1 = virtual sink / unreachable *)
+}
+
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm".
+   Generic over a rooted graph given by predecessor lists. Returns the
+   immediate-dominator array indexed by node, -1 for root/unreachable. *)
+let chk_idoms ~n ~root ~succs ~preds =
+  (* Reverse postorder from the root. *)
+  let order = Array.make n (-1) in (* order.(node) = rpo position, -1 unreachable *)
+  let rpo = ref [] in
+  let visited = Array.make n false in
+  let rec dfs v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs (succs v);
+      rpo := v :: !rpo
+    end
+  in
+  dfs root;
+  let rpo = Array.of_list !rpo in
+  Array.iteri (fun pos v -> order.(v) <- pos) rpo;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if order.(a) > order.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> root then begin
+          let processed = List.filter (fun p -> idom.(p) <> -1) (preds v) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  idom.(root) <- -1;
+  idom
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let succs v = (Cfg.block cfg v).Cfg.succs in
+  let preds v = (Cfg.block cfg v).Cfg.preds in
+  let idoms = chk_idoms ~n ~root:0 ~succs ~preds in
+  (* Post-dominators: reverse graph with a virtual sink (node n) that is the
+     successor of every exit block. *)
+  let exits = List.map (fun b -> b.Cfg.id) (Cfg.exit_blocks cfg) in
+  let sink = n in
+  (* In the reverse graph: successors of v are its CFG predecessors, and the
+     sink's successors are the exit blocks. Predecessors in the reverse graph
+     are CFG successors, plus the sink for exit blocks. *)
+  let rsuccs v = if v = sink then exits else preds v in
+  let rpreds v =
+    if v = sink then []
+    else if List.mem v exits then sink :: succs v
+    else succs v
+  in
+  let ipost = chk_idoms ~n:(n + 1) ~root:sink ~succs:rsuccs ~preds:rpreds in
+  let ipostdoms = Array.init n (fun v -> if ipost.(v) = sink then -1 else ipost.(v)) in
+  { idoms; ipostdoms }
+
+let idom t b = if t.idoms.(b) = -1 then None else Some t.idoms.(b)
+let ipostdom t b = if t.ipostdoms.(b) = -1 then None else Some t.ipostdoms.(b)
+
+let rec chases arr a b =
+  (* does walking up from b through arr reach a? *)
+  a = b || (arr.(b) <> -1 && chases arr a arr.(b))
+
+let dominates t a b = chases t.idoms a b
+let postdominates t a b = chases t.ipostdoms a b

@@ -1,0 +1,24 @@
+(** Dominator and post-dominator trees over a {!Cfg}, computed with the
+    Cooper–Harvey–Kennedy iterative algorithm.
+
+    Post-dominance is computed on the reverse graph rooted at a virtual sink
+    that succeeds every exit block; a block whose immediate post-dominator
+    is the sink (or that cannot reach an exit) reports [None]. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** [idom t b] is the immediate dominator of block [b]; [None] for the
+    entry block or unreachable blocks. *)
+val idom : t -> int -> int option
+
+(** [ipostdom t b] is the immediate post-dominator of block [b]; [None]
+    when it is the virtual sink. *)
+val ipostdom : t -> int -> int option
+
+(** [dominates t a b] holds when [a] dominates [b] (reflexive). *)
+val dominates : t -> int -> int -> bool
+
+(** [postdominates t a b] holds when [a] post-dominates [b] (reflexive). *)
+val postdominates : t -> int -> int -> bool

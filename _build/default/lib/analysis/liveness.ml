@@ -1,0 +1,117 @@
+module Program = Gpu_isa.Program
+module Instr = Gpu_isa.Instr
+module Regset = Gpu_isa.Regset
+
+type t = {
+  live_in : Regset.t array;
+  live_out : Regset.t array;
+}
+
+let dataflow prog =
+  let n = Program.length prog in
+  let live_in = Array.make n Regset.empty in
+  let live_out = Array.make n Regset.empty in
+  let uses = Array.init n (fun i -> Instr.uses (Program.get prog i)) in
+  let defs = Array.init n (fun i -> Instr.defs (Program.get prog i)) in
+  let succs = Array.init n (fun i -> Cfg.instr_succs prog i) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left (fun acc s -> Regset.union acc live_in.(s)) Regset.empty succs.(i)
+      in
+      let inn = Regset.union uses.(i) (Regset.diff out defs.(i)) in
+      if not (Regset.equal out live_out.(i) && Regset.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+(* One widening sweep; returns true when any live set grew. *)
+let widen_once cfg t =
+  let prog = cfg.Cfg.prog in
+  let dom = Dominance.compute cfg in
+  let grew = ref false in
+  let extend_region region widen_set =
+    if not (Regset.is_empty widen_set) then
+      List.iter
+        (fun bid ->
+          let b = Cfg.block cfg bid in
+          for i = b.Cfg.first to b.Cfg.last do
+            let inn = Regset.union t.live_in.(i) widen_set in
+            let out = Regset.union t.live_out.(i) widen_set in
+            if not (Regset.equal inn t.live_in.(i) && Regset.equal out t.live_out.(i))
+            then begin
+              t.live_in.(i) <- inn;
+              t.live_out.(i) <- out;
+              grew := true
+            end
+          done)
+        region
+  in
+  List.iter
+    (fun b ->
+      let branch_instr = b.Cfg.last in
+      let ipd = Dominance.ipostdom dom b.Cfg.id in
+      let avoiding = match ipd with Some p -> p | None -> -1 in
+      let region = Cfg.region cfg ~from:b.Cfg.id ~avoiding in
+      (* Registers live across the branch are live throughout the region. *)
+      let across = t.live_out.(branch_instr) in
+      (* Registers defined in the region and live at the join are live
+         throughout the region. *)
+      let defined_in_region =
+        List.fold_left
+          (fun acc bid ->
+            let blk = Cfg.block cfg bid in
+            let rec go i acc =
+              if i > blk.Cfg.last then acc
+              else go (i + 1) (Regset.union acc (Instr.defs (Program.get prog i)))
+            in
+            go blk.Cfg.first acc)
+          Regset.empty region
+      in
+      let at_join =
+        match ipd with
+        | Some p -> t.live_in.((Cfg.block cfg p).Cfg.first)
+        | None -> Regset.empty
+      in
+      let widen_set = Regset.union across (Regset.inter defined_in_region at_join) in
+      extend_region region widen_set)
+    (Cfg.conditional_blocks cfg);
+  !grew
+
+let analyze ?(widen = true) prog =
+  let t = dataflow prog in
+  if widen then begin
+    let cfg = Cfg.of_program prog in
+    let rec fix budget = if budget > 0 && widen_once cfg t then fix (budget - 1) in
+    fix 16
+  end;
+  t
+
+let pressure_at t i =
+  max (Regset.cardinal t.live_in.(i)) (Regset.cardinal t.live_out.(i))
+
+let profile t = Array.init (Array.length t.live_in) (pressure_at t)
+
+let max_pressure t = Array.fold_left max 0 (profile t)
+
+let live_at_barriers prog t =
+  let acc = ref 0 in
+  for i = 0 to Program.length prog - 1 do
+    if Program.get prog i = Instr.Bar then acc := max !acc (pressure_at t i)
+  done;
+  !acc
+
+let pp prog ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to Program.length prog - 1 do
+    Format.fprintf ppf "%4d: %-40s live_in=%a@," i
+      (Instr.to_string (Program.get prog i))
+      Regset.pp t.live_in.(i)
+  done;
+  Format.fprintf ppf "@]"

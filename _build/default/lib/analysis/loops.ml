@@ -1,0 +1,73 @@
+type loop = {
+  header : int;
+  back_sources : int list;
+  body : int list;
+}
+
+type t = {
+  loops : loop list;
+  depths : int array;
+}
+
+let contains l b = List.mem b l.body
+
+(* Body of the natural loop for back edges into [header]: header plus all
+   blocks that reach a back-edge source against the flow without crossing
+   the header. *)
+let natural_body cfg ~header ~back_sources =
+  let n = Cfg.n_blocks cfg in
+  let in_body = Array.make n false in
+  in_body.(header) <- true;
+  let rec pull b =
+    if not in_body.(b) then begin
+      in_body.(b) <- true;
+      List.iter pull (Cfg.block cfg b).Cfg.preds
+    end
+  in
+  List.iter pull back_sources;
+  let body = ref [] in
+  for b = n - 1 downto 0 do
+    if in_body.(b) then body := b :: !body
+  done;
+  !body
+
+let analyze cfg =
+  let dom = Dominance.compute cfg in
+  let n = Cfg.n_blocks cfg in
+  (* Collect back edges grouped by header. *)
+  let by_header = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if Dominance.dominates dom s b then
+          Hashtbl.replace by_header s (b :: Option.value ~default:[] (Hashtbl.find_opt by_header s)))
+      (Cfg.block cfg b).Cfg.succs
+  done;
+  let loops =
+    Hashtbl.fold
+      (fun header back_sources acc ->
+        { header; back_sources = List.sort compare back_sources;
+          body = natural_body cfg ~header ~back_sources }
+        :: acc)
+      by_header []
+    |> List.sort (fun a b -> compare a.header b.header)
+  in
+  let depths = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun b -> depths.(b) <- depths.(b) + 1) l.body)
+    loops;
+  { loops; depths }
+
+let loops t = t.loops
+let depth t b = t.depths.(b)
+let headers t = List.map (fun l -> l.header) t.loops
+
+let innermost t b =
+  List.fold_left
+    (fun acc l ->
+      if not (contains l b) then acc
+      else
+        match acc with
+        | Some best when List.length best.body <= List.length l.body -> acc
+        | Some _ | None -> Some l)
+    None t.loops

@@ -1,0 +1,35 @@
+(** Natural-loop detection over a {!Cfg}, from back edges and dominators.
+
+    A back edge is an edge [n → h] whose target dominates its source; the
+    natural loop of the edge is [h] plus every block that can reach [n]
+    without passing through [h]. Loops sharing a header are merged.
+
+    Loop nesting depth explains the Figure 1 pressure profiles (register
+    demand concentrates in inner loops, §II) and gives the transform's
+    acquire regions their typical shape. *)
+
+type loop = {
+  header : int;          (** header block id *)
+  back_sources : int list;  (** blocks whose edge to the header is a back edge *)
+  body : int list;       (** block ids, ascending, header included *)
+}
+
+type t
+
+val analyze : Cfg.t -> t
+
+(** All loops, outermost first (by ascending body size is not guaranteed;
+    ordering is by header id). *)
+val loops : t -> loop list
+
+(** Nesting depth of a block: 0 = not in any loop. *)
+val depth : t -> int -> int
+
+(** Headers of all detected loops, ascending. *)
+val headers : t -> int list
+
+(** The innermost loop containing the block, if any (smallest body). *)
+val innermost : t -> int -> loop option
+
+(** [contains l b] — is block [b] inside loop [l]? *)
+val contains : loop -> int -> bool

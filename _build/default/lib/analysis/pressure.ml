@@ -1,0 +1,54 @@
+type point = {
+  step : int;
+  live : int;
+  allocated : int;
+}
+
+let ratio p = if p.allocated = 0 then 0. else float_of_int p.live /. float_of_int p.allocated
+
+let dynamic_profile ~liveness ~allocated pcs =
+  Array.mapi
+    (fun step pc ->
+      { step; live = Liveness.pressure_at liveness pc; allocated })
+    pcs
+
+let fraction_below ~threshold points =
+  let n = Array.length points in
+  if n = 0 then 0.
+  else begin
+    let below = Array.fold_left (fun acc p -> if ratio p <= threshold then acc + 1 else acc) 0 points in
+    float_of_int below /. float_of_int n
+  end
+
+let mean_ratio points =
+  let n = Array.length points in
+  if n = 0 then 0.
+  else Array.fold_left (fun acc p -> acc +. ratio p) 0. points /. float_of_int n
+
+let downsample ~buckets points =
+  let n = Array.length points in
+  if n <= buckets || buckets <= 0 then Array.copy points
+  else
+    Array.init buckets (fun b ->
+        let lo = b * n / buckets and hi = (b + 1) * n / buckets in
+        let hi = max (lo + 1) hi in
+        let live = ref 0 and alloc = ref 0 in
+        for i = lo to hi - 1 do
+          live := !live + points.(i).live;
+          alloc := !alloc + points.(i).allocated
+        done;
+        let width = hi - lo in
+        { step = points.(lo).step; live = !live / width; allocated = !alloc / width })
+
+let sparkline ~width points =
+  let levels = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let sampled = downsample ~buckets:width points in
+  let buf = Buffer.create width in
+  Array.iter
+    (fun p ->
+      let r = ratio p in
+      let idx = int_of_float (r *. float_of_int (Array.length levels - 1) +. 0.5) in
+      let idx = max 0 (min (Array.length levels - 1) idx) in
+      Buffer.add_char buf levels.(idx))
+    sampled;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Register-pressure profiles (the data behind Figure 1).
+
+    Static profiles come straight from {!Liveness}; dynamic profiles map a
+    simulated warp's program-counter trace through the static per-PC live
+    counts, yielding the live/allocated ratio per executed instruction that
+    the paper plots for a sample thread. *)
+
+type point = {
+  step : int;        (** dynamic instruction count *)
+  live : int;        (** registers live at this instruction *)
+  allocated : int;   (** statically allocated registers *)
+}
+
+val ratio : point -> float
+
+(** [dynamic_profile ~liveness ~allocated pcs] maps an executed-PC trace to
+    profile points. *)
+val dynamic_profile :
+  liveness:Liveness.t -> allocated:int -> int array -> point array
+
+(** Fraction of dynamic instructions whose live ratio is at most
+    [threshold] (e.g. the paper's observation that most of the execution
+    uses only a subset of the allocation). *)
+val fraction_below : threshold:float -> point array -> float
+
+(** Average live/allocated ratio over the trace. *)
+val mean_ratio : point array -> float
+
+(** [downsample ~buckets points] averages the profile into at most
+    [buckets] points for compact textual plots. *)
+val downsample : buckets:int -> point array -> point array
+
+(** ASCII sparkline of the ratio profile, for terminal output. *)
+val sparkline : width:int -> point array -> string

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Format Gpu_analysis Gpu_isa List

@@ -1,0 +1,1 @@
+lib/core/compaction.mli: Gpu_analysis Gpu_isa

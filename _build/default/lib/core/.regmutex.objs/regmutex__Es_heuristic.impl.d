@@ -1,0 +1,1 @@
+lib/core/es_heuristic.ml: Format Gpu_uarch List

@@ -1,0 +1,1 @@
+lib/core/es_heuristic.mli: Format Gpu_uarch

@@ -1,0 +1,1 @@
+lib/core/injection.ml: Array Gpu_analysis Gpu_isa List

@@ -1,0 +1,1 @@
+lib/core/injection.mli: Gpu_analysis Gpu_isa

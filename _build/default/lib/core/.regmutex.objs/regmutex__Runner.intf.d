@@ -1,0 +1,1 @@
+lib/core/runner.mli: Format Gpu_sim Gpu_uarch Technique

@@ -1,0 +1,1 @@
+lib/core/technique.ml: Compaction Es_heuristic Gpu_analysis Gpu_sim Gpu_uarch Transform

@@ -1,0 +1,1 @@
+lib/core/technique.mli: Es_heuristic Gpu_sim Gpu_uarch Transform

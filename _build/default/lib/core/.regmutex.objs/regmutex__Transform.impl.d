@@ -1,0 +1,1 @@
+lib/core/transform.ml: Checker Compaction Format Gpu_analysis Gpu_isa Injection Printf

@@ -1,0 +1,82 @@
+module Program = Gpu_isa.Program
+module Instr = Gpu_isa.Instr
+module Regset = Gpu_isa.Regset
+module Liveness = Gpu_analysis.Liveness
+module Cfg = Gpu_analysis.Cfg
+
+type violation = {
+  pc : int;
+  message : string;
+}
+
+(* Acquire-state lattice: Bot < Held, Free < Top. *)
+type state = Bot | Held | Free | Top
+
+let meet a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Held, Held -> Held
+  | Free, Free -> Free
+  | Held, Free | Free, Held | Top, _ | _, Top -> Top
+
+let transfer instr state =
+  match instr with
+  | Instr.Acquire -> Held
+  | Instr.Release -> Free
+  | _ -> state
+
+let check ~bs ~es prog =
+  let n = Program.length prog in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- i :: preds.(s)) (Cfg.instr_succs prog i)
+  done;
+  let state_in = Array.make n Bot in
+  let state_out = Array.make n Bot in
+  state_in.(0) <- Free;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let inn =
+        if i = 0 then
+          List.fold_left (fun acc p -> meet acc state_out.(p)) Free preds.(i)
+        else
+          List.fold_left (fun acc p -> meet acc state_out.(p)) Bot preds.(i)
+      in
+      let out = transfer (Program.get prog i) inn in
+      if inn <> state_in.(i) || out <> state_out.(i) then begin
+        state_in.(i) <- inn;
+        state_out.(i) <- out;
+        changed := true
+      end
+    done
+  done;
+  let liveness = Liveness.analyze ~widen:true prog in
+  let violations = ref [] in
+  let report pc fmt = Format.kasprintf (fun message -> violations := { pc; message } :: !violations) fmt in
+  for i = 0 to n - 1 do
+    let instr = Program.get prog i in
+    let refs = Instr.regs instr in
+    let top_ref = if Regset.is_empty refs then -1 else Regset.max_elt refs in
+    if top_ref >= bs + es then
+      report i "references r%d beyond |Bs|+|Es| = %d" top_ref (bs + es);
+    if top_ref >= bs then begin
+      match state_in.(i) with
+      | Held -> ()
+      | Free -> report i "references extended register r%d while the set is free" top_ref
+      | Top -> report i "references extended register r%d with path-dependent acquire state" top_ref
+      | Bot -> ()  (* unreachable code *)
+    end;
+    (* When the set may be free after this instruction, no extended
+       register may carry a live value. *)
+    (match state_out.(i) with
+    | Free | Top ->
+        let high = Regset.above bs liveness.Liveness.live_out.(i) in
+        if not (Regset.is_empty high) then
+          report i "extended registers %a live while the set may be free" Regset.pp high
+    | Held | Bot -> ())
+  done;
+  List.rev !violations
+
+let pp_violation ppf v = Format.fprintf ppf "pc %d: %s" v.pc v.message

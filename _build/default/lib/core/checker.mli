@@ -1,0 +1,27 @@
+(** Static soundness checker for instrumented programs.
+
+    Abstract interpretation over the instruction-level CFG of the warp's
+    acquire state (held / free), honouring idempotent acquire/release
+    semantics. A transformed program is sound when:
+
+    - every instruction referencing a register with index ≥ [|Bs|] is
+      executed with the extended set held on {e every} path;
+    - no instruction references a register at or beyond [|Bs| + |Es|];
+    - whenever the set may be free after an instruction, no register with
+      index ≥ [|Bs|] is live there (its physical storage is gone).
+
+    {!Transform.apply} runs this checker and refuses to emit unsound
+    programs; the simulator additionally enforces the same rules
+    dynamically in verification mode. *)
+
+type violation = {
+  pc : int;
+  message : string;
+}
+
+(** [check ~bs ~es prog] returns all violations ([] = sound). The
+    liveness used for the free-state rule is recomputed on the transformed
+    program with divergence widening. *)
+val check : bs:int -> es:int -> Gpu_isa.Program.t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,66 @@
+(** Extended-register-set size selection (§III-A2).
+
+    Candidates for [|Es|] are the even values of [⌊R × f⌋] for
+    [f ∈ {0.1, 0.15, 0.2, 0.25, 0.3, 0.35}], where [R] is the kernel's
+    register demand rounded to the allocation granularity. Candidates that
+    violate either deadlock-avoidance rule are dropped:
+
+    - the SRP must fit at least one extended set;
+    - [|Bs|] may not drop below the live count at any CTA barrier.
+
+    Among the candidates whose base-only occupancy is highest, the chosen
+    [|Es|] is the smallest one whose SRP section count allows more than
+    half of the resident warps to hold an extended set concurrently (the
+    interpretation that reproduces the paper's worked example; see
+    DESIGN.md). When none passes the half-warps test, the candidate with
+    the most sections wins. *)
+
+type candidate = {
+  es : int;
+  bs : int;
+  warps : int;      (** resident warps with base-only allocation *)
+  sections : int;   (** SRP sections left for extended sets *)
+}
+
+type choice = {
+  rounded_regs : int;  (** R: granularity-rounded register demand *)
+  bs : int;
+  es : int;
+  warps : int;
+  sections : int;
+  baseline_warps : int;    (** resident warps without RegMutex *)
+  candidates : candidate list;  (** all evaluated candidates *)
+}
+
+(** The paper's fraction set. *)
+val fractions : float list
+
+(** Even candidate sizes for a rounded register demand, ascending. *)
+val candidate_sizes : rounded_regs:int -> int list
+
+(** [choose cfg ~demand ~min_bs ()] runs the full selection. [min_bs] is
+    the barrier-liveness floor for [|Bs|] (0 when the kernel has no
+    barrier). Returns [None] when no candidate survives — RegMutex then
+    treats every register as base (kernel runs unmodified). *)
+val choose :
+  Gpu_uarch.Arch_config.t ->
+  demand:Gpu_uarch.Occupancy.demand ->
+  min_bs:int ->
+  unit ->
+  choice option
+
+(** [with_es cfg ~demand ~es] evaluates one forced size (the Figure 10/11
+    sensitivity sweeps), ignoring the half-warps rule but still applying
+    the deadlock rules. *)
+val with_es :
+  Gpu_uarch.Arch_config.t ->
+  demand:Gpu_uarch.Occupancy.demand ->
+  min_bs:int ->
+  es:int ->
+  choice option
+
+(** Does the choice improve occupancy over the baseline? (MergeSort's
+    pick does not, and the paper still applies it.) *)
+val raises_occupancy : choice -> bool
+
+val pp : Format.formatter -> choice -> unit

@@ -1,0 +1,65 @@
+module Gpu = Gpu_sim.Gpu
+module Stats = Gpu_sim.Stats
+module Kernel = Gpu_sim.Kernel
+
+type run = {
+  technique : Technique.t;
+  kernel_name : string;
+  cycles : int;
+  instructions : int;
+  theoretical_warps : int;
+  theoretical_occupancy : float;
+  achieved_occupancy : float;
+  acquire_ratio : float;
+  srp_sections : int;
+  stats : Gpu_sim.Stats.t;
+  prepared : Technique.prepared;
+}
+
+let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
+    ?(max_cycles = 20_000_000) cfg technique kernel =
+  let prepared = Technique.prepare ?options cfg technique kernel in
+  let config =
+    {
+      Gpu.arch = cfg;
+      policy = prepared.Technique.policy;
+      record_stores;
+      trace_warp0;
+      max_cycles;
+      events = None;
+    }
+  in
+  let kernel' = prepared.Technique.kernel in
+  let stats = Gpu.run config kernel' in
+  let theoretical_warps = Gpu.theoretical_warps config kernel' in
+  {
+    technique;
+    kernel_name = kernel.Kernel.name;
+    cycles = stats.Stats.cycles;
+    instructions = stats.Stats.instructions;
+    theoretical_warps;
+    theoretical_occupancy =
+      float_of_int theoretical_warps
+      /. float_of_int cfg.Gpu_uarch.Arch_config.max_warps;
+    achieved_occupancy = Stats.achieved_occupancy stats;
+    acquire_ratio = Stats.acquire_success_ratio stats;
+    srp_sections = Gpu.srp_sections_of config kernel';
+    stats;
+    prepared;
+  }
+
+let reduction_pct ~baseline run =
+  if baseline.cycles = 0 then 0.
+  else
+    100.
+    *. float_of_int (baseline.cycles - run.cycles)
+    /. float_of_int baseline.cycles
+
+let increase_pct ~baseline run = -.reduction_pct ~baseline run
+
+let pp ppf r =
+  Format.fprintf ppf "%s/%s: %d cycles, occ %.0f%% (ach %.0f%%), acq %.0f%%"
+    r.kernel_name (Technique.name r.technique) r.cycles
+    (100. *. r.theoretical_occupancy)
+    (100. *. r.achieved_occupancy)
+    (100. *. r.acquire_ratio)

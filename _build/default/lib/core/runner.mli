@@ -1,0 +1,37 @@
+(** One-stop execution of a kernel under a technique: compile-time
+    preparation, simulation, and the derived metrics the paper's figures
+    report. *)
+
+type run = {
+  technique : Technique.t;
+  kernel_name : string;
+  cycles : int;
+  instructions : int;
+  theoretical_warps : int;
+  theoretical_occupancy : float;  (** warps / max warps, per §II *)
+  achieved_occupancy : float;     (** resident-warp integral over the run *)
+  acquire_ratio : float;          (** successful acquires / acquire instrs *)
+  srp_sections : int;
+  stats : Gpu_sim.Stats.t;
+  prepared : Technique.prepared;
+}
+
+val execute :
+  ?options:Technique.options ->
+  ?record_stores:bool ->
+  ?trace_warp0:bool ->
+  ?max_cycles:int ->
+  Gpu_uarch.Arch_config.t ->
+  Technique.t ->
+  Gpu_sim.Kernel.t ->
+  run
+
+(** [(baseline - run) / baseline × 100] — positive is faster (Figures 7,
+    9a, 10, 12a). *)
+val reduction_pct : baseline:run -> run -> float
+
+(** [(run - baseline) / baseline × 100] — positive is slower (Figures 8,
+    9b, 12b). *)
+val increase_pct : baseline:run -> run -> float
+
+val pp : Format.formatter -> run -> unit

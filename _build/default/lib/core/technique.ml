@@ -1,0 +1,124 @@
+module Arch_config = Gpu_uarch.Arch_config
+module Liveness = Gpu_analysis.Liveness
+module Kernel = Gpu_sim.Kernel
+module Policy = Gpu_sim.Policy
+
+type t =
+  | Baseline
+  | Regmutex
+  | Regmutex_paired
+  | Owf
+  | Rfv
+
+type options = {
+  es_override : int option;
+  transform : Transform.options;
+  verify : bool;
+}
+
+let default_options =
+  { es_override = None; transform = Transform.default_options; verify = true }
+
+type prepared = {
+  technique : t;
+  kernel : Gpu_sim.Kernel.t;
+  policy : Gpu_sim.Policy.t;
+  choice : Es_heuristic.choice option;
+  plan : Transform.plan option;
+}
+
+let static_policy kernel =
+  Policy.Static { regs_per_thread = Kernel.regs_per_thread kernel }
+
+let min_bs_of kernel widen =
+  let prog = kernel.Kernel.program in
+  let liveness = Liveness.analyze ~widen prog in
+  Liveness.live_at_barriers prog liveness
+
+let choose_split options cfg kernel =
+  let demand = Kernel.demand kernel in
+  let min_bs = min_bs_of kernel options.transform.Transform.widen in
+  match options.es_override with
+  | Some es -> Es_heuristic.with_es cfg ~demand ~min_bs ~es
+  | None -> Es_heuristic.choose cfg ~demand ~min_bs ()
+
+let prepare_regmutex ~paired options cfg technique kernel =
+  match choose_split options cfg kernel with
+  | None ->
+      (* Zero-sized extended set: run the unmodified kernel as baseline. *)
+      { technique; kernel; policy = static_policy kernel; choice = None; plan = None }
+  | Some choice ->
+      let bs = choice.Es_heuristic.bs and es = choice.Es_heuristic.es in
+      let plan =
+        Transform.apply ~options:options.transform ~bs ~es kernel.Kernel.program
+      in
+      let kernel = Kernel.with_program kernel plan.Transform.transformed in
+      let policy =
+        if paired then Policy.Srp_paired { bs; es; verify = options.verify }
+        else Policy.Srp { bs; es; verify = options.verify }
+      in
+      { technique; kernel; policy; choice = Some choice; plan = Some plan }
+
+let prepare_owf options cfg kernel =
+  let fallback () =
+    { technique = Owf; kernel; policy = static_policy kernel; choice = None; plan = None }
+  in
+  match choose_split options cfg kernel with
+  | None -> fallback ()
+  | Some choice
+    when Gpu_sim.Sm.cta_capacity_for cfg
+           ~policy:
+             (Policy.Owf
+                { bs = choice.Es_heuristic.bs; es = choice.Es_heuristic.es })
+           ~kernel
+         < 2 * Gpu_sim.Sm.cta_capacity_for cfg ~policy:(static_policy kernel) ~kernel ->
+      (* Jatala et al. share registers to fit more warps. Because the
+         non-owner of a pair is frozen from its first shared access until
+         the owner exits, a pair contributes roughly one warp of progress
+         through shared regions — sharing pays only when it at least
+         doubles occupancy; below that the kernel runs unshared. *)
+      fallback ()
+  | Some choice ->
+      (* Jatala et al. reorder register declarations once so that rarely
+         used registers sit above the sharing threshold; the duration
+         permutation models exactly that. The program is otherwise
+         unmodified — the hardware traps accesses above |Bs|. *)
+      let prog = kernel.Kernel.program in
+      let liveness =
+        Liveness.analyze ~widen:options.transform.Transform.widen prog
+      in
+      let bs = choice.Es_heuristic.bs and es = choice.Es_heuristic.es in
+      let prog =
+        if options.transform.Transform.permute then
+          Compaction.permute prog (Compaction.pressure_ranking ~bs prog liveness)
+        else prog
+      in
+      let kernel = Kernel.with_program kernel prog in
+      { technique = Owf; kernel; policy = Policy.Owf { bs; es }; choice = Some choice;
+        plan = None }
+
+let prepare_rfv options kernel =
+  let prog = kernel.Kernel.program in
+  let liveness = Liveness.analyze ~widen:options.transform.Transform.widen prog in
+  let live = Liveness.profile liveness in
+  let max_live = Liveness.max_pressure liveness in
+  { technique = Rfv; kernel; policy = Policy.Rfv { live; max_live }; choice = None;
+    plan = None }
+
+let prepare ?(options = default_options) cfg technique kernel =
+  match technique with
+  | Baseline ->
+      { technique; kernel; policy = static_policy kernel; choice = None; plan = None }
+  | Regmutex -> prepare_regmutex ~paired:false options cfg technique kernel
+  | Regmutex_paired -> prepare_regmutex ~paired:true options cfg technique kernel
+  | Owf -> prepare_owf options cfg kernel
+  | Rfv -> prepare_rfv options kernel
+
+let name = function
+  | Baseline -> "baseline"
+  | Regmutex -> "regmutex"
+  | Regmutex_paired -> "regmutex-paired"
+  | Owf -> "owf"
+  | Rfv -> "rfv"
+
+let all = [ Baseline; Regmutex; Regmutex_paired; Owf; Rfv ]

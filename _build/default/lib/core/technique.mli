@@ -1,0 +1,42 @@
+(** The evaluated register-management techniques, tying the compiler side
+    (heuristic + transform) to the simulator policy:
+
+    - [Baseline]: stock static/exclusive allocation.
+    - [Regmutex]: the paper's default design.
+    - [Regmutex_paired]: the paired-warps specialization (§III-C).
+    - [Owf]: resource sharing with owner-warp-first scheduling
+      (Jatala et al. [7]) — one-time acquire, no in-kernel release.
+    - [Rfv]: register file virtualization (Jeon et al. [3]). *)
+
+type t =
+  | Baseline
+  | Regmutex
+  | Regmutex_paired
+  | Owf
+  | Rfv
+
+type options = {
+  es_override : int option;  (** force [|Es|] (sensitivity sweeps) *)
+  transform : Transform.options;
+  verify : bool;  (** dynamic extended-access checking in the simulator *)
+}
+
+val default_options : options
+
+type prepared = {
+  technique : t;
+  kernel : Gpu_sim.Kernel.t;  (** program possibly transformed *)
+  policy : Gpu_sim.Policy.t;
+  choice : Es_heuristic.choice option;
+  plan : Transform.plan option;
+}
+
+(** [prepare ?options cfg t kernel] runs the compile-time side. For
+    [Regmutex]/[Regmutex_paired]: when the heuristic yields no viable
+    candidate, the kernel falls back to baseline behaviour (zero-sized
+    extended set, no primitives inserted). *)
+val prepare :
+  ?options:options -> Gpu_uarch.Arch_config.t -> t -> Gpu_sim.Kernel.t -> prepared
+
+val name : t -> string
+val all : t list

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Exp_config List Regmutex Table Workloads

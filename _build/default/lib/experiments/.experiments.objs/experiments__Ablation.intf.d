@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Exp_config Regmutex

@@ -1,0 +1,1 @@
+lib/experiments/engine.ml: Exp_config Gpu_uarch Hashtbl Printf Regmutex Workloads

@@ -1,0 +1,1 @@
+lib/experiments/engine.mli: Exp_config Gpu_uarch Regmutex Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_config.ml: Gpu_sim Gpu_uarch Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Exp_config Gpu_analysis Gpu_sim Gpu_uarch List Printf Table Workloads

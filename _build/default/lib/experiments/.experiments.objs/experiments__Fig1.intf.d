@@ -1,0 +1,1 @@
+lib/experiments/fig1.mli: Exp_config Gpu_analysis

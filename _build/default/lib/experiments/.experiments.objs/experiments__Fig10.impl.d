@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Engine Exp_config List Option Printf Regmutex Table Workloads

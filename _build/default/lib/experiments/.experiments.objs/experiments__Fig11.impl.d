@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Engine Exp_config Fig10 List Option Printf Regmutex Table Workloads

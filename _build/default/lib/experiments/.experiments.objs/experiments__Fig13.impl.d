@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Engine Exp_config List Regmutex Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Gpu_isa Gpu_sim Gpu_uarch List Printf Regmutex String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Engine Exp_config List Printf Regmutex Table Workloads

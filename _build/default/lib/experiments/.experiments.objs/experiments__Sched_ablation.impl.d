@@ -1,0 +1,1 @@
+lib/experiments/sched_ablation.ml: Exp_config Gpu_uarch List Regmutex Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sched_ablation.mli: Exp_config

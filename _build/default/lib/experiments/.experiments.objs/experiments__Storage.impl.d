@@ -1,0 +1,1 @@
+lib/experiments/storage.ml: Exp_config Format Gpu_uarch List

@@ -1,0 +1,1 @@
+lib/experiments/storage.mli: Exp_config

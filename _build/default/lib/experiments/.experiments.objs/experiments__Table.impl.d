@@ -1,0 +1,1 @@
+lib/experiments/table.ml: List Printf String

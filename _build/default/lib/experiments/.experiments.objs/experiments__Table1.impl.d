@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Exp_config Gpu_analysis Gpu_sim Gpu_uarch List Option Printf Regmutex Table Workloads

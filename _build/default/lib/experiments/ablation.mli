@@ -1,0 +1,24 @@
+(** Ablation of the compiler-pass design choices called out in DESIGN.md:
+    divergence-conservative widening, duration-ranked permutation, and
+    per-release-point MOV compaction. Reports, per variant, the static
+    acquire-state footprint and the simulated cycles on two representative
+    kernels. *)
+
+type variant = {
+  label : string;
+  options : Regmutex.Transform.options;
+}
+
+val variants : variant list
+
+type row = {
+  app : string;
+  label : string;
+  ext_fraction : float;   (** static instructions in acquire state *)
+  acquires : int;         (** static acquire instructions *)
+  movs : int;
+  cycles : int;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,25 @@
+let cache : (string, Regmutex.Runner.run) Hashtbl.t = Hashtbl.create 64
+let misses = ref 0
+
+let key ?es_override cfg ~arch technique spec =
+  Printf.sprintf "%s/%s/%s/%s/%.3f" arch.Gpu_uarch.Arch_config.name
+    (Regmutex.Technique.name technique)
+    spec.Workloads.Spec.name
+    (match es_override with None -> "auto" | Some es -> string_of_int es)
+    cfg.Exp_config.grid_scale
+
+let run ?es_override cfg ~arch technique spec =
+  let k = key ?es_override cfg ~arch technique spec in
+  match Hashtbl.find_opt cache k with
+  | Some run -> run
+  | None ->
+      incr misses;
+      let options = { Regmutex.Technique.default_options with es_override } in
+      let kernel = Exp_config.kernel_of cfg spec in
+      let run = Regmutex.Runner.execute ~options arch technique kernel in
+      Hashtbl.replace cache k run;
+      run
+
+let clear () = Hashtbl.reset cache
+
+let simulations () = !misses

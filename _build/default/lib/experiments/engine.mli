@@ -1,0 +1,20 @@
+(** Memoized simulation runs. Several figures share the same
+    (architecture, technique, kernel) simulations — Figure 7's RegMutex
+    runs reappear in Figures 9(a), 12(a) and 13 — so results are cached for
+    the lifetime of the process. *)
+
+(** [run ?es_override cfg ~arch technique spec] executes (or recalls) the
+    simulation of [spec] under [technique] on [arch]. *)
+val run :
+  ?es_override:int ->
+  Exp_config.t ->
+  arch:Gpu_uarch.Arch_config.t ->
+  Regmutex.Technique.t ->
+  Workloads.Spec.t ->
+  Regmutex.Runner.run
+
+(** Drop all cached runs (tests use this to control sharing). *)
+val clear : unit -> unit
+
+(** Number of simulations actually executed (cache misses). *)
+val simulations : unit -> int

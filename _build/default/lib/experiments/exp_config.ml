@@ -1,0 +1,36 @@
+module Arch_config = Gpu_uarch.Arch_config
+
+type t = {
+  arch : Arch_config.t;
+  half_arch : Arch_config.t;
+  grid_scale : float;
+}
+
+let slice =
+  let n_sms = 4 in
+  let full = Arch_config.gtx480 in
+  {
+    full with
+    name = "gtx480-4sm";
+    n_sms;
+    (* Per-SM DRAM share kept equal to the 15-SM machine. *)
+    dram_interval =
+      full.Arch_config.dram_interval
+      *. float_of_int full.Arch_config.n_sms
+      /. float_of_int n_sms;
+  }
+
+let default = { arch = slice; half_arch = Arch_config.with_half_regfile slice; grid_scale = 1. }
+
+let quick = { default with grid_scale = 0.25 }
+
+let kernel_of t spec =
+  let kernel = spec.Workloads.Spec.kernel in
+  let grid = kernel.Gpu_sim.Kernel.grid_ctas in
+  let scaled = max 4 (int_of_float (float_of_int grid *. t.grid_scale)) in
+  (Workloads.Spec.with_grid spec scaled).Workloads.Spec.kernel
+
+let eval_arch t spec =
+  match spec.Workloads.Spec.group with
+  | Workloads.Spec.Occupancy_limited -> t.arch
+  | Workloads.Spec.Regfile_sensitive -> t.half_arch

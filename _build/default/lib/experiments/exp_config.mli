@@ -1,0 +1,24 @@
+(** Shared configuration for the paper-reproduction experiments.
+
+    The techniques under study are SM-local, so the experiments simulate a
+    4-SM slice of the GTX480 with proportionally scaled DRAM bandwidth and
+    grids (DESIGN.md) — per-kernel relative cycle counts are what the
+    figures compare. *)
+
+type t = {
+  arch : Gpu_uarch.Arch_config.t;       (** full register file *)
+  half_arch : Gpu_uarch.Arch_config.t;  (** halved register file (§IV-B) *)
+  grid_scale : float;  (** multiplier on each workload's default grid *)
+}
+
+val default : t
+
+(** Quarter-sized grids for fast test runs. *)
+val quick : t
+
+(** Workload's kernel with the configuration's grid scaling applied. *)
+val kernel_of : t -> Workloads.Spec.t -> Gpu_sim.Kernel.t
+
+(** Architecture a workload group is evaluated on: full register file for
+    the Figure 7 set, halved for the Figure 8 set. *)
+val eval_arch : t -> Workloads.Spec.t -> Gpu_uarch.Arch_config.t

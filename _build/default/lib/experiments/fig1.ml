@@ -1,0 +1,49 @@
+module Pressure = Gpu_analysis.Pressure
+module Liveness = Gpu_analysis.Liveness
+
+type row = {
+  app : string;
+  dynamic_instructions : int;
+  mean_ratio : float;
+  below_half : float;
+  profile : Pressure.point array;
+}
+
+let row_of cfg spec =
+  (* One SM and a small grid suffice: the profile belongs to a single
+     sample warp executing the unmodified kernel. *)
+  let arch = { cfg.Exp_config.arch with Gpu_uarch.Arch_config.n_sms = 1 } in
+  let kernel = (Workloads.Spec.with_grid spec 4).Workloads.Spec.kernel in
+  let allocated = Gpu_sim.Kernel.regs_per_thread kernel in
+  let config =
+    {
+      (Gpu_sim.Gpu.default_config arch
+         (Gpu_sim.Policy.Static { regs_per_thread = allocated }))
+      with
+      trace_warp0 = true;
+    }
+  in
+  let stats = Gpu_sim.Gpu.run config kernel in
+  let liveness = Liveness.analyze kernel.Gpu_sim.Kernel.program in
+  let profile =
+    Pressure.dynamic_profile ~liveness ~allocated (Gpu_sim.Stats.trace stats)
+  in
+  {
+    app = spec.Workloads.Spec.name;
+    dynamic_instructions = Array.length profile;
+    mean_ratio = Pressure.mean_ratio profile;
+    below_half = Pressure.fraction_below ~threshold:0.5 profile;
+    profile;
+  }
+
+let rows cfg = List.map (row_of cfg) Workloads.Registry.figure1
+
+let print cfg =
+  let rows = rows cfg in
+  print_endline "Figure 1: live/allocated registers along a sample warp's execution";
+  List.iter
+    (fun r ->
+      Printf.printf "\n%s: %d dynamic instructions, mean %s live, <=50%% for %s of time\n"
+        r.app r.dynamic_instructions (Table.occ r.mean_ratio) (Table.occ r.below_half);
+      Printf.printf "  |%s|\n" (Pressure.sparkline ~width:72 r.profile))
+    rows

@@ -1,0 +1,15 @@
+(** Figure 1: utilization of a sample warp's allocated registers during
+    kernel execution, for six kernels — live registers over allocated
+    registers per executed instruction. The paper's observation: for most
+    of the execution only a subset of the allocation is live. *)
+
+type row = {
+  app : string;
+  dynamic_instructions : int;
+  mean_ratio : float;          (** average live/allocated *)
+  below_half : float;          (** fraction of time at ≤50% utilization *)
+  profile : Gpu_analysis.Pressure.point array;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

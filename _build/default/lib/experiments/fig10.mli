@@ -1,0 +1,14 @@
+(** Figure 10: sensitivity of cycle reduction to the extended-set size,
+    |Es| ∈ {2, 4, 6, 8, 10, 12}, on the Figure 7 set. The heuristic's own
+    pick is marked; infeasible sizes (deadlock rules) are left blank. *)
+
+val es_values : int list
+
+type row = {
+  app : string;
+  by_es : (int * float option) list;  (** |Es| → cycle reduction, None = infeasible *)
+  heuristic_es : int option;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,14 @@
+(** Figure 11: for the same |Es| sweep as Figure 10, (a) theoretical
+    occupancy and (b) ratio of successful acquires over all executed
+    acquire instructions. Paper: occupancy rises with |Es| while the
+    acquire success ratio usually falls. *)
+
+type row = {
+  app : string;
+  by_es : (int * (float * float) option) list;
+      (** |Es| → (occupancy, acquire success ratio) *)
+  heuristic_es : int option;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,23 @@
+(** Figure 12: the paired-warps specialization. (a) cycle reduction and
+    occupancy on the baseline architecture (Figure 7 set); (b) cycle
+    increase on the half register file (Figure 8 set), measured against the
+    full-RF baseline. Paper: ≈8% average reduction in (a), 4 points below
+    default RegMutex; no benefit when occupancy cannot rise. *)
+
+type row_a = {
+  app : string;
+  paired_red : float;
+  default_red : float;  (** default RegMutex, for comparison *)
+  occ_paired : float;
+}
+
+type row_b = {
+  app : string;
+  paired_inc : float;
+  default_inc : float;
+  occ_paired : float;
+}
+
+val rows_a : Exp_config.t -> row_a list
+val rows_b : Exp_config.t -> row_b list
+val print : Exp_config.t -> unit

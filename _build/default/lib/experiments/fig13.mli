@@ -1,0 +1,14 @@
+(** Figure 13: acquire-instruction success rate, default RegMutex vs the
+    paired-warps specialization — the 8 occupancy-limited kernels on the
+    baseline architecture, the 8 register-file-sensitive kernels on the
+    half register file. Paper: pairing usually raises the success rate
+    (exclusive access shared with at most one warp). *)
+
+type row = {
+  app : string;
+  default_ratio : float;
+  paired_ratio : float;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,19 @@
+(** Figure 7: execution-cycle reduction and theoretical occupancy with
+    RegMutex for the eight register-occupancy-limited kernels on the
+    baseline architecture. Paper: average ≈13% reduction, BFS best ≈23%,
+    SAD small despite its occupancy boost. *)
+
+type row = {
+  app : string;
+  baseline_cycles : int;
+  regmutex_cycles : int;
+  reduction_pct : float;
+  occ_before : float;   (** theoretical occupancy, baseline *)
+  occ_after : float;    (** theoretical occupancy with RegMutex *)
+  sections : int;       (** SRP sections *)
+  acquire_ratio : float;
+}
+
+val rows : Exp_config.t -> row list
+val mean_reduction : row list -> float
+val print : Exp_config.t -> unit

@@ -1,0 +1,18 @@
+(** Figure 8: kernels on an architecture with half the register file, with
+    and without RegMutex; cycle increase is measured against the same
+    kernel on the full register file. Paper: ≈23% average increase
+    untreated, ≈9% with RegMutex; MergeSort is the one slowdown. *)
+
+type row = {
+  app : string;
+  full_cycles : int;        (** baseline arch, full register file *)
+  half_cycles : int;        (** half register file, no technique *)
+  half_rm_cycles : int;     (** half register file with RegMutex *)
+  increase_none_pct : float;
+  increase_rm_pct : float;
+  occ_half : float;         (** theoretical occupancy on half RF *)
+  occ_half_rm : float;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

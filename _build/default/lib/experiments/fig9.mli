@@ -1,0 +1,26 @@
+(** Figure 9: RegMutex vs Register File Virtualization (RFV) and resource
+    sharing with OWF scheduling. (a) cycle reduction on the baseline
+    architecture (Figure 7 set); (b) cycle increase when the register file
+    is halved (Figure 8 set), measured against the full-RF baseline.
+    Paper averages: (a) OWF 1.9%, RFV 16.2%, RegMutex 12.8%;
+    (b) none 22.9%, OWF 20.6%, RFV 5.9%, RegMutex 10.8%. *)
+
+type row_a = {
+  app : string;
+  owf_red : float;
+  rfv_red : float;
+  regmutex_red : float;
+}
+
+type row_b = {
+  app : string;
+  none_inc : float;
+  owf_inc : float;
+  rfv_inc : float;
+  regmutex_inc : float;
+}
+
+val rows_a : Exp_config.t -> row_a list
+val rows_b : Exp_config.t -> row_b list
+val print_a : Exp_config.t -> unit
+val print_b : Exp_config.t -> unit

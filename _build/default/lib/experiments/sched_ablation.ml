@@ -1,0 +1,54 @@
+module Arch_config = Gpu_uarch.Arch_config
+module Runner = Regmutex.Runner
+module Technique = Regmutex.Technique
+
+type row = {
+  app : string;
+  scheduler : string;
+  baseline_cycles : int;
+  regmutex_cycles : int;
+  reduction_pct : float;
+  acquire_ratio : float;
+}
+
+let schedulers =
+  [ ("gto", Arch_config.Gto); ("lrr", Arch_config.Lrr);
+    ("two-level/8", Arch_config.Two_level 8) ]
+
+let apps = [ "BFS"; "ParticleFilter"; "RadixSort" ]
+
+let row_of cfg spec (label, kind) =
+  let arch = { cfg.Exp_config.arch with Arch_config.scheduler = kind } in
+  let kernel = Exp_config.kernel_of cfg spec in
+  let baseline = Runner.execute arch Technique.Baseline kernel in
+  let rm = Runner.execute arch Technique.Regmutex kernel in
+  {
+    app = spec.Workloads.Spec.name;
+    scheduler = label;
+    baseline_cycles = baseline.Runner.cycles;
+    regmutex_cycles = rm.Runner.cycles;
+    reduction_pct = Runner.reduction_pct ~baseline rm;
+    acquire_ratio = rm.Runner.acquire_ratio;
+  }
+
+let rows cfg =
+  List.concat_map
+    (fun name ->
+      let spec = Workloads.Registry.find name in
+      List.map (row_of cfg spec) schedulers)
+    apps
+
+let print cfg =
+  let rows = rows cfg in
+  print_endline "Scheduler ablation: RegMutex under GTO / LRR / two-level";
+  print_endline
+    (Table.render
+       ~columns:
+         [ ("app", Table.Left); ("scheduler", Table.Left); ("base cyc", Table.Right);
+           ("rm cyc", Table.Right); ("cyc red.", Table.Right); ("acq ok", Table.Right) ]
+       (List.map
+          (fun r ->
+            [ r.app; r.scheduler; Table.int_cell r.baseline_cycles;
+              Table.int_cell r.regmutex_cycles; Table.pct r.reduction_pct;
+              Table.occ r.acquire_ratio ])
+          rows))

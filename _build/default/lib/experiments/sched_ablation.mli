@@ -1,0 +1,17 @@
+(** Warp-scheduler sensitivity study (an extension beyond the paper, which
+    fixes GPGPU-Sim's greedy-then-oldest policy): how do GTO, loose
+    round-robin, and a two-level scheduler interact with RegMutex? GTO's
+    greediness naturally staggers warps across acquire regions; round-robin
+    lock-steps them into acquire bursts. *)
+
+type row = {
+  app : string;
+  scheduler : string;
+  baseline_cycles : int;
+  regmutex_cycles : int;
+  reduction_pct : float;
+  acquire_ratio : float;
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,5 @@
+(** Hardware storage cost comparison (§III-B1, §IV-C): RegMutex's 384 bits
+    vs RFV's 31,264 bits (>81×) and the paired specialization's further
+    >20× saving. *)
+
+val print : Exp_config.t -> unit

@@ -1,0 +1,36 @@
+type align = Left | Right
+
+let render ~columns rows =
+  let headers = List.map fst columns in
+  let aligns = List.map snd columns in
+  let n_cols = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> n_cols then
+        invalid_arg (Printf.sprintf "Table.render: row %d has wrong arity" i))
+    rows;
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    let padded = List.map2 (fun (w, a) s -> pad a w s) (List.combine widths aligns) cells in
+    String.concat "  " padded
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line headers :: rule :: List.map line rows)
+
+let pct v = Printf.sprintf "%.1f%%" v
+let occ v = Printf.sprintf "%.0f%%" (100. *. v)
+let int_cell = string_of_int
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

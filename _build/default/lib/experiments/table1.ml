@@ -1,0 +1,48 @@
+module H = Regmutex.Es_heuristic
+module Liveness = Gpu_analysis.Liveness
+
+type row = {
+  app : string;
+  regs : int;
+  rounded : int;
+  heuristic_bs : int option;
+  paper_bs : int;
+  sections : int;
+}
+
+let row_of cfg spec =
+  let arch = Exp_config.eval_arch cfg spec in
+  let kernel = spec.Workloads.Spec.kernel in
+  let prog = kernel.Gpu_sim.Kernel.program in
+  let min_bs = Liveness.live_at_barriers prog (Liveness.analyze prog) in
+  let choice = H.choose arch ~demand:(Gpu_sim.Kernel.demand kernel) ~min_bs () in
+  {
+    app = spec.Workloads.Spec.name;
+    regs = Gpu_sim.Kernel.regs_per_thread kernel;
+    rounded = Gpu_uarch.Arch_config.round_regs arch (Gpu_sim.Kernel.regs_per_thread kernel);
+    heuristic_bs = Option.map (fun c -> c.H.bs) choice;
+    paper_bs = spec.Workloads.Spec.paper_bs;
+    sections = (match choice with Some c -> c.H.sections | None -> 0);
+  }
+
+let rows cfg = List.map (row_of cfg) Workloads.Registry.all
+
+let print cfg =
+  let rows = rows cfg in
+  print_endline "Table I: workloads, register demand, and base-set size";
+  print_endline
+    (Table.render
+       ~columns:
+         [ ("app", Table.Left); ("regs", Table.Right); ("(rounded)", Table.Right);
+           ("|Bs| ours", Table.Right); ("|Bs| paper", Table.Right);
+           ("SRP", Table.Right) ]
+       (List.map
+          (fun r ->
+            [ r.app; Table.int_cell r.regs; Table.int_cell r.rounded;
+              (match r.heuristic_bs with Some b -> Table.int_cell b | None -> "-");
+              Table.int_cell r.paper_bs; Table.int_cell r.sections ])
+          rows));
+  let matches =
+    List.length (List.filter (fun r -> r.heuristic_bs = Some r.paper_bs) rows)
+  in
+  Printf.printf "%d/%d base-set sizes match Table I exactly\n" matches (List.length rows)

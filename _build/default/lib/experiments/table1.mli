@@ -1,0 +1,17 @@
+(** Table I: per-workload register demand and base-set size. The paper's
+    |Bs| column is compared against this library's heuristic, evaluated on
+    the architecture each group is measured on (full register file for the
+    Figure 7 set, halved for the Figure 8 set — the configuration that
+    reproduces the published splits). *)
+
+type row = {
+  app : string;
+  regs : int;          (** registers per thread *)
+  rounded : int;       (** rounded to the allocation granularity *)
+  heuristic_bs : int option;  (** this library's pick (None: no candidate) *)
+  paper_bs : int;
+  sections : int;      (** SRP sections under the heuristic pick *)
+}
+
+val rows : Exp_config.t -> row list
+val print : Exp_config.t -> unit

@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Hashtbl Instr List Program

@@ -1,0 +1,1 @@
+lib/isa/builder.mli: Instr Program

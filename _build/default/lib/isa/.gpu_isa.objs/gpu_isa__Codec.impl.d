@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Array Format Instr Int64 List Program

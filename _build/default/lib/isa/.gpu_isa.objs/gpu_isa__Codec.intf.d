@@ -1,0 +1,1 @@
+lib/isa/codec.mli: Instr Program

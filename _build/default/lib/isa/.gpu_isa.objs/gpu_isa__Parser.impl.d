@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Array Filename Format Hashtbl Instr List Program String

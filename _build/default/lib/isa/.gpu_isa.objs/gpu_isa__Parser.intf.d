@@ -1,0 +1,1 @@
+lib/isa/parser.mli: Format Program

@@ -1,0 +1,1 @@
+lib/isa/regset.ml: Format List Printf

@@ -1,0 +1,80 @@
+type pre =
+  | Resolved of Instr.t
+  | Bra of string
+  | Bnz of Instr.operand * string
+  | Bz of Instr.operand * string
+
+type item =
+  | Label of string
+  | Ins of pre
+
+let r i = Instr.Reg i
+let imm n = Instr.Imm n
+let tid = Instr.Special Instr.Tid
+let ctaid = Instr.Special Instr.Ctaid
+let ntid = Instr.Special Instr.Ntid
+let nctaid = Instr.Special Instr.Nctaid
+let warp_id = Instr.Special Instr.Warp_id
+let param i = Instr.Param i
+
+let label name = Label name
+
+let bin op d a b = Ins (Resolved (Instr.Bin (op, d, a, b)))
+let add d a b = bin Instr.Add d a b
+let sub d a b = bin Instr.Sub d a b
+let mul d a b = bin Instr.Mul d a b
+let div d a b = bin Instr.Div d a b
+let rem d a b = bin Instr.Rem d a b
+let min_ d a b = bin Instr.Min d a b
+let max_ d a b = bin Instr.Max d a b
+let and_ d a b = bin Instr.And d a b
+let or_ d a b = bin Instr.Or d a b
+let xor d a b = bin Instr.Xor d a b
+let shl d a b = bin Instr.Shl d a b
+let shr d a b = bin Instr.Shr d a b
+let un op d a = Ins (Resolved (Instr.Un (op, d, a)))
+let mad d a b c = Ins (Resolved (Instr.Mad (d, a, b, c)))
+let mov d a = Ins (Resolved (Instr.Mov (d, a)))
+let cmp op d a b = Ins (Resolved (Instr.Cmp (op, d, a, b)))
+let sel d c a b = Ins (Resolved (Instr.Sel (d, c, a, b)))
+let load ?(ofs = 0) space d addr = Ins (Resolved (Instr.Load (space, d, addr, ofs)))
+let store ?(ofs = 0) space addr v = Ins (Resolved (Instr.Store (space, addr, v, ofs)))
+let bra name = Ins (Bra name)
+let bnz c name = Ins (Bnz (c, name))
+let bz c name = Ins (Bz (c, name))
+let bar = Ins (Resolved Instr.Bar)
+let acquire = Ins (Resolved Instr.Acquire)
+let release = Ins (Resolved Instr.Release)
+let exit_ = Ins (Resolved Instr.Exit)
+
+exception Unresolved_label of string
+exception Duplicate_label of string
+
+let assemble ~name items =
+  let labels = Hashtbl.create 16 in
+  let count = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+          if Hashtbl.mem labels l then raise (Duplicate_label l);
+          Hashtbl.add labels l !count
+      | Ins _ -> incr count)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some idx -> idx
+    | None -> raise (Unresolved_label l)
+  in
+  let instrs =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Label _ -> None
+        | Ins (Resolved i) -> Some i
+        | Ins (Bra l) -> Some (Instr.Jump (resolve l))
+        | Ins (Bnz (c, l)) -> Some (Instr.Jump_if (c, resolve l))
+        | Ins (Bz (c, l)) -> Some (Instr.Jump_ifz (c, resolve l)))
+      items
+  in
+  Program.create ~name (Array.of_list instrs)

@@ -1,0 +1,79 @@
+(** Assembler DSL for authoring kernels with symbolic labels.
+
+    A kernel is a list of {!item}s; {!assemble} resolves labels to absolute
+    instruction indices and validates the result. Example:
+
+    {[
+      let prog =
+        Builder.(assemble ~name:"saxpy"
+          [ mov 0 tid;
+            label "loop";
+            load Global 1 (r 0);
+            mad 2 (r 1) (imm 3) (r 2);
+            add 0 (r 0) ntid;
+            cmp Lt 3 (r 0) (param 0);
+            bnz (r 3) "loop";
+            store Global (r 0) (r 2);
+            exit_ ])
+    ]} *)
+
+type item
+
+(** Operand shorthands. *)
+
+val r : int -> Instr.operand
+val imm : int -> Instr.operand
+val tid : Instr.operand
+val ctaid : Instr.operand
+val ntid : Instr.operand
+val nctaid : Instr.operand
+val warp_id : Instr.operand
+val param : int -> Instr.operand
+
+(** [label name] marks the position of the next instruction. *)
+val label : string -> item
+
+(** Arithmetic and data movement; the first [int] is the destination
+    register. *)
+
+val bin : Instr.binop -> int -> Instr.operand -> Instr.operand -> item
+val add : int -> Instr.operand -> Instr.operand -> item
+val sub : int -> Instr.operand -> Instr.operand -> item
+val mul : int -> Instr.operand -> Instr.operand -> item
+val div : int -> Instr.operand -> Instr.operand -> item
+val rem : int -> Instr.operand -> Instr.operand -> item
+val min_ : int -> Instr.operand -> Instr.operand -> item
+val max_ : int -> Instr.operand -> Instr.operand -> item
+val and_ : int -> Instr.operand -> Instr.operand -> item
+val or_ : int -> Instr.operand -> Instr.operand -> item
+val xor : int -> Instr.operand -> Instr.operand -> item
+val shl : int -> Instr.operand -> Instr.operand -> item
+val shr : int -> Instr.operand -> Instr.operand -> item
+val un : Instr.unop -> int -> Instr.operand -> item
+val mad : int -> Instr.operand -> Instr.operand -> Instr.operand -> item
+val mov : int -> Instr.operand -> item
+val cmp : Instr.cmpop -> int -> Instr.operand -> Instr.operand -> item
+val sel : int -> Instr.operand -> Instr.operand -> Instr.operand -> item
+
+(** Memory accesses; [?ofs] defaults to 0. *)
+
+val load : ?ofs:int -> Instr.space -> int -> Instr.operand -> item
+val store : ?ofs:int -> Instr.space -> Instr.operand -> Instr.operand -> item
+
+(** Control flow with symbolic targets. *)
+
+val bra : string -> item
+val bnz : Instr.operand -> string -> item
+val bz : Instr.operand -> string -> item
+val bar : item
+val acquire : item
+val release : item
+val exit_ : item
+
+exception Unresolved_label of string
+exception Duplicate_label of string
+
+(** Resolve labels and validate (see {!Program.create}).
+    @raise Unresolved_label on a branch to an undefined label.
+    @raise Duplicate_label when a label is bound twice. *)
+val assemble : name:string -> item list -> Program.t

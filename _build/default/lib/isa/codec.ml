@@ -1,0 +1,200 @@
+type word = int64
+
+exception Unencodable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unencodable s)) fmt
+
+(* --- field packing ----------------------------------------------------- *)
+
+let set ~pos ~width v w =
+  if v < 0 || v >= 1 lsl width then fail "field value %d exceeds %d bits" v width;
+  Int64.logor w (Int64.shift_left (Int64.of_int v) pos)
+
+let get ~pos ~width w =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical w pos) (Int64.sub (Int64.shift_left 1L width) 1L))
+
+(* Operand: tag(2) | payload(14). *)
+let imm_bias = 8192
+
+let pack_operand = function
+  | Instr.Reg r -> (0 lsl 14) lor r
+  | Instr.Imm n ->
+      if n < -imm_bias || n >= imm_bias then fail "immediate %d out of 14-bit range" n
+      else (1 lsl 14) lor (n + imm_bias)
+  | Instr.Special s ->
+      let code =
+        match s with
+        | Instr.Tid -> 0 | Instr.Ctaid -> 1 | Instr.Ntid -> 2
+        | Instr.Nctaid -> 3 | Instr.Warp_id -> 4
+      in
+      (2 lsl 14) lor code
+  | Instr.Param i ->
+      if i < 0 || i >= 1 lsl 14 then fail "parameter index %d out of range" i
+      else (3 lsl 14) lor i
+
+let unpack_operand v =
+  let tag = v lsr 14 and payload = v land 0x3fff in
+  match tag with
+  | 0 -> Instr.Reg payload
+  | 1 -> Instr.Imm (payload - imm_bias)
+  | 2 -> (
+      match payload with
+      | 0 -> Instr.Special Instr.Tid
+      | 1 -> Instr.Special Instr.Ctaid
+      | 2 -> Instr.Special Instr.Ntid
+      | 3 -> Instr.Special Instr.Nctaid
+      | 4 -> Instr.Special Instr.Warp_id
+      | _ -> fail "unknown special code %d" payload)
+  | _ -> Instr.Param payload
+
+(* --- opcodes ------------------------------------------------------------ *)
+
+let binop_code = function
+  | Instr.Add -> 0 | Instr.Sub -> 1 | Instr.Mul -> 2 | Instr.Div -> 3
+  | Instr.Rem -> 4 | Instr.Min -> 5 | Instr.Max -> 6 | Instr.And -> 7
+  | Instr.Or -> 8 | Instr.Xor -> 9 | Instr.Shl -> 10 | Instr.Shr -> 11
+
+let binop_of_code = function
+  | 0 -> Instr.Add | 1 -> Instr.Sub | 2 -> Instr.Mul | 3 -> Instr.Div
+  | 4 -> Instr.Rem | 5 -> Instr.Min | 6 -> Instr.Max | 7 -> Instr.And
+  | 8 -> Instr.Or | 9 -> Instr.Xor | 10 -> Instr.Shl | 11 -> Instr.Shr
+  | c -> fail "unknown binop code %d" c
+
+let cmpop_code = function
+  | Instr.Eq -> 0 | Instr.Ne -> 1 | Instr.Lt -> 2
+  | Instr.Le -> 3 | Instr.Gt -> 4 | Instr.Ge -> 5
+
+let cmpop_of_code = function
+  | 0 -> Instr.Eq | 1 -> Instr.Ne | 2 -> Instr.Lt
+  | 3 -> Instr.Le | 4 -> Instr.Gt | 5 -> Instr.Ge
+  | c -> fail "unknown cmp code %d" c
+
+(* Opcode space: 0..11 binops, 12..14 unops, 15 mad, 16 mov, 17..22 cmp,
+   23 sel, 24/25 load global/shared, 26/27 store, 28 jump, 29 jump_if,
+   30 jump_ifz, 31 bar, 32 acquire, 33 release, 34 exit. *)
+let op_unop = 12
+let op_mad = 15
+let op_mov = 16
+let op_cmp = 17
+let op_sel = 23
+let op_load = 24
+let op_store = 26
+let op_jump = 28
+let op_jump_if = 29
+let op_jump_ifz = 30
+let op_bar = 31
+let op_acquire = 32
+let op_release = 33
+let op_exit = 34
+
+let unop_code = function Instr.Neg -> 0 | Instr.Not -> 1 | Instr.Abs -> 2
+
+let unop_of_code = function
+  | 0 -> Instr.Neg | 1 -> Instr.Not | 2 -> Instr.Abs
+  | c -> fail "unknown unop code %d" c
+
+let space_bit = function Instr.Global -> 0 | Instr.Shared -> 1
+let space_of_bit = function 0 -> Instr.Global | _ -> Instr.Shared
+
+(* Field positions. *)
+let p_op = 58
+let p_dst = 52
+let p_a = 36
+let p_b = 20
+let p_c = 4
+let p_target = 0 (* 20 bits *)
+
+let size = function
+  | Instr.Load _ | Instr.Store _ -> 2
+  | Instr.Bin _ | Instr.Un _ | Instr.Mad _ | Instr.Mov _ | Instr.Cmp _
+  | Instr.Sel _ | Instr.Jump _ | Instr.Jump_if _ | Instr.Jump_ifz _
+  | Instr.Bar | Instr.Acquire | Instr.Release | Instr.Exit ->
+      1
+
+let header op = set ~pos:p_op ~width:6 op 0L
+
+let encode instr =
+  let dst d w = set ~pos:p_dst ~width:6 d w in
+  let opa a w = set ~pos:p_a ~width:16 (pack_operand a) w in
+  let opb b w = set ~pos:p_b ~width:16 (pack_operand b) w in
+  let opc c w = set ~pos:p_c ~width:16 (pack_operand c) w in
+  let target t w = set ~pos:p_target ~width:20 t w in
+  match instr with
+  | Instr.Bin (op, d, a, b) ->
+      [ header (binop_code op) |> dst d |> opa a |> opb b ]
+  | Instr.Un (op, d, a) ->
+      [ header (op_unop + unop_code op) |> dst d |> opa a ]
+  | Instr.Mad (d, a, b, c) -> [ header op_mad |> dst d |> opa a |> opb b |> opc c ]
+  | Instr.Mov (d, a) -> [ header op_mov |> dst d |> opa a ]
+  | Instr.Cmp (op, d, a, b) ->
+      [ header (op_cmp + cmpop_code op) |> dst d |> opa a |> opb b ]
+  | Instr.Sel (d, c, a, b) -> [ header op_sel |> dst d |> opa c |> opb a |> opc b ]
+  | Instr.Load (space, d, addr, ofs) ->
+      [ header (op_load + space_bit space) |> dst d |> opa addr; Int64.of_int ofs ]
+  | Instr.Store (space, addr, v, ofs) ->
+      [ header (op_store + space_bit space) |> opa addr |> opb v; Int64.of_int ofs ]
+  | Instr.Jump t -> [ header op_jump |> target t ]
+  | Instr.Jump_if (c, t) -> [ header op_jump_if |> opa c |> target t ]
+  | Instr.Jump_ifz (c, t) -> [ header op_jump_ifz |> opa c |> target t ]
+  | Instr.Bar -> [ header op_bar ]
+  | Instr.Acquire -> [ header op_acquire ]
+  | Instr.Release -> [ header op_release ]
+  | Instr.Exit -> [ header op_exit ]
+
+let decode_one ws ~pos =
+  if pos < 0 || pos >= Array.length ws then fail "decode position %d out of range" pos;
+  let w = ws.(pos) in
+  let op = get ~pos:p_op ~width:6 w in
+  let dst = get ~pos:p_dst ~width:6 w in
+  let a () = unpack_operand (get ~pos:p_a ~width:16 w) in
+  let b () = unpack_operand (get ~pos:p_b ~width:16 w) in
+  let c () = unpack_operand (get ~pos:p_c ~width:16 w) in
+  let target = get ~pos:p_target ~width:20 w in
+  let offset () =
+    if pos + 1 >= Array.length ws then fail "truncated memory instruction at %d" pos
+    else Int64.to_int ws.(pos + 1)
+  in
+  if op < 12 then (Instr.Bin (binop_of_code op, dst, a (), b ()), pos + 1)
+  else if op < op_mad then (Instr.Un (unop_of_code (op - op_unop), dst, a ()), pos + 1)
+  else if op = op_mad then (Instr.Mad (dst, a (), b (), c ()), pos + 1)
+  else if op = op_mov then (Instr.Mov (dst, a ()), pos + 1)
+  else if op < op_sel then (Instr.Cmp (cmpop_of_code (op - op_cmp), dst, a (), b ()), pos + 1)
+  else if op = op_sel then (Instr.Sel (dst, a (), b (), c ()), pos + 1)
+  else if op = op_load || op = op_load + 1 then
+    (Instr.Load (space_of_bit (op - op_load), dst, a (), offset ()), pos + 2)
+  else if op = op_store || op = op_store + 1 then
+    (Instr.Store (space_of_bit (op - op_store), a (), b (), offset ()), pos + 2)
+  else if op = op_jump then (Instr.Jump target, pos + 1)
+  else if op = op_jump_if then (Instr.Jump_if (a (), target), pos + 1)
+  else if op = op_jump_ifz then (Instr.Jump_ifz (a (), target), pos + 1)
+  else if op = op_bar then (Instr.Bar, pos + 1)
+  else if op = op_acquire then (Instr.Acquire, pos + 1)
+  else if op = op_release then (Instr.Release, pos + 1)
+  else if op = op_exit then (Instr.Exit, pos + 1)
+  else fail "unknown opcode %d" op
+
+let encodable_instr i =
+  match encode i with _ -> true | exception Unencodable _ -> false
+
+let encodable p =
+  let rec go i = i >= Program.length p || (encodable_instr (Program.get p i) && go (i + 1)) in
+  go 0
+
+let encode_program p =
+  let words = ref [] in
+  for i = Program.length p - 1 downto 0 do
+    words := encode (Program.get p i) @ !words
+  done;
+  Array.of_list !words
+
+let decode_program ~name ws =
+  let instrs = ref [] in
+  let pos = ref 0 in
+  while !pos < Array.length ws do
+    let instr, next = decode_one ws ~pos:!pos in
+    instrs := instr :: !instrs;
+    pos := next
+  done;
+  Program.create ~name (Array.of_list (List.rev !instrs))
+
+let code_bytes p = 8 * Array.length (encode_program p)

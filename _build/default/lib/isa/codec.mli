@@ -1,0 +1,47 @@
+(** Binary instruction encoding.
+
+    Instructions pack into 64-bit words, mimicking a hardware ISA level:
+
+    - ALU / control instructions take one word: a 6-bit opcode, a 6-bit
+      destination, and up to three 16-bit tagged operands (2-bit tag —
+      register, immediate, special, parameter — plus a 14-bit payload;
+      immediates are signed 14-bit);
+    - memory instructions take two words: a header plus a full 64-bit
+      offset word (like a constant-extended slot in real ISAs).
+
+    Large inline immediates (beyond ±8191) do not fit — real ISAs splice
+    such constants through constant banks or extra moves — so
+    {!encodable} reports whether a whole program can be packed, and the
+    round-trip guarantee applies to encodable programs. Branch targets are
+    instruction indices (not word addresses) and survive the variable
+    instruction length. *)
+
+type word = int64
+
+exception Unencodable of string
+
+(** Words the instruction occupies (1, or 2 for memory operations). *)
+val size : Instr.t -> int
+
+(** [encode i] packs one instruction into {!size}[ i] words.
+    @raise Unencodable when a field exceeds its width. *)
+val encode : Instr.t -> word list
+
+(** [decode_one ws ~pos] unpacks the instruction starting at [pos] and
+    returns it with the next position.
+    @raise Unencodable on malformed words. *)
+val decode_one : word array -> pos:int -> Instr.t * int
+
+val encodable_instr : Instr.t -> bool
+val encodable : Program.t -> bool
+
+(** [encode_program p] packs the whole body.
+    @raise Unencodable when any instruction does not fit. *)
+val encode_program : Program.t -> word array
+
+(** [decode_program ~name ws] rebuilds a program (re-validated).
+    @raise Unencodable / {!Program.Invalid} on malformed input. *)
+val decode_program : name:string -> word array -> Program.t
+
+(** Encoded size of a program in bytes. *)
+val code_bytes : Program.t -> int

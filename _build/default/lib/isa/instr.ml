@@ -1,0 +1,170 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Min | Max
+  | And | Or | Xor | Shl | Shr
+
+type unop = Neg | Not | Abs
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type space = Global | Shared
+
+type special =
+  | Tid
+  | Ctaid
+  | Ntid
+  | Nctaid
+  | Warp_id
+
+type operand =
+  | Reg of int
+  | Imm of int
+  | Special of special
+  | Param of int
+
+type t =
+  | Bin of binop * int * operand * operand
+  | Un of unop * int * operand
+  | Mad of int * operand * operand * operand
+  | Mov of int * operand
+  | Cmp of cmpop * int * operand * operand
+  | Sel of int * operand * operand * operand
+  | Load of space * int * operand * int
+  | Store of space * operand * operand * int
+  | Jump of int
+  | Jump_if of operand * int
+  | Jump_ifz of operand * int
+  | Bar
+  | Acquire
+  | Release
+  | Exit
+
+type lat_class =
+  | Lat_alu
+  | Lat_complex
+  | Lat_shared
+  | Lat_global
+  | Lat_control
+
+let lat_class = function
+  | Bin ((Mul | Div | Rem), _, _, _) | Mad _ -> Lat_complex
+  | Bin _ | Un _ | Mov _ | Cmp _ | Sel _ -> Lat_alu
+  | Load (Shared, _, _, _) | Store (Shared, _, _, _) -> Lat_shared
+  | Load (Global, _, _, _) | Store (Global, _, _, _) -> Lat_global
+  | Jump _ | Jump_if _ | Jump_ifz _ | Bar | Acquire | Release | Exit -> Lat_control
+
+let operand_uses = function
+  | Reg r -> Regset.singleton r
+  | Imm _ | Special _ | Param _ -> Regset.empty
+
+let defs = function
+  | Bin (_, d, _, _) | Un (_, d, _) | Mad (d, _, _, _) | Mov (d, _)
+  | Cmp (_, d, _, _) | Sel (d, _, _, _) | Load (_, d, _, _) ->
+      Regset.singleton d
+  | Store _ | Jump _ | Jump_if _ | Jump_ifz _ | Bar | Acquire | Release | Exit ->
+      Regset.empty
+
+let uses = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) ->
+      Regset.union (operand_uses a) (operand_uses b)
+  | Un (_, _, a) | Mov (_, a) | Jump_if (a, _) | Jump_ifz (a, _) ->
+      operand_uses a
+  | Mad (_, a, b, c) | Sel (_, a, b, c) ->
+      Regset.union (operand_uses a) (Regset.union (operand_uses b) (operand_uses c))
+  | Load (_, _, addr, _) -> operand_uses addr
+  | Store (_, addr, value, _) -> Regset.union (operand_uses addr) (operand_uses value)
+  | Jump _ | Bar | Acquire | Release | Exit -> Regset.empty
+
+let regs i = Regset.union (defs i) (uses i)
+
+let is_branch = function
+  | Jump _ | Jump_if _ | Jump_ifz _ -> true
+  | Bin _ | Un _ | Mad _ | Mov _ | Cmp _ | Sel _ | Load _ | Store _
+  | Bar | Acquire | Release | Exit -> false
+
+let target = function
+  | Jump t | Jump_if (_, t) | Jump_ifz (_, t) -> Some t
+  | Bin _ | Un _ | Mad _ | Mov _ | Cmp _ | Sel _ | Load _ | Store _
+  | Bar | Acquire | Release | Exit -> None
+
+let with_target i t =
+  match i with
+  | Jump _ -> Jump t
+  | Jump_if (c, _) -> Jump_if (c, t)
+  | Jump_ifz (c, _) -> Jump_ifz (c, t)
+  | Bin _ | Un _ | Mad _ | Mov _ | Cmp _ | Sel _ | Load _ | Store _
+  | Bar | Acquire | Release | Exit -> i
+
+let map_target f i =
+  match target i with
+  | None -> i
+  | Some t -> with_target i (f t)
+
+let map_operand f = function
+  | Reg r -> Reg (f r)
+  | (Imm _ | Special _ | Param _) as o -> o
+
+let map_regs f i =
+  let g = map_operand f in
+  match i with
+  | Bin (op, d, a, b) -> Bin (op, f d, g a, g b)
+  | Un (op, d, a) -> Un (op, f d, g a)
+  | Mad (d, a, b, c) -> Mad (f d, g a, g b, g c)
+  | Mov (d, a) -> Mov (f d, g a)
+  | Cmp (op, d, a, b) -> Cmp (op, f d, g a, g b)
+  | Sel (d, c, a, b) -> Sel (f d, g c, g a, g b)
+  | Load (sp, d, addr, ofs) -> Load (sp, f d, g addr, ofs)
+  | Store (sp, addr, v, ofs) -> Store (sp, g addr, g v, ofs)
+  | Jump_if (c, t) -> Jump_if (g c, t)
+  | Jump_ifz (c, t) -> Jump_ifz (g c, t)
+  | (Jump _ | Bar | Acquire | Release | Exit) as i -> i
+
+let equal (a : t) (b : t) = a = b
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Min -> "min" | Max -> "max"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let unop_name = function Neg -> "neg" | Not -> "not" | Abs -> "abs"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let space_name = function Global -> "global" | Shared -> "shared"
+
+let special_name = function
+  | Tid -> "%tid"
+  | Ctaid -> "%ctaid"
+  | Ntid -> "%ntid"
+  | Nctaid -> "%nctaid"
+  | Warp_id -> "%warpid"
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Imm n -> Format.fprintf ppf "%d" n
+  | Special s -> Format.pp_print_string ppf (special_name s)
+  | Param i -> Format.fprintf ppf "param[%d]" i
+
+let pp ppf instr =
+  let o = pp_operand in
+  match instr with
+  | Bin (op, d, a, b) -> Format.fprintf ppf "%s r%d, %a, %a" (binop_name op) d o a o b
+  | Un (op, d, a) -> Format.fprintf ppf "%s r%d, %a" (unop_name op) d o a
+  | Mad (d, a, b, c) -> Format.fprintf ppf "mad r%d, %a, %a, %a" d o a o b o c
+  | Mov (d, a) -> Format.fprintf ppf "mov r%d, %a" d o a
+  | Cmp (op, d, a, b) -> Format.fprintf ppf "set.%s r%d, %a, %a" (cmpop_name op) d o a o b
+  | Sel (d, c, a, b) -> Format.fprintf ppf "sel r%d, %a, %a, %a" d o c o a o b
+  | Load (sp, d, addr, ofs) ->
+      Format.fprintf ppf "ld.%s r%d, [%a+%d]" (space_name sp) d o addr ofs
+  | Store (sp, addr, v, ofs) ->
+      Format.fprintf ppf "st.%s [%a+%d], %a" (space_name sp) o addr ofs o v
+  | Jump t -> Format.fprintf ppf "bra @%d" t
+  | Jump_if (c, t) -> Format.fprintf ppf "bra.nz %a, @%d" o c t
+  | Jump_ifz (c, t) -> Format.fprintf ppf "bra.z %a, @%d" o c t
+  | Bar -> Format.pp_print_string ppf "bar.sync"
+  | Acquire -> Format.pp_print_string ppf "regmutex.acquire"
+  | Release -> Format.pp_print_string ppf "regmutex.release"
+  | Exit -> Format.pp_print_string ppf "exit"
+
+let to_string i = Format.asprintf "%a" pp i

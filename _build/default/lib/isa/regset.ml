@@ -1,0 +1,60 @@
+type t = int
+
+let max_reg = 61
+
+let check r =
+  if r < 0 || r > max_reg then
+    invalid_arg (Printf.sprintf "Regset: register index %d out of [0, %d]" r max_reg)
+
+let empty = 0
+let singleton r = check r; 1 lsl r
+let add r s = check r; s lor (1 lsl r)
+let remove r s = check r; s land lnot (1 lsl r)
+let mem r s = r >= 0 && r <= max_reg && s land (1 lsl r) <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal s =
+  (* Population count by nibble lookup; sets are at most 62 bits. *)
+  let rec count acc s = if s = 0 then acc else count (acc + (s land 1)) (s lsr 1) in
+  count 0 s
+
+let is_empty s = s = 0
+let equal (a : t) (b : t) = a = b
+let subset a b = a land lnot b = 0
+
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+
+let fold f s init =
+  let rec go r acc =
+    if r > max_reg then acc
+    else if mem r s then go (r + 1) (f r acc)
+    else go (r + 1) acc
+  in
+  go 0 init
+
+let to_list s = List.rev (fold (fun r acc -> r :: acc) s [])
+let iter f s = fold (fun r () -> f r) s ()
+let exists p s = fold (fun r acc -> acc || p r) s false
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  let rec go r = if mem r s then r else go (r + 1) in
+  go 0
+
+let max_elt s =
+  if s = 0 then raise Not_found;
+  let rec go r = if mem r s then r else go (r - 1) in
+  go max_reg
+
+let mask_below n =
+  if n <= 0 then 0 else if n > max_reg + 1 then lnot 0 else (1 lsl n) - 1
+
+let above n s = s land lnot (mask_below n)
+let below n s = s land mask_below n
+
+let pp ppf s =
+  let members = to_list s in
+  let pp_reg ppf r = Format.fprintf ppf "r%d" r in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_reg) members

@@ -1,0 +1,1 @@
+lib/sim/event_trace.ml: Format List

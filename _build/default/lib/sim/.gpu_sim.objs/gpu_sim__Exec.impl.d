@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Gpu_isa

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Gpu_isa

@@ -1,0 +1,1 @@
+lib/sim/gpu.ml: Array Event_trace Gpu_uarch Kernel Mem_system Memory Policy Sm Stats

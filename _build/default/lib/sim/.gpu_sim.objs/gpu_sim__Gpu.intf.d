@@ -1,0 +1,1 @@
+lib/sim/gpu.mli: Event_trace Gpu_uarch Kernel Policy Sm Stats

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Gpu_isa Gpu_uarch

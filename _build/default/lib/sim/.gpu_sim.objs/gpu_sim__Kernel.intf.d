@@ -1,0 +1,1 @@
+lib/sim/kernel.mli: Gpu_isa Gpu_uarch

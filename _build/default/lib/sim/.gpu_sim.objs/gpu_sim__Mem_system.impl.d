@@ -1,0 +1,1 @@
+lib/sim/mem_system.ml: Array Float Gpu_uarch

@@ -1,0 +1,1 @@
+lib/sim/mem_system.mli: Gpu_uarch

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Format Gpu_uarch

@@ -1,0 +1,1 @@
+lib/sim/policy.mli: Format Gpu_uarch

@@ -1,0 +1,1 @@
+lib/sim/sm.ml: Array Event_trace Exec Format Gpu_isa Gpu_uarch Kernel List Mem_system Memory Policy Printf Scheduler Stats Warp

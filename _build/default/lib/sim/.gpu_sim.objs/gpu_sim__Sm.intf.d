@@ -1,0 +1,1 @@
+lib/sim/sm.mli: Event_trace Gpu_uarch Kernel Mem_system Memory Policy Stats

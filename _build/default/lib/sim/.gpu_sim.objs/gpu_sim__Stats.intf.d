@@ -1,0 +1,1 @@
+lib/sim/stats.mli: Format Gpu_isa Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/warp.ml: Array Gpu_isa

@@ -1,0 +1,1 @@
+lib/sim/warp.mli: Gpu_isa

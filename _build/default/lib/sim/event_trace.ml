@@ -1,0 +1,68 @@
+type event =
+  | Cta_launched of { sm : int; cta : int }
+  | Cta_retired of { sm : int; cta : int }
+  | Acquire_granted of { sm : int; cta : int; warp : int; section : int }
+  | Acquire_stalled of { sm : int; cta : int; warp : int }
+  | Release of { sm : int; cta : int; warp : int; section : int }
+  | Barrier_arrived of { sm : int; cta : int; warp : int }
+  | Barrier_released of { sm : int; cta : int }
+  | Warp_exited of { sm : int; cta : int; warp : int }
+
+type entry = {
+  cycle : int;
+  event : event;
+}
+
+type t = {
+  capacity : int;
+  keep : event -> bool;
+  mutable entries_rev : entry list;
+  mutable length : int;
+  mutable truncated : bool;
+}
+
+let create ?(capacity = 100_000) ?(keep = fun _ -> true) () =
+  { capacity; keep; entries_rev = []; length = 0; truncated = false }
+
+let emit t ~cycle event =
+  if t.keep event then begin
+    if t.length >= t.capacity then t.truncated <- true
+    else begin
+      t.entries_rev <- { cycle; event } :: t.entries_rev;
+      t.length <- t.length + 1
+    end
+  end
+
+let entries t = List.rev t.entries_rev
+let length t = t.length
+let truncated t = t.truncated
+
+let warp_of = function
+  | Acquire_granted { cta; warp; _ }
+  | Acquire_stalled { cta; warp; _ }
+  | Release { cta; warp; _ }
+  | Barrier_arrived { cta; warp; _ }
+  | Warp_exited { cta; warp; _ } ->
+      Some (cta, warp)
+  | Cta_launched _ | Cta_retired _ | Barrier_released _ -> None
+
+let for_warp t ~cta ~warp =
+  List.filter (fun e -> warp_of e.event = Some (cta, warp)) (entries t)
+
+let pp_event ppf = function
+  | Cta_launched { sm; cta } -> Format.fprintf ppf "sm%d: launch cta %d" sm cta
+  | Cta_retired { sm; cta } -> Format.fprintf ppf "sm%d: retire cta %d" sm cta
+  | Acquire_granted { sm; cta; warp; section } ->
+      Format.fprintf ppf "sm%d: cta %d warp %d acquires section %d" sm cta warp section
+  | Acquire_stalled { sm; cta; warp } ->
+      Format.fprintf ppf "sm%d: cta %d warp %d stalls on acquire" sm cta warp
+  | Release { sm; cta; warp; section } ->
+      Format.fprintf ppf "sm%d: cta %d warp %d releases section %d" sm cta warp section
+  | Barrier_arrived { sm; cta; warp } ->
+      Format.fprintf ppf "sm%d: cta %d warp %d at barrier" sm cta warp
+  | Barrier_released { sm; cta } ->
+      Format.fprintf ppf "sm%d: cta %d barrier released" sm cta
+  | Warp_exited { sm; cta; warp } ->
+      Format.fprintf ppf "sm%d: cta %d warp %d exits" sm cta warp
+
+let pp_entry ppf e = Format.fprintf ppf "%8d  %a" e.cycle pp_event e.event

@@ -1,0 +1,47 @@
+(** Structured simulation event log.
+
+    An optional sink attached to a run ({!Gpu.run_config}); the SMs emit
+    typed events for CTA lifecycle, SRP traffic and barrier arrival. The
+    buffer is bounded: recording stops silently once [capacity] events are
+    held (the predicate-based {!create} can pre-filter instead).
+
+    Events power the timeline example and debugging sessions; they are off
+    by default and cost nothing when absent. *)
+
+type event =
+  | Cta_launched of { sm : int; cta : int }
+  | Cta_retired of { sm : int; cta : int }
+  | Acquire_granted of { sm : int; cta : int; warp : int; section : int }
+  | Acquire_stalled of { sm : int; cta : int; warp : int }
+  | Release of { sm : int; cta : int; warp : int; section : int }
+  | Barrier_arrived of { sm : int; cta : int; warp : int }
+  | Barrier_released of { sm : int; cta : int }
+  | Warp_exited of { sm : int; cta : int; warp : int }
+
+type entry = {
+  cycle : int;
+  event : event;
+}
+
+type t
+
+(** [create ?capacity ?keep ()] — [capacity] defaults to 100,000 entries;
+    [keep] pre-filters events (default: keep everything). *)
+val create : ?capacity:int -> ?keep:(event -> bool) -> unit -> t
+
+(** Used by the SM; respects the filter and the capacity bound. *)
+val emit : t -> cycle:int -> event -> unit
+
+(** Entries in emission order. *)
+val entries : t -> entry list
+
+val length : t -> int
+
+(** Did the buffer fill up (later events were dropped)? *)
+val truncated : t -> bool
+
+(** Entries concerning one (cta, warp). *)
+val for_warp : t -> cta:int -> warp:int -> entry list
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit

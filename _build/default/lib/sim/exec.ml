@@ -1,0 +1,99 @@
+module Instr = Gpu_isa.Instr
+
+type ctx = {
+  regs : int array;
+  params : int array;
+  tid : int;
+  ctaid : int;
+  ntid : int;
+  nctaid : int;
+  warp_id : int;
+  read : Instr.space -> int -> int;
+  write : Instr.space -> int -> int -> unit;
+}
+
+type outcome =
+  | Next
+  | Goto of int
+  | Stop
+  | Sync
+  | Acq
+  | Rel
+
+let operand ctx = function
+  | Instr.Reg r -> ctx.regs.(r)
+  | Instr.Imm n -> n
+  | Instr.Param i -> if i < Array.length ctx.params then ctx.params.(i) else 0
+  | Instr.Special Instr.Tid -> ctx.tid
+  | Instr.Special Instr.Ctaid -> ctx.ctaid
+  | Instr.Special Instr.Ntid -> ctx.ntid
+  | Instr.Special Instr.Nctaid -> ctx.nctaid
+  | Instr.Special Instr.Warp_id -> ctx.warp_id
+
+let binop op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then 0 else a / b
+  | Instr.Rem -> if b = 0 then 0 else a mod b
+  | Instr.Min -> min a b
+  | Instr.Max -> max a b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 31)
+  | Instr.Shr -> a asr (b land 31)
+
+let unop op a =
+  match op with
+  | Instr.Neg -> -a
+  | Instr.Not -> lnot a
+  | Instr.Abs -> abs a
+
+let cmpop op a b =
+  let r =
+    match op with
+    | Instr.Eq -> a = b
+    | Instr.Ne -> a <> b
+    | Instr.Lt -> a < b
+    | Instr.Le -> a <= b
+    | Instr.Gt -> a > b
+    | Instr.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let step ctx instr =
+  let v = operand ctx in
+  match instr with
+  | Instr.Bin (op, d, a, b) ->
+      ctx.regs.(d) <- binop op (v a) (v b);
+      Next
+  | Instr.Un (op, d, a) ->
+      ctx.regs.(d) <- unop op (v a);
+      Next
+  | Instr.Mad (d, a, b, c) ->
+      ctx.regs.(d) <- (v a * v b) + v c;
+      Next
+  | Instr.Mov (d, a) ->
+      ctx.regs.(d) <- v a;
+      Next
+  | Instr.Cmp (op, d, a, b) ->
+      ctx.regs.(d) <- cmpop op (v a) (v b);
+      Next
+  | Instr.Sel (d, c, a, b) ->
+      ctx.regs.(d) <- (if v c <> 0 then v a else v b);
+      Next
+  | Instr.Load (space, d, addr, ofs) ->
+      ctx.regs.(d) <- ctx.read space (v addr + ofs);
+      Next
+  | Instr.Store (space, addr, value, ofs) ->
+      ctx.write space (v addr + ofs) (v value);
+      Next
+  | Instr.Jump t -> Goto t
+  | Instr.Jump_if (c, t) -> if v c <> 0 then Goto t else Next
+  | Instr.Jump_ifz (c, t) -> if v c = 0 then Goto t else Next
+  | Instr.Bar -> Sync
+  | Instr.Acquire -> Acq
+  | Instr.Release -> Rel
+  | Instr.Exit -> Stop

@@ -1,0 +1,34 @@
+(** Functional (value-level) execution of one instruction.
+
+    Timing, policy enforcement and status transitions live in {!Sm}; this
+    module only computes values and memory effects, which makes the
+    semantics unit-testable in isolation and keeps transforms verifiable:
+    a RegMutex-transformed program must produce the same {!outcome}
+    sequence and stores as the original. *)
+
+type ctx = {
+  regs : int array;
+  params : int array;
+  tid : int;     (** linear thread id of the warp's first lane *)
+  ctaid : int;
+  ntid : int;    (** threads per CTA *)
+  nctaid : int;  (** CTAs in the grid *)
+  warp_id : int; (** warp index within the CTA *)
+  read : Gpu_isa.Instr.space -> int -> int;
+  write : Gpu_isa.Instr.space -> int -> int -> unit;
+}
+
+type outcome =
+  | Next         (** fall through to [pc + 1] *)
+  | Goto of int  (** branch taken *)
+  | Stop         (** [Exit] *)
+  | Sync         (** [Bar] — CTA barrier *)
+  | Acq          (** [Acquire] — policy handled by the SM *)
+  | Rel          (** [Release] *)
+
+val operand : ctx -> Gpu_isa.Instr.operand -> int
+
+(** Evaluate the instruction: performs register writes and memory effects,
+    returns the control outcome. Division and remainder by zero yield 0;
+    shift counts are masked to 5 bits (32-bit GPU semantics). *)
+val step : ctx -> Gpu_isa.Instr.t -> outcome

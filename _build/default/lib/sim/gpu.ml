@@ -1,0 +1,66 @@
+type run_config = {
+  arch : Gpu_uarch.Arch_config.t;
+  policy : Policy.t;
+  record_stores : bool;
+  trace_warp0 : bool;
+  max_cycles : int;
+  events : Event_trace.t option;
+}
+
+let default_config arch policy =
+  { arch; policy; record_stores = false; trace_warp0 = false;
+    max_cycles = 20_000_000; events = None }
+
+let build_sms config kernel stats memory mem_sys =
+  Array.init config.arch.Gpu_uarch.Arch_config.n_sms (fun sm_id ->
+      Sm.create ?events:config.events config.arch ~sm_id ~policy:config.policy
+        ~kernel ~memory ~mem_sys ~stats ~record_stores:config.record_stores
+        ~trace_warp0:(config.trace_warp0 && sm_id = 0))
+
+let run ?(observe = fun ~cycle:_ _ -> ()) config kernel =
+  let stats = Stats.create () in
+  let memory = Memory.create () in
+  let arch = config.arch in
+  let mem_sys = Mem_system.create arch ~n_sms:arch.Gpu_uarch.Arch_config.n_sms in
+  let sms = build_sms config kernel stats memory mem_sys in
+  if Array.exists (fun sm -> Sm.cta_capacity sm = 0) sms then
+    invalid_arg "Gpu.run: kernel exceeds SM resources (zero occupancy)";
+  let grid = kernel.Kernel.grid_ctas in
+  let next_cta = ref 0 in
+  let cycle = ref 0 in
+  let retired () = Array.fold_left (fun acc sm -> acc + Sm.retired_ctas sm) 0 sms in
+  while retired () < grid && !cycle < config.max_cycles do
+    (* CTA dispatch: at most one launch per SM per cycle, round robin over
+       SMs so early SMs do not monopolise the grid. *)
+    Array.iter
+      (fun sm ->
+        if !next_cta < grid && Sm.try_launch sm ~global_cta:!next_cta ~cycle:!cycle
+        then incr next_cta)
+      sms;
+    Array.iter (fun sm -> Sm.step sm ~cycle:!cycle) sms;
+    observe ~cycle:!cycle sms;
+    let resident = Array.fold_left (fun acc sm -> acc + Sm.resident_warps sm) 0 sms in
+    stats.Stats.resident_warp_cycles <- stats.Stats.resident_warp_cycles + resident;
+    stats.Stats.warp_capacity_cycles <-
+      stats.Stats.warp_capacity_cycles
+      + (arch.Gpu_uarch.Arch_config.max_warps * Array.length sms);
+    incr cycle
+  done;
+  stats.Stats.cycles <- !cycle;
+  stats.Stats.timed_out <- retired () < grid;
+  stats
+
+let probe config kernel =
+  let stats = Stats.create () in
+  let memory = Memory.create () in
+  let mem_sys =
+    Mem_system.create config.arch ~n_sms:config.arch.Gpu_uarch.Arch_config.n_sms
+  in
+  Sm.create config.arch ~sm_id:0 ~policy:config.policy ~kernel ~memory ~mem_sys
+    ~stats ~record_stores:false ~trace_warp0:false
+
+let theoretical_warps config kernel =
+  let sm = probe config kernel in
+  Sm.cta_capacity sm * Kernel.warps_per_cta config.arch kernel
+
+let srp_sections_of config kernel = Sm.srp_sections (probe config kernel)

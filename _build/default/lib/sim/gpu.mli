@@ -1,0 +1,27 @@
+(** Whole-GPU simulation driver: dispatches the grid's CTAs over the SMs
+    and steps them cycle by cycle until the grid completes. *)
+
+type run_config = {
+  arch : Gpu_uarch.Arch_config.t;
+  policy : Policy.t;
+  record_stores : bool;  (** collect per-warp store traces *)
+  trace_warp0 : bool;    (** collect the PC trace of CTA 0 / warp 0 *)
+  max_cycles : int;      (** watchdog; the run flags [timed_out] past it *)
+  events : Event_trace.t option;  (** structured event sink, off by default *)
+}
+
+val default_config : Gpu_uarch.Arch_config.t -> Policy.t -> run_config
+
+(** Run a kernel to completion; returns the populated statistics.
+    [observe] is called once per cycle after all SMs stepped (e.g. to
+    sample register-allocation timelines).
+    @raise Sm.Verification_failure in verification mode on unsound
+    extended-set accesses. *)
+val run : ?observe:(cycle:int -> Sm.t array -> unit) -> run_config -> Kernel.t -> Stats.t
+
+(** Theoretical resident warps per SM under the run's policy (the paper's
+    occupancy numerator). *)
+val theoretical_warps : run_config -> Kernel.t -> int
+
+(** SRP sections per SM under the run's policy (0 for non-SRP policies). *)
+val srp_sections_of : run_config -> Kernel.t -> int

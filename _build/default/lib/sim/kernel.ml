@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  program : Gpu_isa.Program.t;
+  grid_ctas : int;
+  cta_threads : int;
+  shmem_bytes : int;
+  params : int array;
+}
+
+let make ?(shmem_bytes = 0) ?(params = [||]) ~name ~grid_ctas ~cta_threads program =
+  if grid_ctas <= 0 then invalid_arg "Kernel.make: empty grid";
+  if cta_threads <= 0 then invalid_arg "Kernel.make: empty CTA";
+  { name; program; grid_ctas; cta_threads; shmem_bytes; params }
+
+let regs_per_thread t = t.program.Gpu_isa.Program.n_regs
+
+let warps_per_cta (cfg : Gpu_uarch.Arch_config.t) t =
+  (t.cta_threads + cfg.warp_size - 1) / cfg.warp_size
+
+let demand t =
+  {
+    Gpu_uarch.Occupancy.regs_per_thread = regs_per_thread t;
+    shmem_bytes = t.shmem_bytes;
+    cta_threads = t.cta_threads;
+  }
+
+let with_program t program = { t with program }

@@ -1,0 +1,31 @@
+(** A kernel launch: program, grid shape and launch parameters. *)
+
+type t = {
+  name : string;
+  program : Gpu_isa.Program.t;
+  grid_ctas : int;     (** CTAs in the grid *)
+  cta_threads : int;   (** threads per CTA *)
+  shmem_bytes : int;   (** shared memory per CTA *)
+  params : int array;  (** launch parameters, read via [Param i] operands *)
+}
+
+val make :
+  ?shmem_bytes:int ->
+  ?params:int array ->
+  name:string ->
+  grid_ctas:int ->
+  cta_threads:int ->
+  Gpu_isa.Program.t ->
+  t
+
+(** Architected registers per thread: [1 + max index] in the program. *)
+val regs_per_thread : t -> int
+
+val warps_per_cta : Gpu_uarch.Arch_config.t -> t -> int
+
+(** Resource demand for the occupancy calculator. *)
+val demand : t -> Gpu_uarch.Occupancy.demand
+
+(** [with_program t prog] swaps the program (used after the RegMutex
+    transform). *)
+val with_program : t -> Gpu_isa.Program.t -> t

@@ -1,0 +1,43 @@
+type t = {
+  lat_global : int;
+  dram_interval : float;
+  slots : int array array;    (* per SM: busy-until cycle per slot *)
+  mutable dram_free : float;  (* earliest cycle the service channel is free *)
+  mutable issued : int;
+  mutable total_latency : int;
+}
+
+let create (cfg : Gpu_uarch.Arch_config.t) ~n_sms =
+  {
+    lat_global = cfg.lat_global;
+    dram_interval = cfg.dram_interval;
+    slots = Array.init n_sms (fun _ -> Array.make cfg.mem_slots 0);
+    dram_free = 0.;
+    issued = 0;
+    total_latency = 0;
+  }
+
+let find_slot t ~sm ~cycle =
+  let slots = t.slots.(sm) in
+  let n = Array.length slots in
+  let rec go i = if i >= n then None else if slots.(i) <= cycle then Some i else go (i + 1) in
+  go 0
+
+let slot_free t ~sm ~cycle = find_slot t ~sm ~cycle <> None
+
+let issue_global t ~sm ~cycle =
+  match find_slot t ~sm ~cycle with
+  | None -> invalid_arg "Mem_system.issue_global: no free slot"
+  | Some i ->
+      let start = Float.max (float_of_int cycle) t.dram_free in
+      let completion = int_of_float (Float.ceil start) + t.lat_global in
+      t.dram_free <- start +. t.dram_interval;
+      t.slots.(sm).(i) <- completion;
+      t.issued <- t.issued + 1;
+      t.total_latency <- t.total_latency + (completion - cycle);
+      completion
+
+let issued t = t.issued
+
+let mean_latency t =
+  if t.issued = 0 then 0. else float_of_int t.total_latency /. float_of_int t.issued

@@ -1,0 +1,30 @@
+(** Global-memory timing model.
+
+    Two levels of contention shape the latency of a global access:
+
+    - per-SM in-flight slots (an MSHR-like cap) bound how many accesses an
+      SM can have outstanding — a structural stall when exhausted;
+    - a GPU-wide service channel completes at most one request every
+      [dram_interval] cycles — requests queue behind each other, so latency
+      grows once the aggregate demand saturates DRAM.
+
+    This reproduces the first-order behaviour RegMutex leans on: extra
+    resident warps hide latency until bandwidth saturates. *)
+
+type t
+
+val create : Gpu_uarch.Arch_config.t -> n_sms:int -> t
+
+(** [slot_free t ~sm ~cycle] — can SM [sm] start a global access now? *)
+val slot_free : t -> sm:int -> cycle:int -> bool
+
+(** [issue_global t ~sm ~cycle] claims a slot and returns the completion
+    cycle. @raise Invalid_argument when no slot is free (callers must check
+    {!slot_free} first). *)
+val issue_global : t -> sm:int -> cycle:int -> int
+
+(** Requests issued so far. *)
+val issued : t -> int
+
+(** Average latency of issued requests. *)
+val mean_latency : t -> float

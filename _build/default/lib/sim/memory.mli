@@ -1,0 +1,24 @@
+(** Functional device memory.
+
+    Global memory is a sparse address → value map; reads of never-written
+    addresses return a deterministic pseudo-random pattern so that
+    data-driven kernels (loop trip counts loaded from memory, BFS frontiers,
+    …) behave reproducibly without an explicit initialisation pass. *)
+
+type t
+
+val create : unit -> t
+
+(** Addresses are masked to 30 bits; negative addresses wrap. *)
+val read_global : t -> int -> int
+val write_global : t -> int -> int -> unit
+
+(** Deterministic content of an unwritten address. *)
+val default_value : int -> int
+
+(** Number of addresses explicitly written. *)
+val footprint : t -> int
+
+(** [written t] lists [(addr, value)] pairs, sorted by address — the
+    observable output used by equivalence checks. *)
+val written : t -> (int * int) list

@@ -1,0 +1,31 @@
+type t =
+  | Static of { regs_per_thread : int }
+  | Srp of { bs : int; es : int; verify : bool }
+  | Srp_paired of { bs : int; es : int; verify : bool }
+  | Owf of { bs : int; es : int }
+  | Rfv of { live : int array; max_live : int }
+
+let regs_per_cta (cfg : Gpu_uarch.Arch_config.t) t ~warps_per_cta =
+  let per_warp regs = regs * cfg.warp_size in
+  match t with
+  | Static { regs_per_thread } ->
+      warps_per_cta * per_warp (Gpu_uarch.Arch_config.round_regs cfg regs_per_thread)
+  | Srp { bs; _ } -> warps_per_cta * per_warp bs
+  | Srp_paired { bs; es; _ } | Owf { bs; es } ->
+      (warps_per_cta * per_warp bs) + (((warps_per_cta + 1) / 2) * per_warp es)
+  | Rfv _ -> 0
+
+let name = function
+  | Static _ -> "baseline"
+  | Srp _ -> "regmutex"
+  | Srp_paired _ -> "regmutex-paired"
+  | Owf _ -> "owf"
+  | Rfv _ -> "rfv"
+
+let pp ppf t =
+  match t with
+  | Static { regs_per_thread } -> Format.fprintf ppf "baseline(regs=%d)" regs_per_thread
+  | Srp { bs; es; _ } -> Format.fprintf ppf "regmutex(bs=%d, es=%d)" bs es
+  | Srp_paired { bs; es; _ } -> Format.fprintf ppf "regmutex-paired(bs=%d, es=%d)" bs es
+  | Owf { bs; es } -> Format.fprintf ppf "owf(bs=%d, es=%d)" bs es
+  | Rfv { max_live; _ } -> Format.fprintf ppf "rfv(max_live=%d)" max_live

@@ -1,0 +1,32 @@
+(** Register-management policy the SM enforces at CTA launch and at issue.
+
+    The compiler side of RegMutex produces the transformed program; this
+    type tells the simulated hardware how physical registers are granted:
+
+    - [Static]: the stock GPU — the full (granularity-rounded) register
+      demand is reserved per warp for its whole lifetime.
+    - [Srp]: RegMutex — [bs] registers reserved per thread; [es] more come
+      from the Shared Register Pool between [Acquire]/[Release].
+    - [Srp_paired]: RegMutex paired-warps specialization — each pair of
+      sibling warps owns a dedicated extended set.
+    - [Owf]: Jatala et al. — pairs share the registers above [bs]; the
+      first warp to touch them keeps them until it exits (no in-kernel
+      release); owner warps are scheduled first.
+    - [Rfv]: Jeon et al. register file virtualization — physical registers
+      track the live set exactly; CTAs are admitted regardless of static
+      register demand. [live.(pc)] is the compiler-provided live count at
+      each instruction. *)
+
+type t =
+  | Static of { regs_per_thread : int }
+  | Srp of { bs : int; es : int; verify : bool }
+  | Srp_paired of { bs : int; es : int; verify : bool }
+  | Owf of { bs : int; es : int }
+  | Rfv of { live : int array; max_live : int }
+
+(** Registers one CTA consumes at admission (for the launch-time resource
+    check), in physical registers. *)
+val regs_per_cta : Gpu_uarch.Arch_config.t -> t -> warps_per_cta:int -> int
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

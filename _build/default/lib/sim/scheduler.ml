@@ -1,0 +1,106 @@
+type kind = Gto | Lrr | Two_level of int
+
+type t = {
+  kind : kind;
+  id : int;
+  n_schedulers : int;
+  mutable current : int;
+  mutable rr_pos : int;
+  mutable active_group : int;
+}
+
+let create kind ~id ~n_schedulers =
+  (match kind with
+  | Two_level g when g <= 0 -> invalid_arg "Scheduler.create: empty fetch group"
+  | Two_level _ | Gto | Lrr -> ());
+  { kind; id; n_schedulers; current = -1; rr_pos = 0; active_group = 0 }
+
+let owns t ~slot = slot mod t.n_schedulers = t.id
+
+let scan_best t ~n_slots ~get ~can_issue ~priority =
+  let best = ref None in
+  for slot = 0 to n_slots - 1 do
+    if owns t ~slot then
+      match get slot with
+      | None -> ()
+      | Some w ->
+          if can_issue w then begin
+            let key = (priority w, w.Warp.age) in
+            match !best with
+            | Some (bk, _) when bk <= key -> ()
+            | Some _ | None -> best := Some (key, w)
+          end
+  done;
+  match !best with Some (_, w) -> Some w | None -> None
+
+let pick_gto t ~n_slots ~get ~can_issue ~priority =
+  let greedy =
+    if t.current >= 0 && t.current < n_slots then
+      match get t.current with
+      | Some w when can_issue w -> Some w
+      | Some _ | None -> None
+    else None
+  in
+  match greedy with
+  | Some w -> Some w
+  | None -> (
+      match scan_best t ~n_slots ~get ~can_issue ~priority with
+      | Some w ->
+          t.current <- w.Warp.slot;
+          Some w
+      | None -> None)
+
+let pick_lrr t ~n_slots ~get ~can_issue ~priority:_ =
+  let rec go tried slot =
+    if tried >= n_slots then None
+    else
+      let slot = if slot >= n_slots then 0 else slot in
+      let found =
+        if owns t ~slot then
+          match get slot with Some w when can_issue w -> Some w | Some _ | None -> None
+        else None
+      in
+      match found with
+      | Some w ->
+          t.rr_pos <- slot + 1;
+          Some w
+      | None -> go (tried + 1) (slot + 1)
+  in
+  go 0 t.rr_pos
+
+(* Two-level: drain the active fetch group; when it has no runnable warp,
+   rotate to the next group that does. Groups partition a scheduler's own
+   slots into contiguous runs of [group_size]. *)
+let pick_two_level t ~group_size ~n_slots ~get ~can_issue ~priority =
+  let n_groups = (n_slots + group_size - 1) / group_size in
+  let scan_group g =
+    let best = ref None in
+    for slot = g * group_size to min n_slots ((g + 1) * group_size) - 1 do
+      if owns t ~slot then
+        match get slot with
+        | Some w when can_issue w ->
+            let key = (priority w, w.Warp.age) in
+            (match !best with
+            | Some (bk, _) when bk <= key -> ()
+            | Some _ | None -> best := Some (key, w))
+        | Some _ | None -> ()
+    done;
+    match !best with Some (_, w) -> Some w | None -> None
+  in
+  let rec rotate tried g =
+    if tried >= n_groups then None
+    else
+      match scan_group g with
+      | Some w ->
+          t.active_group <- g;
+          Some w
+      | None -> rotate (tried + 1) ((g + 1) mod n_groups)
+  in
+  rotate 0 (t.active_group mod max n_groups 1)
+
+let pick t ~n_slots ~get ~can_issue ~priority =
+  match t.kind with
+  | Gto -> pick_gto t ~n_slots ~get ~can_issue ~priority
+  | Lrr -> pick_lrr t ~n_slots ~get ~can_issue ~priority
+  | Two_level group_size ->
+      pick_two_level t ~group_size ~n_slots ~get ~can_issue ~priority

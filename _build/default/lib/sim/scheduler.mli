@@ -1,0 +1,29 @@
+(** Warp schedulers. Each SM has [n_schedulers] of them; scheduler [id]
+    owns the warp slots with [slot mod n_schedulers = id].
+
+    [Gto] is GPGPU-Sim's default greedy-then-oldest policy: keep issuing
+    from the current warp until it stalls, then switch to the runnable warp
+    with the smallest priority (ties broken by age, i.e. launch order).
+    [Lrr] is loose round-robin. [Two_level n] drains a fetch group of [n]
+    consecutive slots before rotating to the next group with runnable
+    warps (Narasiman et al., MICRO 2011). *)
+
+type kind = Gto | Lrr | Two_level of int
+
+type t
+
+val create : kind -> id:int -> n_schedulers:int -> t
+
+val owns : t -> slot:int -> bool
+
+(** [pick t ~n_slots ~get ~can_issue ~priority] returns the warp to issue
+    from this cycle, if any. [priority] orders runnable warps before age
+    (smaller first) — OWF uses it to prefer owner warps; pass
+    [fun _ -> 0] otherwise. *)
+val pick :
+  t ->
+  n_slots:int ->
+  get:(int -> Warp.t option) ->
+  can_issue:(Warp.t -> bool) ->
+  priority:(Warp.t -> int) ->
+  Warp.t option

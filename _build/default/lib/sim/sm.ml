@@ -1,0 +1,679 @@
+module Instr = Gpu_isa.Instr
+module Program = Gpu_isa.Program
+module Regset = Gpu_isa.Regset
+module Arch_config = Gpu_uarch.Arch_config
+module Srp = Gpu_uarch.Srp
+module Srp_paired = Gpu_uarch.Srp_paired
+
+exception Verification_failure of string
+
+type cta_state = {
+  cta_slot : int;
+  global_cta : int;
+  n_warps : int;
+  mutable arrived : int;   (* warps waiting at the barrier *)
+  mutable running : int;   (* warps not yet Done *)
+  shared : int array;      (* shared-memory words *)
+}
+
+type pstate =
+  | Ps_static
+  | Ps_srp of Srp.t
+  | Ps_paired of Srp_paired.t
+  | Ps_owf
+  | Ps_rfv of { mutable used : int; capacity : int }
+
+type t = {
+  cfg : Arch_config.t;
+  sm_id : int;
+  kernel : Kernel.t;
+  policy : Policy.t;
+  memory : Memory.t;
+  mem_sys : Mem_system.t;
+  stats : Stats.t;
+  instrs : Instr.t array;
+  warps_per_cta : int;
+  cta_capacity : int;
+  srp_sections : int;
+  ctas : cta_state option array;
+  warps : Warp.t option array;
+  schedulers : Scheduler.t array;
+  pstate : pstate;
+  (* Per-PC precomputation. *)
+  latency : int array;           (* result latency for non-global instrs *)
+  touches_ext : bool array;      (* any referenced register has index >= bs *)
+  rfv_live : int array;          (* RFV: physical packs demanded at each pc *)
+  mutable resident_ctas : int;
+  mutable resident_warps : int;
+  mutable retired : int;
+  mutable launched_this_cycle : int;
+  mutable next_age : int;
+  record_stores : bool;
+  trace_warp0 : bool;
+  events : Event_trace.t option;
+  bs : int;  (* base-set size for SRP/paired/OWF policies; max_int otherwise *)
+  es : int;
+  verify : bool;
+}
+
+(* Resident-CTA capacity under the policy's register accounting, combined
+   with the shared-memory / thread / CTA-slot / warp-slot limits. *)
+let compute_capacity (cfg : Arch_config.t) policy kernel =
+  let wpc = Kernel.warps_per_cta cfg kernel in
+  let regs_cta = Policy.regs_per_cta cfg policy ~warps_per_cta:wpc in
+  let shmem_cta = Arch_config.round_shmem cfg kernel.Kernel.shmem_bytes in
+  let cap v per = if per = 0 then max_int else v / per in
+  let ctas =
+    List.fold_left min cfg.max_ctas
+      [ cap cfg.regfile_regs regs_cta;
+        cap cfg.shmem_bytes shmem_cta;
+        cap cfg.max_threads kernel.Kernel.cta_threads;
+        cap cfg.max_warps wpc ]
+  in
+  (max ctas 0, wpc, regs_cta)
+
+let cta_capacity_for cfg ~policy ~kernel =
+  let capacity, _, _ = compute_capacity cfg policy kernel in
+  capacity
+
+let create ?events cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
+    ~record_stores ~trace_warp0 =
+  let cta_capacity, wpc, regs_cta = compute_capacity cfg policy kernel in
+  let prog = kernel.Kernel.program in
+  let n = Program.length prog in
+  let instrs = Array.init n (Program.get prog) in
+  let bs, es, verify =
+    match policy with
+    | Policy.Srp { bs; es; verify } | Policy.Srp_paired { bs; es; verify } ->
+        (bs, es, verify)
+    | Policy.Owf { bs; es } -> (bs, es, false)
+    | Policy.Static _ | Policy.Rfv _ -> (max_int, 0, false)
+  in
+  let srp_sections, pstate =
+    match policy with
+    | Policy.Static _ -> (0, Ps_static)
+    | Policy.Srp { es; _ } ->
+        let leftover = cfg.regfile_regs - (cta_capacity * regs_cta) in
+        let sections =
+          if es <= 0 then 0
+          else min cfg.max_warps (max 0 (leftover / (es * cfg.warp_size)))
+        in
+        (sections, Ps_srp (Srp.create ~n_warps:cfg.max_warps ~sections))
+    | Policy.Srp_paired _ ->
+        if wpc mod 2 <> 0 then
+          invalid_arg "Sm.create: paired-warps policy requires an even warp count per CTA";
+        let pairs = cta_capacity * wpc / 2 in
+        (pairs, Ps_paired (Srp_paired.create ~n_warps:cfg.max_warps ~enabled_pairs:pairs))
+    | Policy.Owf _ ->
+        if wpc mod 2 <> 0 then
+          invalid_arg "Sm.create: OWF policy requires an even warp count per CTA";
+        (cta_capacity * wpc / 2, Ps_owf)
+    | Policy.Rfv _ ->
+        (0, Ps_rfv { used = 0; capacity = cfg.regfile_regs / cfg.warp_size })
+  in
+  let latency =
+    Array.map
+      (fun i ->
+        match Instr.lat_class i with
+        | Instr.Lat_alu -> cfg.lat_alu
+        | Instr.Lat_complex -> cfg.lat_complex
+        | Instr.Lat_shared -> cfg.lat_shared
+        | Instr.Lat_global -> cfg.lat_global (* refined at issue via mem_sys *)
+        | Instr.Lat_control -> 1)
+      instrs
+  in
+  let touches_ext =
+    Array.map
+      (fun i ->
+        let rs = Instr.regs i in
+        (not (Regset.is_empty rs)) && Regset.max_elt rs >= bs)
+      instrs
+  in
+  let rfv_live =
+    match policy with
+    | Policy.Rfv { live; _ } ->
+        if Array.length live <> n then
+          invalid_arg "Sm.create: RFV live table length mismatch";
+        live
+    | Policy.Static _ | Policy.Srp _ | Policy.Srp_paired _ | Policy.Owf _ ->
+        Array.make n 0
+  in
+  {
+    cfg;
+    sm_id;
+    kernel;
+    policy;
+    memory;
+    mem_sys;
+    stats;
+    instrs;
+    warps_per_cta = wpc;
+    cta_capacity;
+    srp_sections;
+    ctas = Array.make (max cta_capacity 1) None;
+    warps = Array.make (max (cta_capacity * wpc) 1) None;
+    schedulers =
+      (let kind =
+         match cfg.Arch_config.scheduler with
+         | Arch_config.Gto -> Scheduler.Gto
+         | Arch_config.Lrr -> Scheduler.Lrr
+         | Arch_config.Two_level g -> Scheduler.Two_level g
+       in
+       Array.init cfg.n_schedulers (fun id ->
+           Scheduler.create kind ~id ~n_schedulers:cfg.n_schedulers));
+    pstate;
+    latency;
+    touches_ext;
+    rfv_live;
+    resident_ctas = 0;
+    resident_warps = 0;
+    retired = 0;
+    launched_this_cycle = -1;
+    next_age = 0;
+    record_stores;
+    trace_warp0;
+    events;
+    bs;
+    es;
+    verify;
+  }
+
+let emit t ~cycle event =
+  match t.events with
+  | Some tr -> Event_trace.emit tr ~cycle event
+  | None -> ()
+
+let cta_capacity t = t.cta_capacity
+let srp_sections t = t.srp_sections
+
+let srp_in_use t =
+  match t.pstate with
+  | Ps_srp srp -> Srp.in_use srp
+  | Ps_paired srp -> Srp_paired.in_use srp
+  | Ps_static | Ps_owf | Ps_rfv _ -> 0
+let resident_ctas t = t.resident_ctas
+let resident_warps t = t.resident_warps
+let retired_ctas t = t.retired
+
+(* --- CTA launch and retirement ------------------------------------- *)
+
+let free_cta_slot t =
+  let n = Array.length t.ctas in
+  let rec go i =
+    if i >= t.cta_capacity || i >= n then None
+    else match t.ctas.(i) with None -> Some i | Some _ -> go (i + 1)
+  in
+  go 0
+
+let rfv_can_admit t =
+  match t.pstate with
+  | Ps_rfv r -> r.used + (t.warps_per_cta * t.rfv_live.(0)) <= r.capacity
+  | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> true
+
+let try_launch t ~global_cta ~cycle =
+  if t.launched_this_cycle = cycle then false
+  else
+    match free_cta_slot t with
+    | None -> false
+    | Some slot when rfv_can_admit t ->
+        let n_warps = t.warps_per_cta in
+        let shmem_words = max 1 (t.kernel.Kernel.shmem_bytes / 4) in
+        let cta =
+          {
+            cta_slot = slot;
+            global_cta;
+            n_warps;
+            arrived = 0;
+            running = n_warps;
+            shared = Array.make shmem_words 0;
+          }
+        in
+        t.ctas.(slot) <- Some cta;
+        let n_regs = t.kernel.Kernel.program.Program.n_regs in
+        for w = 0 to n_warps - 1 do
+          let wslot = (slot * t.warps_per_cta) + w in
+          let warp =
+            Warp.create ~slot:wslot ~cta_slot:slot ~global_cta ~warp_in_cta:w
+              ~age:t.next_age ~n_regs
+          in
+          t.next_age <- t.next_age + 1;
+          (* OWF: warps pair up within their CTA. *)
+          warp.Warp.partner <-
+            (if w land 1 = 0 then
+               if w + 1 < n_warps then wslot + 1 else -1
+             else wslot - 1);
+          (match t.pstate with
+          | Ps_rfv r ->
+              warp.Warp.rfv_alloc <- t.rfv_live.(0);
+              r.used <- r.used + t.rfv_live.(0)
+          | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> ());
+          t.warps.(wslot) <- Some warp
+        done;
+        t.resident_ctas <- t.resident_ctas + 1;
+        t.resident_warps <- t.resident_warps + n_warps;
+        t.launched_this_cycle <- cycle;
+        emit t ~cycle (Event_trace.Cta_launched { sm = t.sm_id; cta = global_cta });
+        true
+    | Some _ -> false
+
+let retire_cta t ~cycle cta =
+  emit t ~cycle (Event_trace.Cta_retired { sm = t.sm_id; cta = cta.global_cta });
+  for w = 0 to cta.n_warps - 1 do
+    t.warps.((cta.cta_slot * t.warps_per_cta) + w) <- None
+  done;
+  t.ctas.(cta.cta_slot) <- None;
+  t.resident_ctas <- t.resident_ctas - 1;
+  t.resident_warps <- t.resident_warps - cta.n_warps;
+  t.retired <- t.retired + 1;
+  t.stats.Stats.ctas_retired <- t.stats.Stats.ctas_retired + 1
+
+(* --- execution context --------------------------------------------- *)
+
+let shared_ref t (warp : Warp.t) =
+  match t.ctas.(warp.Warp.cta_slot) with
+  | Some cta -> cta.shared
+  | None -> invalid_arg "Sm: warp without a CTA"
+
+let make_ctx t (warp : Warp.t) =
+  let shared = shared_ref t warp in
+  let smask = Array.length shared in
+  let read space addr =
+    match space with
+    | Instr.Global -> Memory.read_global t.memory addr
+    | Instr.Shared -> shared.(((addr mod smask) + smask) mod smask)
+  in
+  let write space addr v =
+    if t.record_stores then
+      Stats.record_store t.stats ~cta:warp.Warp.global_cta ~warp:warp.Warp.warp_in_cta
+        space addr v;
+    match space with
+    | Instr.Global -> Memory.write_global t.memory addr v
+    | Instr.Shared -> shared.(((addr mod smask) + smask) mod smask) <- v
+  in
+  {
+    Exec.regs = warp.Warp.regs;
+    params = t.kernel.Kernel.params;
+    tid = warp.Warp.warp_in_cta * t.cfg.warp_size;
+    ctaid = warp.Warp.global_cta;
+    ntid = t.kernel.Kernel.cta_threads;
+    nctaid = t.kernel.Kernel.grid_ctas;
+    warp_id = warp.Warp.warp_in_cta;
+    read;
+    write;
+  }
+
+(* --- issue eligibility ---------------------------------------------- *)
+
+type block_reason =
+  | Can_issue
+  | Blocked_deps
+  | Blocked_mem
+  | Blocked_acquire
+  | Blocked_regs
+  | Blocked_barrier
+  | Blocked_done
+
+(* RFV: the next instruction's demand, given this instruction's outcome.
+   Branch conditions are evaluated without side effects. *)
+let rfv_peek_next t (warp : Warp.t) instr =
+  let pc = warp.Warp.pc in
+  match instr with
+  | Instr.Jump tgt -> tgt
+  | Instr.Jump_if (c, tgt) ->
+      let ctx = make_ctx t warp in
+      if Exec.operand ctx c <> 0 then tgt else pc + 1
+  | Instr.Jump_ifz (c, tgt) ->
+      let ctx = make_ctx t warp in
+      if Exec.operand ctx c = 0 then tgt else pc + 1
+  | Instr.Exit -> pc
+  | _ -> pc + 1
+
+(* Forward-progress anchor for RFV: the oldest warp that could actually
+   issue (barrier-parked warps are waiting on others and must not anchor
+   the override, or a register-starved CTA deadlocks against it). *)
+let oldest_ready_age t =
+  Array.fold_left
+    (fun acc w ->
+      match w with
+      | Some w when w.Warp.status = Warp.Ready -> min acc w.Warp.age
+      | Some _ | None -> acc)
+    max_int t.warps
+
+let check_warp t (warp : Warp.t) ~cycle =
+  match warp.Warp.status with
+  | Warp.Done -> Blocked_done
+  | Warp.At_barrier -> Blocked_barrier
+  | Warp.Ready ->
+      let pc = warp.Warp.pc in
+      let instr = t.instrs.(pc) in
+      if not (Warp.deps_ready warp instr ~cycle) then Blocked_deps
+      else
+        let mem_ok =
+          match Instr.lat_class instr with
+          | Instr.Lat_global -> Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle
+          | Instr.Lat_alu | Instr.Lat_complex | Instr.Lat_shared | Instr.Lat_control ->
+              true
+        in
+        if not mem_ok then Blocked_mem
+        else begin
+          match instr with
+          | Instr.Acquire -> (
+              match t.pstate with
+              | Ps_srp srp ->
+                  if
+                    Srp.holds srp ~warp:warp.Warp.slot <> None
+                    || Srp.free_sections srp > 0
+                  then Can_issue
+                  else begin
+                    if not warp.Warp.acquire_stalled then
+                      emit t ~cycle
+                        (Event_trace.Acquire_stalled
+                           { sm = t.sm_id; cta = warp.Warp.global_cta;
+                             warp = warp.Warp.warp_in_cta });
+                    warp.Warp.acquire_stalled <- true;
+                    Blocked_acquire
+                  end
+              | Ps_paired srp ->
+                  if Srp_paired.available srp ~warp:warp.Warp.slot then Can_issue
+                  else begin
+                    if not warp.Warp.acquire_stalled then
+                      emit t ~cycle
+                        (Event_trace.Acquire_stalled
+                           { sm = t.sm_id; cta = warp.Warp.global_cta;
+                             warp = warp.Warp.warp_in_cta });
+                    warp.Warp.acquire_stalled <- true;
+                    Blocked_acquire
+                  end
+              | Ps_static | Ps_owf | Ps_rfv _ -> Can_issue)
+          | _ -> (
+              match t.pstate with
+              | Ps_owf when t.touches_ext.(pc) && not warp.Warp.owns_ext ->
+                  (* First extended access acquires the pair's registers for
+                     the rest of the warp's life; blocked while the partner
+                     owns them. *)
+                  (* A partner parked at a barrier cannot finish until this
+                     warp arrives too; blocking here would deadlock the CTA,
+                     so ownership is ceded (the one concession the
+                     no-in-kernel-release design needs to run barrier
+                     kernels). *)
+                  let partner_owns =
+                    warp.Warp.partner >= 0
+                    &&
+                    match t.warps.(warp.Warp.partner) with
+                    | Some p -> p.Warp.owns_ext && p.Warp.status = Warp.Ready
+                    | None -> false
+                  in
+                  if partner_owns then begin
+                    warp.Warp.acquire_stalled <- true;
+                    Blocked_acquire
+                  end
+                  else Can_issue
+              | Ps_rfv r ->
+                  let next = rfv_peek_next t warp instr in
+                  let delta = t.rfv_live.(next) - warp.Warp.rfv_alloc in
+                  if
+                    delta <= 0
+                    || r.used + delta <= r.capacity
+                    || warp.Warp.age = oldest_ready_age t
+                  then Can_issue
+                  else Blocked_regs
+              | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> Can_issue)
+        end
+
+(* --- barrier handling ------------------------------------------------ *)
+
+let maybe_release_barrier t ~cycle cta =
+  if cta.running > 0 && cta.arrived = cta.running then begin
+    cta.arrived <- 0;
+    emit t ~cycle (Event_trace.Barrier_released { sm = t.sm_id; cta = cta.global_cta });
+    for w = 0 to cta.n_warps - 1 do
+      match t.warps.((cta.cta_slot * t.warps_per_cta) + w) with
+      | Some warp when warp.Warp.status = Warp.At_barrier ->
+          warp.Warp.status <- Warp.Ready
+      | Some _ | None -> ()
+    done
+  end
+
+(* --- issue ----------------------------------------------------------- *)
+
+let verify_access t (warp : Warp.t) pc =
+  if t.verify && t.touches_ext.(pc) then begin
+    let rs = Instr.regs t.instrs.(pc) in
+    let top = Regset.max_elt rs in
+    if top >= t.bs + t.es then
+      raise
+        (Verification_failure
+           (Printf.sprintf "pc %d references r%d beyond |Bs|+|Es| = %d" pc top
+              (t.bs + t.es)));
+    let section =
+      match t.pstate with
+      | Ps_srp srp -> Srp.holds srp ~warp:warp.Warp.slot
+      | Ps_paired srp ->
+          if Srp_paired.holds srp ~warp:warp.Warp.slot then
+            Some (Srp_paired.pair_of_warp ~warp:warp.Warp.slot)
+          else None
+      | Ps_static | Ps_owf | Ps_rfv _ -> Some 0
+    in
+    (* Drive every referenced register through the Figure 6 two-segment
+       mapping: it must produce a valid physical index (and trips exactly
+       when the warp holds no section). *)
+    let mapping =
+      {
+        Gpu_uarch.Reg_mapping.bs = t.bs;
+        es = t.es;
+        srp_offset =
+          Gpu_uarch.Reg_mapping.srp_offset_for ~bs:t.bs
+            ~resident_warps:(Array.length t.warps);
+      }
+    in
+    Regset.iter
+      (fun x ->
+        match
+          Gpu_uarch.Reg_mapping.regmutex mapping ~widx:warp.Warp.slot ~section ~x
+        with
+        | Ok _ -> ()
+        | Error e ->
+            raise
+              (Verification_failure
+                 (Format.asprintf "pc %d, register r%d: %a" pc x
+                    Gpu_uarch.Reg_mapping.pp_error e)))
+      rs
+  end
+
+let rfv_move t (warp : Warp.t) ~next_pc =
+  match t.pstate with
+  | Ps_rfv r ->
+      let demand = t.rfv_live.(next_pc) in
+      r.used <- r.used + demand - warp.Warp.rfv_alloc;
+      warp.Warp.rfv_alloc <- demand
+  | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> ()
+
+let warp_done t ~cycle (warp : Warp.t) cta =
+  warp.Warp.status <- Warp.Done;
+  emit t ~cycle
+    (Event_trace.Warp_exited
+       { sm = t.sm_id; cta = warp.Warp.global_cta; warp = warp.Warp.warp_in_cta });
+  Stats.record_warp_done t.stats ~cta:warp.Warp.global_cta
+    ~warp:warp.Warp.warp_in_cta ~instructions:warp.Warp.issued;
+  cta.running <- cta.running - 1;
+  (match t.pstate with
+  | Ps_srp srp -> ignore (Srp.reset_warp srp ~warp:warp.Warp.slot)
+  | Ps_paired srp -> ignore (Srp_paired.reset_warp srp ~warp:warp.Warp.slot)
+  | Ps_owf -> warp.Warp.owns_ext <- false
+  | Ps_rfv r ->
+      r.used <- r.used - warp.Warp.rfv_alloc;
+      warp.Warp.rfv_alloc <- 0
+  | Ps_static -> ());
+  if cta.running = 0 then retire_cta t ~cycle cta else maybe_release_barrier t ~cycle cta
+
+let issue t (warp : Warp.t) ~cycle =
+  let pc = warp.Warp.pc in
+  let instr = t.instrs.(pc) in
+  let cta =
+    match t.ctas.(warp.Warp.cta_slot) with
+    | Some c -> c
+    | None -> invalid_arg "Sm.issue: orphan warp"
+  in
+  verify_access t warp pc;
+  (* OWF: silent one-time acquire at the first extended access. *)
+  (match t.pstate with
+  | Ps_owf when t.touches_ext.(pc) && not warp.Warp.owns_ext ->
+      warp.Warp.owns_ext <- true;
+      t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
+      if not warp.Warp.acquire_stalled then
+        t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
+      warp.Warp.acquire_stalled <- false
+  | Ps_owf | Ps_static | Ps_srp _ | Ps_paired _ | Ps_rfv _ -> ());
+  if t.trace_warp0 && warp.Warp.global_cta = 0 && warp.Warp.warp_in_cta = 0 then
+    t.stats.Stats.pc_trace <- pc :: t.stats.Stats.pc_trace;
+  let ctx = make_ctx t warp in
+  let outcome = Exec.step ctx instr in
+  t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
+  warp.Warp.issued <- warp.Warp.issued + 1;
+  (* Timing: set the destination's ready cycle. *)
+  (match Instr.defs instr |> Regset.to_list with
+  | [ d ] ->
+      let ready =
+        match Instr.lat_class instr with
+        | Instr.Lat_global -> Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle
+        | Instr.Lat_alu | Instr.Lat_complex | Instr.Lat_shared | Instr.Lat_control ->
+            cycle + t.latency.(pc)
+      in
+      warp.Warp.reg_ready.(d) <- ready
+  | [] ->
+      (* Global stores still consume a memory slot. *)
+      (match instr with
+      | Instr.Store (Instr.Global, _, _, _) ->
+          ignore (Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle)
+      | _ -> ())
+  | _ :: _ :: _ -> assert false);
+  let advance next =
+    rfv_move t warp ~next_pc:next;
+    warp.Warp.pc <- next
+  in
+  match outcome with
+  | Exec.Next -> advance (pc + 1)
+  | Exec.Goto tgt -> advance tgt
+  | Exec.Stop -> warp_done t ~cycle warp cta
+  | Exec.Sync ->
+      warp.Warp.status <- Warp.At_barrier;
+      advance (pc + 1);
+      cta.arrived <- cta.arrived + 1;
+      emit t ~cycle
+        (Event_trace.Barrier_arrived
+           { sm = t.sm_id; cta = warp.Warp.global_cta; warp = warp.Warp.warp_in_cta });
+      maybe_release_barrier t ~cycle cta
+  | Exec.Acq -> (
+      let granted_event section =
+        emit t ~cycle
+          (Event_trace.Acquire_granted
+             { sm = t.sm_id; cta = warp.Warp.global_cta;
+               warp = warp.Warp.warp_in_cta; section })
+      in
+      let grant =
+        match t.pstate with
+        | Ps_srp srp -> (
+            match Srp.acquire srp ~warp:warp.Warp.slot with
+            | Srp.Granted s -> granted_event s; true
+            | Srp.Already_held _ -> true
+            | Srp.Stall -> false)
+        | Ps_paired srp -> (
+            match Srp_paired.acquire srp ~warp:warp.Warp.slot with
+            | Srp_paired.Granted ->
+                granted_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
+                true
+            | Srp_paired.Already_held -> true
+            | Srp_paired.Stall -> false)
+        | Ps_static | Ps_owf | Ps_rfv _ -> true
+      in
+      match grant with
+      | true ->
+          t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
+          if not warp.Warp.acquire_stalled then
+            t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
+          warp.Warp.acquire_stalled <- false;
+          advance (pc + 1)
+      | false ->
+          (* Lost a same-cycle race for the last section; retry later. *)
+          warp.Warp.acquire_stalled <- true)
+  | Exec.Rel ->
+      (let released_event section =
+         emit t ~cycle
+           (Event_trace.Release
+              { sm = t.sm_id; cta = warp.Warp.global_cta;
+                warp = warp.Warp.warp_in_cta; section })
+       in
+       match t.pstate with
+      | Ps_srp srp -> (
+          match Srp.release srp ~warp:warp.Warp.slot with
+          | Srp.Released s ->
+              released_event s;
+              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1
+          | Srp.Not_held -> ())
+      | Ps_paired srp -> (
+          match Srp_paired.release srp ~warp:warp.Warp.slot with
+          | Srp_paired.Released ->
+              released_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
+              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1
+          | Srp_paired.Not_held -> ())
+      | Ps_static | Ps_owf | Ps_rfv _ -> ());
+      advance (pc + 1)
+
+(* --- per-cycle step --------------------------------------------------- *)
+
+let classify_idle t ~cycle =
+  (* Attribute an idle scheduler slot to the most specific blockage among
+     the resident warps: resource blockage (registers, SRP sections, memory
+     slots) outranks plain dependency or barrier waits. *)
+  let rank = function
+    | Blocked_regs -> 5
+    | Blocked_acquire -> 4
+    | Blocked_mem -> 3
+    | Blocked_deps -> 2
+    | Blocked_barrier -> 1
+    | Can_issue | Blocked_done -> 0
+  in
+  let best = ref Blocked_done in
+  Array.iter
+    (fun w ->
+      match w with
+      | Some w when w.Warp.status <> Warp.Done ->
+          let reason = check_warp t w ~cycle in
+          if rank reason > rank !best then best := reason
+      | Some _ | None -> ())
+    t.warps;
+  match !best with
+  | Can_issue | Blocked_done -> Stats.Stall_empty
+  | Blocked_deps -> Stats.Stall_deps
+  | Blocked_mem -> Stats.Stall_mem_slot
+  | Blocked_acquire -> Stats.Stall_acquire
+  | Blocked_regs -> Stats.Stall_regs
+  | Blocked_barrier -> Stats.Stall_barrier
+
+let step t ~cycle =
+  let n_slots = Array.length t.warps in
+  let priority (w : Warp.t) =
+    match t.pstate with Ps_owf -> if w.Warp.owns_ext then 0 else 1 | _ -> 0
+  in
+  Array.iter
+    (fun sched ->
+      let can_issue w =
+        match check_warp t w ~cycle with
+        | Can_issue -> true
+        | Blocked_deps | Blocked_mem | Blocked_acquire | Blocked_regs
+        | Blocked_barrier | Blocked_done ->
+            false
+      in
+      match
+        Scheduler.pick sched ~n_slots ~get:(fun s -> t.warps.(s)) ~can_issue ~priority
+      with
+      | Some warp -> issue t warp ~cycle
+      | None ->
+          if t.resident_warps > 0 then begin
+            let reason = classify_idle t ~cycle in
+            Stats.bump_stall t.stats reason;
+            if reason = Stats.Stall_acquire then
+              t.stats.Stats.acquire_stall_cycles <-
+                t.stats.Stats.acquire_stall_cycles + 1
+          end)
+    t.schedulers

@@ -1,0 +1,50 @@
+(** One streaming multiprocessor: resident CTAs/warps, warp schedulers,
+    barrier bookkeeping and policy enforcement (baseline, RegMutex SRP,
+    paired-warps, OWF, RFV). *)
+
+(** Raised in verification mode when a transformed program accesses an
+    extended-set register without holding an SRP section, or any register
+    beyond [|Bs| + |Es|] — i.e. the compiler pass emitted unsound code. *)
+exception Verification_failure of string
+
+type t
+
+val create :
+  ?events:Event_trace.t ->
+  Gpu_uarch.Arch_config.t ->
+  sm_id:int ->
+  policy:Policy.t ->
+  kernel:Kernel.t ->
+  memory:Memory.t ->
+  mem_sys:Mem_system.t ->
+  stats:Stats.t ->
+  record_stores:bool ->
+  trace_warp0:bool ->
+  t
+
+(** Resident-CTA capacity under the policy's resource accounting. *)
+val cta_capacity : t -> int
+
+(** [cta_capacity_for cfg ~policy ~kernel] — the same computation without
+    building an SM (used by compile-time decisions, e.g. whether OWF
+    sharing raises occupancy at all). *)
+val cta_capacity_for :
+  Gpu_uarch.Arch_config.t -> policy:Policy.t -> kernel:Kernel.t -> int
+
+(** Usable SRP sections (0 for non-SRP policies). *)
+val srp_sections : t -> int
+
+val resident_ctas : t -> int
+val resident_warps : t -> int
+val retired_ctas : t -> int
+
+(** SRP sections currently acquired (0 for non-SRP policies). *)
+val srp_in_use : t -> int
+
+(** [try_launch t ~global_cta ~cycle] places a CTA if a slot and resources
+    are free; returns [true] on success. At most one launch per cycle is
+    attempted by the driver. *)
+val try_launch : t -> global_cta:int -> cycle:int -> bool
+
+(** Advance one cycle: every scheduler issues at most one instruction. *)
+val step : t -> cycle:int -> unit

@@ -1,0 +1,108 @@
+type stall_reason =
+  | Stall_deps
+  | Stall_mem_slot
+  | Stall_acquire
+  | Stall_regs
+  | Stall_barrier
+  | Stall_empty
+
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable resident_warp_cycles : int;
+  mutable warp_capacity_cycles : int;
+  mutable acquire_execs : int;
+  mutable acquire_first_try : int;
+  mutable acquire_stall_cycles : int;
+  mutable release_execs : int;
+  mutable stall_cycles : (stall_reason * int ref) list;
+  mutable ctas_retired : int;
+  mutable timed_out : bool;
+  mutable pc_trace : int list;
+  stores : (int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
+  warp_instructions : (int * int, int) Hashtbl.t;
+}
+
+let all_reasons =
+  [ Stall_deps; Stall_mem_slot; Stall_acquire; Stall_regs; Stall_barrier; Stall_empty ]
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    resident_warp_cycles = 0;
+    warp_capacity_cycles = 0;
+    acquire_execs = 0;
+    acquire_first_try = 0;
+    acquire_stall_cycles = 0;
+    release_execs = 0;
+    stall_cycles = List.map (fun r -> (r, ref 0)) all_reasons;
+    ctas_retired = 0;
+    timed_out = false;
+    pc_trace = [];
+    stores = Hashtbl.create 64;
+    warp_instructions = Hashtbl.create 64;
+  }
+
+let bump_stall t reason = incr (List.assoc reason t.stall_cycles)
+let stall_count t reason = !(List.assoc reason t.stall_cycles)
+
+let achieved_occupancy t =
+  if t.warp_capacity_cycles = 0 then 0.
+  else float_of_int t.resident_warp_cycles /. float_of_int t.warp_capacity_cycles
+
+let ipc t =
+  if t.cycles = 0 then 0. else float_of_int t.instructions /. float_of_int t.cycles
+
+let acquire_success_ratio t =
+  if t.acquire_execs = 0 then 1.
+  else float_of_int t.acquire_first_try /. float_of_int t.acquire_execs
+
+let trace t = Array.of_list (List.rev t.pc_trace)
+
+let record_store t ~cta ~warp space addr value =
+  let key = (cta, warp) in
+  let cell =
+    match Hashtbl.find_opt t.stores key with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.add t.stores key c;
+        c
+  in
+  cell := (space, addr, value) :: !cell
+
+let record_warp_done t ~cta ~warp ~instructions =
+  Hashtbl.replace t.warp_instructions (cta, warp) instructions
+
+let warp_instruction_counts t =
+  Hashtbl.fold (fun key n acc -> (key, n) :: acc) t.warp_instructions []
+  |> List.sort compare
+
+let store_traces t =
+  Hashtbl.fold (fun key cell acc -> ((key, List.rev !cell)) :: acc) t.stores []
+  |> List.sort compare
+
+let reason_name = function
+  | Stall_deps -> "deps"
+  | Stall_mem_slot -> "mem-slot"
+  | Stall_acquire -> "acquire"
+  | Stall_regs -> "rfv-regs"
+  | Stall_barrier -> "barrier"
+  | Stall_empty -> "empty"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles=%d instrs=%d ipc=%.2f occupancy=%.1f%% ctas=%d%s@,\
+     acquires=%d (first-try %.0f%%) releases=%d acquire-stall=%d@,"
+    t.cycles t.instructions (ipc t)
+    (100. *. achieved_occupancy t)
+    t.ctas_retired
+    (if t.timed_out then " TIMED-OUT" else "")
+    t.acquire_execs
+    (100. *. acquire_success_ratio t)
+    t.release_execs t.acquire_stall_cycles;
+  List.iter
+    (fun (r, c) -> if !c > 0 then Format.fprintf ppf "stall[%s]=%d@," (reason_name r) !c)
+    t.stall_cycles;
+  Format.fprintf ppf "@]"

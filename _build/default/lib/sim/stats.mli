@@ -1,0 +1,58 @@
+(** Simulation counters and derived metrics. *)
+
+type stall_reason =
+  | Stall_deps      (** operands in flight (scoreboard) *)
+  | Stall_mem_slot  (** no free global-memory slot *)
+  | Stall_acquire   (** waiting for an SRP section / OWF pair lock *)
+  | Stall_regs      (** RFV: no free physical registers *)
+  | Stall_barrier
+  | Stall_empty     (** no runnable warp at all *)
+
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable resident_warp_cycles : int;  (** Σ over cycles of resident warps *)
+  mutable warp_capacity_cycles : int;  (** Σ over cycles of max residency *)
+  mutable acquire_execs : int;    (** acquire instructions completed *)
+  mutable acquire_first_try : int;(** completed without ever stalling *)
+  mutable acquire_stall_cycles : int;
+  mutable release_execs : int;
+  mutable stall_cycles : (stall_reason * int ref) list;
+  mutable ctas_retired : int;
+  mutable timed_out : bool;
+  mutable pc_trace : int list;    (** reverse-order PC trace of warp 0 *)
+  stores : (int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
+      (** (global CTA, warp-in-CTA) → reverse-order store trace *)
+  warp_instructions : (int * int, int) Hashtbl.t;
+      (** (global CTA, warp-in-CTA) → dynamic instructions issued, recorded
+          when the warp exits (divergent kernels show non-uniform counts) *)
+}
+
+val create : unit -> t
+val bump_stall : t -> stall_reason -> unit
+val stall_count : t -> stall_reason -> int
+
+(** Achieved occupancy: resident-warp integral over capacity integral. *)
+val achieved_occupancy : t -> float
+
+(** Instructions per cycle over the whole run. *)
+val ipc : t -> float
+
+(** Fraction of acquire instructions that succeeded without waiting. *)
+val acquire_success_ratio : t -> float
+
+(** Executed-PC trace of the traced warp, oldest first. *)
+val trace : t -> int array
+
+(** Per-warp store traces in issue order, keyed and sorted by
+    (CTA, warp). *)
+val store_traces : t -> ((int * int) * (Gpu_isa.Instr.space * int * int) list) list
+
+val record_store : t -> cta:int -> warp:int -> Gpu_isa.Instr.space -> int -> int -> unit
+
+val record_warp_done : t -> cta:int -> warp:int -> instructions:int -> unit
+
+(** Per-warp dynamic instruction counts, sorted by (CTA, warp). *)
+val warp_instruction_counts : t -> ((int * int) * int) list
+
+val pp : Format.formatter -> t -> unit

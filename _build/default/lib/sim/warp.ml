@@ -1,0 +1,42 @@
+type status = Ready | At_barrier | Done
+
+type t = {
+  slot : int;
+  cta_slot : int;
+  global_cta : int;
+  warp_in_cta : int;
+  age : int;
+  regs : int array;
+  reg_ready : int array;
+  mutable pc : int;
+  mutable status : status;
+  mutable acquire_stalled : bool;
+  mutable owns_ext : bool;
+  mutable partner : int;
+  mutable rfv_alloc : int;
+  mutable issued : int;
+}
+
+let create ~slot ~cta_slot ~global_cta ~warp_in_cta ~age ~n_regs =
+  {
+    slot;
+    cta_slot;
+    global_cta;
+    warp_in_cta;
+    age;
+    regs = Array.make (max n_regs 1) 0;
+    reg_ready = Array.make (max n_regs 1) 0;
+    pc = 0;
+    status = Ready;
+    acquire_stalled = false;
+    owns_ext = false;
+    partner = -1;
+    rfv_alloc = 0;
+    issued = 0;
+  }
+
+let deps_ready t instr ~cycle =
+  let ready rs =
+    not (Gpu_isa.Regset.exists (fun r -> t.reg_ready.(r) > cycle) rs)
+  in
+  ready (Gpu_isa.Instr.uses instr) && ready (Gpu_isa.Instr.defs instr)

@@ -1,0 +1,40 @@
+(** Per-warp execution state.
+
+    Registers hold warp-uniform values (see DESIGN.md); [reg_ready.(r)] is
+    the cycle at which the in-flight producer of [r] completes — the
+    scoreboard consulted before issue. *)
+
+type status =
+  | Ready       (** may issue (subject to scoreboard/structural checks) *)
+  | At_barrier  (** arrived at a [Bar]; waiting for the CTA *)
+  | Done        (** executed [Exit] *)
+
+type t = {
+  slot : int;           (** warp slot within the SM *)
+  cta_slot : int;       (** resident-CTA slot within the SM *)
+  global_cta : int;     (** CTA index within the grid *)
+  warp_in_cta : int;
+  age : int;            (** global launch sequence number (GTO "oldest") *)
+  regs : int array;
+  reg_ready : int array;
+  mutable pc : int;
+  mutable status : status;
+  mutable acquire_stalled : bool;
+      (** the acquire at the current [pc] already failed once *)
+  mutable owns_ext : bool;  (** OWF: holds the pair's shared registers *)
+  mutable partner : int;    (** OWF: partner warp slot, or -1 *)
+  mutable rfv_alloc : int;  (** RFV: physical packs currently charged *)
+  mutable issued : int;     (** dynamic instructions issued *)
+}
+
+val create :
+  slot:int ->
+  cta_slot:int ->
+  global_cta:int ->
+  warp_in_cta:int ->
+  age:int ->
+  n_regs:int ->
+  t
+
+(** All source and destination registers ready at [cycle]? *)
+val deps_ready : t -> Gpu_isa.Instr.t -> cycle:int -> bool

@@ -1,0 +1,1 @@
+lib/uarch/arch_config.ml: Format

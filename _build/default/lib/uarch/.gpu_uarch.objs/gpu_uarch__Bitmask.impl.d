@@ -1,0 +1,1 @@
+lib/uarch/bitmask.ml: Format

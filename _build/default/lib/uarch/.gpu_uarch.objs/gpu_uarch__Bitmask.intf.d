@@ -1,0 +1,1 @@
+lib/uarch/bitmask.mli: Format

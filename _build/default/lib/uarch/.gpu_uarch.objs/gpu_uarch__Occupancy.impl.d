@@ -1,0 +1,1 @@
+lib/uarch/occupancy.ml: Arch_config Format List

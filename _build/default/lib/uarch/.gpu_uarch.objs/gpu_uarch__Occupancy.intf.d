@@ -1,0 +1,1 @@
+lib/uarch/occupancy.mli: Arch_config Format

@@ -1,0 +1,1 @@
+lib/uarch/reg_mapping.ml: Format

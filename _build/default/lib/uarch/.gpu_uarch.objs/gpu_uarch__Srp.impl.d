@@ -1,0 +1,1 @@
+lib/uarch/srp.ml: Array Bitmask Format

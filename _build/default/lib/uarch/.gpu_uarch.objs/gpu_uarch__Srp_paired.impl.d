@@ -1,0 +1,1 @@
+lib/uarch/srp_paired.ml: Array Bitmask

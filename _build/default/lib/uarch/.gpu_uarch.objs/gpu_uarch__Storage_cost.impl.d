@@ -1,0 +1,1 @@
+lib/uarch/storage_cost.ml: Arch_config Format List

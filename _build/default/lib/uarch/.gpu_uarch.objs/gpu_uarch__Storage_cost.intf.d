@@ -1,0 +1,1 @@
+lib/uarch/storage_cost.mli: Arch_config Format

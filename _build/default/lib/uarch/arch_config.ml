@@ -1,0 +1,59 @@
+type scheduler_kind =
+  | Gto
+  | Lrr
+  | Two_level of int
+
+type t = {
+  name : string;
+  n_sms : int;
+  regfile_regs : int;
+  max_warps : int;
+  max_ctas : int;
+  max_threads : int;
+  shmem_bytes : int;
+  warp_size : int;
+  n_schedulers : int;
+  scheduler : scheduler_kind;
+  reg_alloc_gran : int;
+  shmem_alloc_gran : int;
+  lat_alu : int;
+  lat_complex : int;
+  lat_shared : int;
+  lat_global : int;
+  mem_slots : int;
+  dram_interval : float;
+}
+
+let gtx480 = {
+  name = "gtx480";
+  n_sms = 15;
+  regfile_regs = 32768;
+  max_warps = 48;
+  max_ctas = 8;
+  max_threads = 1536;
+  shmem_bytes = 49152;
+  warp_size = 32;
+  n_schedulers = 2;
+  scheduler = Gto;
+  reg_alloc_gran = 4;
+  shmem_alloc_gran = 128;
+  lat_alu = 4;
+  lat_complex = 8;
+  lat_shared = 30;
+  lat_global = 400;
+  mem_slots = 48;
+  dram_interval = 0.35;
+}
+
+let with_half_regfile t =
+  { t with name = t.name ^ "-half-rf"; regfile_regs = t.regfile_regs / 2 }
+
+let round_up value gran = (value + gran - 1) / gran * gran
+
+let round_regs t r = round_up r t.reg_alloc_gran
+let round_shmem t b = round_up b t.shmem_alloc_gran
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d SMs, %d regs/SM, %d warps, %d CTAs, %d threads, %dB shmem"
+    t.name t.n_sms t.regfile_regs t.max_warps t.max_ctas t.max_threads t.shmem_bytes

@@ -1,0 +1,55 @@
+(** Architecture parameters of the simulated GPU.
+
+    Defaults model the GeForce GTX480 (Fermi) configuration shipped with
+    GPGPU-Sim v3.2.2, the baseline of the RegMutex evaluation: 15 SMs,
+    128 KB register file per SM (32 K 32-bit registers), 48 resident warps,
+    2 GTO warp schedulers. *)
+
+(** Warp-scheduler policy. [Gto] is GPGPU-Sim's default greedy-then-oldest;
+    [Lrr] is loose round-robin; [Two_level n] groups warps into fetch groups
+    of [n] and drains the active group before rotating (Narasiman et al.,
+    MICRO 2011) — grouping staggers memory phases across groups. *)
+type scheduler_kind =
+  | Gto
+  | Lrr
+  | Two_level of int
+
+type t = {
+  name : string;
+  n_sms : int;
+  regfile_regs : int;     (** 32-bit registers per SM *)
+  max_warps : int;        (** resident warps per SM *)
+  max_ctas : int;         (** resident CTAs per SM *)
+  max_threads : int;      (** resident threads per SM *)
+  shmem_bytes : int;      (** shared memory per SM *)
+  warp_size : int;
+  n_schedulers : int;
+  scheduler : scheduler_kind;
+  reg_alloc_gran : int;   (** per-thread register rounding for allocation *)
+  shmem_alloc_gran : int; (** shared-memory allocation granularity, bytes *)
+  lat_alu : int;          (** result latency of simple integer ops *)
+  lat_complex : int;      (** result latency of mul/div/mad *)
+  lat_shared : int;       (** shared-memory access latency *)
+  lat_global : int;       (** uncontended global-memory latency *)
+  mem_slots : int;        (** in-flight global accesses per SM (MSHR-like) *)
+  dram_interval : float;  (** GPU-wide cycles between global-request services
+                              at full load (may be fractional: 0.35 ≈ 2.9
+                              requests per cycle across the GPU) *)
+}
+
+(** The paper's baseline configuration. *)
+val gtx480 : t
+
+(** [with_half_regfile t] halves the per-SM register file (the paper's
+    64 KB configuration, §IV-B). *)
+val with_half_regfile : t -> t
+
+(** [round_regs t r] rounds a per-thread register demand up to the
+    allocation granularity (the parenthesised numbers of Table I). *)
+val round_regs : t -> int -> int
+
+(** [round_shmem t b] rounds a shared-memory demand up to the allocation
+    granularity. *)
+val round_shmem : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

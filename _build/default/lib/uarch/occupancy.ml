@@ -1,0 +1,77 @@
+type demand = {
+  regs_per_thread : int;
+  shmem_bytes : int;
+  cta_threads : int;
+}
+
+type limiter = Lim_regs | Lim_shmem | Lim_threads | Lim_ctas | Lim_warps
+
+type result = {
+  ctas : int;
+  warps : int;
+  threads : int;
+  occupancy : float;
+  limiter : limiter;
+  regs_used : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let calculate ?(round_regs = true) (cfg : Arch_config.t) demand =
+  if demand.cta_threads <= 0 then invalid_arg "Occupancy.calculate: empty CTA";
+  let regs =
+    if round_regs then Arch_config.round_regs cfg demand.regs_per_thread
+    else demand.regs_per_thread
+  in
+  let warps_per_cta = ceil_div demand.cta_threads cfg.warp_size in
+  let regs_per_cta = regs * cfg.warp_size * warps_per_cta in
+  let shmem_per_cta = Arch_config.round_shmem cfg demand.shmem_bytes in
+  let by_regs =
+    if regs_per_cta = 0 then cfg.max_ctas else cfg.regfile_regs / regs_per_cta
+  in
+  let by_shmem =
+    if shmem_per_cta = 0 then max_int else cfg.shmem_bytes / shmem_per_cta
+  in
+  let by_threads = cfg.max_threads / demand.cta_threads in
+  let by_warps = cfg.max_warps / warps_per_cta in
+  let candidates =
+    [ (by_regs, Lim_regs); (by_shmem, Lim_shmem); (by_threads, Lim_threads);
+      (by_warps, Lim_warps); (cfg.max_ctas, Lim_ctas) ]
+  in
+  let ctas, limiter =
+    List.fold_left
+      (fun (best, lim) (c, l) -> if c < best then (c, l) else (best, lim))
+      (max_int, Lim_ctas) candidates
+  in
+  let ctas = max 0 ctas in
+  let warps = ctas * warps_per_cta in
+  {
+    ctas;
+    warps;
+    threads = ctas * demand.cta_threads;
+    occupancy = float_of_int warps /. float_of_int cfg.max_warps;
+    limiter;
+    regs_used = ctas * regs_per_cta;
+  }
+
+let srp_sections (cfg : Arch_config.t) ~demand ~bs ~es =
+  let base = calculate ~round_regs:false cfg { demand with regs_per_thread = bs } in
+  let leftover = cfg.regfile_regs - base.regs_used in
+  let sections =
+    if es <= 0 then 0
+    else min cfg.max_warps (leftover / (es * cfg.warp_size))
+  in
+  (base, max 0 sections)
+
+let pp_limiter ppf l =
+  Format.pp_print_string ppf
+    (match l with
+    | Lim_regs -> "registers"
+    | Lim_shmem -> "shared-memory"
+    | Lim_threads -> "threads"
+    | Lim_ctas -> "cta-slots"
+    | Lim_warps -> "warp-slots")
+
+let pp ppf r =
+  Format.fprintf ppf "%d CTAs / %d warps (%.0f%%, limited by %a)"
+    r.ctas r.warps (100. *. r.occupancy) pp_limiter r.limiter

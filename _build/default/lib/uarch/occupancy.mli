@@ -1,0 +1,39 @@
+(** CUDA-style theoretical occupancy calculator.
+
+    Given a kernel's per-thread register demand, per-CTA shared memory and
+    CTA shape, computes how many CTAs an SM can host and which resource is
+    the limiter — the quantity RegMutex manipulates by shrinking the static
+    register demand from the full set to [|Bs|]. *)
+
+type demand = {
+  regs_per_thread : int;  (** architected registers per thread (unrounded) *)
+  shmem_bytes : int;      (** shared memory per CTA *)
+  cta_threads : int;      (** threads per CTA *)
+}
+
+type limiter = Lim_regs | Lim_shmem | Lim_threads | Lim_ctas | Lim_warps
+
+type result = {
+  ctas : int;             (** resident CTAs per SM *)
+  warps : int;            (** resident warps per SM *)
+  threads : int;
+  occupancy : float;      (** warps / max resident warps *)
+  limiter : limiter;      (** binding constraint (register file ties win) *)
+  regs_used : int;        (** registers consumed by the resident CTAs *)
+}
+
+(** [calculate ?round_regs cfg demand] computes theoretical occupancy.
+    [round_regs] (default [true]) applies the allocation granularity to the
+    register demand before sizing, as GPGPU-Sim does for the baseline; the
+    RegMutex base-set sizing uses exact values (paper §III-A2 example). *)
+val calculate : ?round_regs:bool -> Arch_config.t -> demand -> result
+
+(** [srp_sections cfg ~demand ~bs ~es] is the number of extended register
+    sets that fit in the register file left over once the base sets of the
+    resident CTAs (computed with [regs_per_thread = bs]) are allocated,
+    capped at the maximum warp count. Returns the pair
+    [(resident, sections)]. *)
+val srp_sections : Arch_config.t -> demand:demand -> bs:int -> es:int -> result * int
+
+val pp_limiter : Format.formatter -> limiter -> unit
+val pp : Format.formatter -> result -> unit

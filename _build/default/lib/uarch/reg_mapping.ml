@@ -1,0 +1,26 @@
+type config = {
+  bs : int;
+  es : int;
+  srp_offset : int;
+}
+
+type error =
+  | Out_of_range
+  | Extended_not_acquired
+
+let baseline ~coeff ~widx ~x = x + (coeff * widx)
+
+let regmutex cfg ~widx ~section ~x =
+  if x < 0 || x >= cfg.bs + cfg.es then Error Out_of_range
+  else if x < cfg.bs then Ok ((widx * cfg.bs) + x)
+  else
+    match section with
+    | None -> Error Extended_not_acquired
+    | Some s -> Ok (cfg.srp_offset + (s * cfg.es) + (x - cfg.bs))
+
+let srp_offset_for ~bs ~resident_warps = bs * resident_warps
+
+let pp_error ppf = function
+  | Out_of_range -> Format.pp_print_string ppf "architected index out of range"
+  | Extended_not_acquired ->
+      Format.pp_print_string ppf "extended-set access without an acquired section"

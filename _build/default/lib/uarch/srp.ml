@@ -1,0 +1,55 @@
+type t = {
+  status : Bitmask.t;        (* warp status: 1 = holding an extended set *)
+  srp : Bitmask.t;           (* SRP sections: 1 = acquired *)
+  lut : int array;           (* warp -> section (valid when status bit set) *)
+}
+
+type acquire_result =
+  | Granted of int
+  | Stall
+  | Already_held of int
+
+type release_result =
+  | Released of int
+  | Not_held
+
+let create ~n_warps ~sections =
+  if sections > n_warps then invalid_arg "Srp.create: more sections than warps";
+  {
+    status = Bitmask.create ~width:n_warps ~valid:n_warps;
+    srp = Bitmask.create ~width:n_warps ~valid:sections;
+    lut = Array.make n_warps 0;
+  }
+
+let holds t ~warp =
+  if Bitmask.test t.status warp then Some t.lut.(warp) else None
+
+let acquire t ~warp =
+  match holds t ~warp with
+  | Some section -> Already_held section
+  | None -> (
+      match Bitmask.ffz t.srp with
+      | None -> Stall
+      | Some section ->
+          Bitmask.set t.srp section;
+          Bitmask.set t.status warp;
+          t.lut.(warp) <- section;
+          Granted section)
+
+let release t ~warp =
+  match holds t ~warp with
+  | None -> Not_held
+  | Some section ->
+      Bitmask.clear t.status warp;
+      Bitmask.clear t.srp section;
+      Released section
+
+let n_sections t = Bitmask.valid t.srp
+let free_sections t = n_sections t - Bitmask.popcount t.srp
+let in_use t = Bitmask.popcount t.srp
+
+let reset_warp t ~warp =
+  match release t ~warp with Released s -> Some s | Not_held -> None
+
+let pp ppf t =
+  Format.fprintf ppf "srp=%a status=%a" Bitmask.pp t.srp Bitmask.pp t.status

@@ -1,0 +1,51 @@
+type t = {
+  taken : Bitmask.t;        (* per pair: 1 = extended set held *)
+  owner : int array;        (* per pair: warp currently holding (valid when taken) *)
+}
+
+type acquire_result = Granted | Stall | Already_held
+type release_result = Released | Not_held
+
+let pair_of_warp ~warp = warp / 2
+
+let create ~n_warps ~enabled_pairs =
+  let pairs = (n_warps + 1) / 2 in
+  if enabled_pairs > pairs then invalid_arg "Srp_paired.create: too many enabled pairs";
+  {
+    taken = Bitmask.create ~width:pairs ~valid:enabled_pairs;
+    owner = Array.make pairs (-1);
+  }
+
+let holds t ~warp =
+  let p = pair_of_warp ~warp in
+  Bitmask.test t.taken p && t.owner.(p) = warp
+
+let available t ~warp =
+  let p = pair_of_warp ~warp in
+  holds t ~warp || not (Bitmask.test t.taken p)
+
+let acquire t ~warp =
+  let p = pair_of_warp ~warp in
+  if Bitmask.test t.taken p then
+    if t.owner.(p) = warp then Already_held else Stall
+  else if p >= Bitmask.valid t.taken then Stall
+  else begin
+    Bitmask.set t.taken p;
+    t.owner.(p) <- warp;
+    Granted
+  end
+
+let release t ~warp =
+  let p = pair_of_warp ~warp in
+  if Bitmask.test t.taken p && t.owner.(p) = warp then begin
+    Bitmask.clear t.taken p;
+    t.owner.(p) <- -1;
+    Released
+  end
+  else Not_held
+
+let n_pairs t = Bitmask.valid t.taken
+let in_use t = Bitmask.popcount t.taken
+
+let reset_warp t ~warp =
+  match release t ~warp with Released -> true | Not_held -> false

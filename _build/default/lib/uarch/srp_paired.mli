@@ -1,0 +1,32 @@
+(** Paired-warps specialization of the SRP engine (§III-C).
+
+    Warps [2k] and [2k+1] share one dedicated extended register set; the
+    design drops the lookup table and the full SRP bitmask, keeping only
+    [n_warps / 2] status bits. A warp can only acquire its own pair's set,
+    so an acquire stalls exactly when the partner warp holds it. *)
+
+type t
+
+type acquire_result =
+  | Granted   (** the pair's extended set is now held by this warp *)
+  | Stall     (** partner holds the set *)
+  | Already_held
+
+type release_result = Released | Not_held
+
+(** [create ~n_warps ~enabled_pairs] — pairs with index
+    [>= enabled_pairs] have no physical extended set (register file too
+    small); their acquires always stall. *)
+val create : n_warps:int -> enabled_pairs:int -> t
+
+val acquire : t -> warp:int -> acquire_result
+val release : t -> warp:int -> release_result
+val holds : t -> warp:int -> bool
+
+(** Would an acquire by this warp succeed right now (it already holds the
+    set, or the pair's set is free)? Pure query for issue-eligibility. *)
+val available : t -> warp:int -> bool
+val pair_of_warp : warp:int -> int
+val n_pairs : t -> int
+val in_use : t -> int
+val reset_warp : t -> warp:int -> bool

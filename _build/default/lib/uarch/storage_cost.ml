@@ -1,0 +1,57 @@
+type technique =
+  | Regmutex_default
+  | Regmutex_paired
+  | Rfv
+  | Owf
+
+type breakdown = {
+  technique : technique;
+  components : (string * int) list;
+  total_bits : int;
+}
+
+let ceil_log2 n =
+  let rec go bits capacity = if capacity >= n then bits else go (bits + 1) (capacity * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let make technique components =
+  { technique; components; total_bits = List.fold_left (fun acc (_, b) -> acc + b) 0 components }
+
+let bits (cfg : Arch_config.t) technique =
+  let nw = cfg.max_warps in
+  match technique with
+  | Regmutex_default ->
+      make technique
+        [ ("warp status bitmask", nw);
+          ("SRP bitmask", nw);
+          ("warp->section LUT", nw * ceil_log2 nw) ]
+  | Regmutex_paired ->
+      make technique [ ("pair status bitmask", nw / 2) ]
+  | Rfv ->
+      (* Renaming table: one entry per (warp, architected register), each
+         naming one of the physical warp-register packs; plus a physical
+         availability bit per pack. 48 x 63 x 10 + 1024 = 31,264 bits. *)
+      let arch_regs = 63 in
+      let packs = cfg.regfile_regs / cfg.warp_size in
+      make technique
+        [ ("renaming table", nw * arch_regs * ceil_log2 packs);
+          ("availability bits", packs) ]
+  | Owf ->
+      (* One lock bit per warp pair, plus an owner bit to identify which
+         warp of the pair holds the shared registers. *)
+      make technique [ ("pair lock bits", nw / 2); ("owner bits", nw / 2) ]
+
+let ratio cfg a b =
+  let ta = (bits cfg a).total_bits and tb = (bits cfg b).total_bits in
+  if ta = 0 then infinity else float_of_int tb /. float_of_int ta
+
+let technique_name = function
+  | Regmutex_default -> "RegMutex"
+  | Regmutex_paired -> "RegMutex (paired-warps)"
+  | Rfv -> "Register File Virtualization"
+  | Owf -> "Resource sharing + OWF"
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v>%s: %d bits@," (technique_name b.technique) b.total_bits;
+  List.iter (fun (name, bits) -> Format.fprintf ppf "  %-24s %6d bits@," name bits) b.components;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Hardware storage accounting (§III-B1 and §IV-C).
+
+    On the 48-warp baseline: RegMutex adds 384 bits (two 48-bit bitmasks
+    plus a 48 × ⌈log₂ 48⌉ lookup table), the paired specialization only 24
+    bits, and Register File Virtualization needs 30,240 bits of renaming
+    table plus 1,024 availability bits — the >81× gap the paper reports. *)
+
+type technique =
+  | Regmutex_default
+  | Regmutex_paired
+  | Rfv   (** register file virtualization, Jeon et al. [3] *)
+  | Owf   (** resource sharing with OWF scheduling, Jatala et al. [7] *)
+
+type breakdown = {
+  technique : technique;
+  components : (string * int) list;  (** named structures, in bits *)
+  total_bits : int;
+}
+
+val bits : Arch_config.t -> technique -> breakdown
+
+(** [ratio cfg a b] is [total_bits b / total_bits a] — e.g.
+    [ratio cfg Regmutex_default Rfv ≈ 81.4]. *)
+val ratio : Arch_config.t -> technique -> technique -> float
+
+val technique_name : technique -> string
+val pp : Format.formatter -> breakdown -> unit

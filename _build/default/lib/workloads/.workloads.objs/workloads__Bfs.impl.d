@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Gpu_isa Gpu_sim Shape Spec

@@ -1,0 +1,1 @@
+lib/workloads/cutcp.ml: Gpu_isa Gpu_sim Shape Spec

@@ -1,0 +1,1 @@
+lib/workloads/dwt2d.ml: Gpu_isa Gpu_sim Shape Spec

@@ -1,0 +1,1 @@
+lib/workloads/hotspot3d.ml: Gpu_isa Gpu_sim Shape Spec

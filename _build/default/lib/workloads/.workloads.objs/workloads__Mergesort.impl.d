@@ -1,0 +1,1 @@
+lib/workloads/mergesort.ml: Gpu_isa Gpu_sim Shape Spec

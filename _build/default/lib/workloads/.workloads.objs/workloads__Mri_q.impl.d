@@ -1,0 +1,1 @@
+lib/workloads/mri_q.ml: Gpu_isa Gpu_sim Shape Spec

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bfs Cutcp Dwt2d Gaussian Heartwall Hotspot3d Lavamd List Mergesort Montecarlo Mri_q Particlefilter Radixsort Sad Spec Spmv Srad String Tpacf

@@ -1,0 +1,1 @@
+lib/workloads/shape.ml: Array Gpu_isa Instr List

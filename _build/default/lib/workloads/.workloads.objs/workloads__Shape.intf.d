@@ -1,0 +1,1 @@
+lib/workloads/shape.mli: Builder Gpu_isa Instr

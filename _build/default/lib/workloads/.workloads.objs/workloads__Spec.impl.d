@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Gpu_sim Printf

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Gpu_sim

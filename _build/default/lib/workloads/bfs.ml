@@ -1,0 +1,40 @@
+(* BFS (Rodinia): breadth-first search. Memory-bound frontier expansion: an
+   outer loop over the thread's nodes and a data-driven inner loop over each
+   node's edges, each edge reached through a dependent (pointer-chasing)
+   load chain. Register pressure bulges while a neighbour's update is
+   computed. 21 registers per thread (Table I). *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 outer counter, r2 node cursor, r3 accumulator,
+   r4 node value, r5 edge counter, r6 edge cursor, r7 neighbour,
+   r8..r20 update bulge. *)
+let program =
+  assemble ~name:"bfs"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"node"
+        ([ load I.Global 4 (r 2);
+           and_ 5 (r 4) (imm 3);
+           add 5 (r 5) (imm 2);
+           add 6 (r 4) (r 0) ]
+        @ Shape.counted_loop ~ctr:5 ~trips:(r 5) ~name:"edge"
+            (Shape.chase I.Global ~addr:6 ~dst:7 ~hops:2
+            @ Shape.bulge ~keep:[ 4 ] ~seed:7 ~acc:3 ~first:8 ~last:20 ~hold:2 ())
+        @ [ store ~ofs:0x10000000 I.Global (r 2) (r 3);
+            add 2 (r 2) (imm 4) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "BFS";
+    description = "breadth-first search: irregular, memory-bound frontier expansion";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"bfs" ~grid_ctas:36 ~cta_threads:512
+        ~params:[| 8 |] program;
+    paper_regs = 21;
+    paper_rounded = 24;
+    paper_bs = 18;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,46 @@
+(* CUTCP (Parboil): cutoff-limited Coulombic potential. For each grid point
+   the kernel chases the neighbour-atom list (dependent loads), computes a
+   distance, and — only within the cutoff — evaluates an expensive potential
+   polynomial (the pressure bulge sits inside that conditional, exercising
+   divergence-conservative liveness). 25 registers per thread. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 atom counter, r2 atom cursor, r3 potential
+   accumulator, r4..r6 atom coordinates, r7 squared distance, r8 cutoff
+   flag, r9 scratch, r10/r11 conditioned seed, r12..r24 polynomial bulge. *)
+let program =
+  assemble ~name:"cutcp"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 8) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"atom"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ shr 5 (r 4) (imm 4);
+            shr 6 (r 4) (imm 8);
+            sub 4 (r 4) (r 0);
+            sub 5 (r 5) (r 0);
+            mul 9 (r 4) (r 4);
+            mad 7 (r 5) (r 5) (r 9);
+            mad 7 (r 6) (r 6) (r 7);
+            cmp I.Lt 8 (r 7) (imm 2000000000);
+            bz (r 8) "skip";
+            (* Within the cutoff: evaluate the potential polynomial. *)
+            shr 10 (r 7) (imm 3);
+            add 11 (r 10) (r 7) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 8; 9; 10 ] ~seed:11 ~acc:3 ~first:12 ~last:24 ~hold:4 ()
+        @ [ label "skip" ])
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "CUTCP";
+    description = "cutoff Coulombic potential: conditional high-pressure polynomial";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"cutcp" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 20 |] program;
+    paper_regs = 25;
+    paper_rounded = 28;
+    paper_bs = 20;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,52 @@
+(* DWT2D (Rodinia): 2-D discrete wavelet transform. Two phases separated by
+   a CTA barrier: rows are staged through shared memory, then the column
+   pass streams coefficients from global memory (dependent loads) and
+   evaluates the wide filter — a 24-register bulge, giving the paper's
+   largest per-thread register count (44). *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 row counter, r2 global cursor, r3 accumulator,
+   r4 shared slot, r5..r8 row taps, r9 staged value, r10 column counter,
+   r11..r13 column taps, r14 staging temp, r15 seed, r16..r19 staging
+   temps, r20..r43 column-filter bulge. *)
+let program =
+  assemble ~name:"dwt2d"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4); mov 4 tid ]
+    (* Phase 1: row filter, staged into shared memory. *)
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"row"
+        (Shape.strided_loads I.Global ~addr:2 ~dsts:[ 5; 6; 7; 8 ] ~stride:4
+        @ [ add 9 (r 5) (r 6);
+            sub 16 (r 7) (r 8);
+            mul 17 (r 9) (imm 3);
+            add 18 (r 16) (r 17);
+            shr 19 (r 18) (imm 1);
+            add 9 (r 19) (r 9);
+            store I.Shared (r 4) (r 9);
+            add 2 (r 2) (imm 16) ])
+    @ [ bar ]
+    (* Phase 2: column filter over staged rows and streamed coefficients. *)
+    @ Shape.counted_loop ~ctr:10 ~trips:(param 1) ~name:"col"
+        (Shape.chase I.Global ~addr:2 ~dst:11 ~hops:2
+        @ [ load I.Shared 12 (r 4);
+            load ~ofs:32 I.Shared 13 (r 4);
+            add 14 (r 11) (r 12);
+            add 15 (r 14) (r 13) ]
+        @ Shape.bulge ~keep:[ 1; 5; 6; 7; 8; 9; 11; 12; 13; 14; 16; 17; 18; 19 ]
+            ~seed:15 ~acc:3 ~first:20 ~last:43 ~hold:3 ())
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "DWT2D";
+    description = "2-D wavelet transform: shared-memory staging, 24-register column filter";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"dwt2d" ~grid_ctas:36 ~cta_threads:256
+        ~shmem_bytes:4096 ~params:[| 6; 8 |] program;
+    paper_regs = 44;
+    paper_rounded = 44;
+    paper_bs = 38;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,34 @@
+(* Gaussian (Rodinia): Gaussian elimination row updates. Small register
+   footprint (12), streaming multiply-subtract over matrix rows reached by
+   dependent loads; occupancy on the full register file is limited by
+   threads, not registers. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 column counter, r2 cursor, r3 row accumulator,
+   r4 pivot, r6 multiplier, r7 seed, r8..r11 update temps. *)
+let program =
+  assemble ~name:"gaussian"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"col"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ mul 6 (r 4) (r 4);
+            shr 7 (r 6) (imm 2) ]
+        @ Shape.bulge ~keep:[ 4; 6 ] ~seed:7 ~acc:3 ~first:8 ~last:11 ~hold:2 ()
+        @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "Gaussian";
+    description = "Gaussian elimination row update: small footprint, streaming";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"gaussian" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 14 |] program;
+    paper_regs = 12;
+    paper_rounded = 12;
+    paper_bs = 8;
+    group = Spec.Regfile_sensitive;
+  }

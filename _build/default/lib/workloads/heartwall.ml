@@ -1,0 +1,49 @@
+(* HeartWall (Rodinia): heart-wall motion tracking. Template correlation
+   with a data-dependent branch: points on the wall take the expensive
+   correlation path (16-register bulge), points off it take a cheap update
+   — a divergence diamond the conservative liveness must widen. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 point counter, r2 cursor, r3 displacement
+   accumulator, r4 sample, r5 template, r6 difference, r7 on-wall flag,
+   r8..r10 cheap-path temps, r11 seed, r12..r27 correlation bulge. *)
+let program =
+  assemble ~name:"heartwall"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"point"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ shr 5 (r 4) (imm 3);
+            sub 6 (r 4) (r 5);
+            shl 9 (r 5) (imm 1);
+            xor 8 (r 6) (imm 3);
+            or_ 10 (r 5) (imm 9);
+            and_ 7 (r 4) (imm 16);
+            bz (r 7) "offwall";
+            mul 11 (r 6) (r 6) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 7; 8; 9; 10 ] ~seed:11 ~acc:3 ~first:12
+            ~last:27 ~hold:4 ()
+        @ [ bra "join";
+            label "offwall";
+            add 8 (r 6) (imm 1);
+            mul 9 (r 8) (r 8);
+            shr 10 (r 9) (imm 3);
+            mad 3 (r 10) (imm 1) (r 3);
+            label "join";
+            store ~ofs:0x10000000 I.Global (r 0) (r 3) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "HeartWall";
+    description = "heart-wall tracking: divergent correlation vs cheap update paths";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"heartwall" ~grid_ctas:96 ~cta_threads:128
+        ~params:[| 16 |] program;
+    paper_regs = 28;
+    paper_rounded = 28;
+    paper_bs = 20;
+    group = Spec.Regfile_sensitive;
+  }

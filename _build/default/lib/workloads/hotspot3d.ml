@@ -1,0 +1,47 @@
+(* HotSpot3D (Rodinia): 3-D thermal stencil. Iterates over z-planes; each
+   step chases the plane indirection, loads two more neighbours, evaluates
+   the stencil update (pressure bulge), stores, and synchronises the CTA
+   before the next plane — the barrier sits at a low-pressure point, as the
+   deadlock rule requires. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 plane counter, r2 cursor, r3 result,
+   r4..r6 neighbours, r10/r11 sums, r15 seed, r16..r31 stencil bulge. *)
+let program =
+  assemble ~name:"hotspot3d"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"plane"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ load ~ofs:8 I.Global 5 (r 2);
+            load ~ofs:16 I.Global 6 (r 2);
+            add 10 (r 4) (r 5);
+            add 11 (r 10) (r 6);
+            (* Plane coefficients retained across the stencil update. *)
+            add 7 (r 4) (imm 3);
+            sub 8 (r 5) (imm 5);
+            xor 9 (r 6) (imm 7);
+            shl 12 (r 10) (imm 1);
+            shr 13 (r 11) (imm 1);
+            add 14 (r 12) (r 13);
+            shr 15 (r 11) (imm 2) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ] ~seed:15
+            ~acc:3 ~first:16 ~last:31 ~hold:3 ()
+        @ [ store ~ofs:0x10000000 I.Global (r 2) (r 3);
+            bar ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "HotSpot3D";
+    description = "3-D thermal stencil: per-plane barrier, 16-register update bulge";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"hotspot3d" ~grid_ctas:72 ~cta_threads:256
+        ~shmem_bytes:2048 ~params:[| 10 |] program;
+    paper_regs = 32;
+    paper_rounded = 32;
+    paper_bs = 24;
+    group = Spec.Occupancy_limited;
+  }

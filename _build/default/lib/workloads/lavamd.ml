@@ -1,0 +1,46 @@
+(* LavaMD (Rodinia): molecular-dynamics particle forces within a cut-off
+   box. A nested neighbour loop chases the neighbour list and evaluates a
+   wide force bulge (21 registers); small CTAs (64 threads), so CTA slots
+   — not registers — limit occupancy on the full register file. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 box counter, r2 cursor, r3 force accumulator,
+   r4 neighbour counter, r5 neighbour, r9..r13 distance temps, r14/r15
+   seeds, r16..r36 force bulge. *)
+let program =
+  assemble ~name:"lavamd"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"box"
+        (Shape.counted_loop ~ctr:4 ~trips:(param 1) ~name:"neigh"
+           (Shape.chase I.Global ~addr:2 ~dst:5 ~hops:2
+           @ [ sub 9 (r 5) (r 0);
+               mul 11 (r 9) (r 9);
+               shr 13 (r 11) (imm 2);
+               add 14 (r 13) (r 11);
+               (* Force components retained across the evaluation. *)
+               add 6 (r 9) (imm 3);
+               sub 7 (r 9) (imm 5);
+               xor 8 (r 11) (imm 7);
+               shl 10 (r 13) (imm 1);
+               add 12 (r 14) (r 6);
+               add 15 (r 14) (r 9) ]
+           @ Shape.bulge ~keep:[ 6; 7; 8; 9; 10; 11; 12; 13; 14 ]
+               ~seed:15 ~acc:3 ~first:16 ~last:36 ~hold:5 ())
+        @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "LavaMD";
+    description = "molecular dynamics: nested neighbour loop, 21-register force bulge";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"lavamd" ~grid_ctas:96 ~cta_threads:64
+        ~params:[| 5; 4 |] program;
+    paper_regs = 37;
+    paper_rounded = 40;
+    paper_bs = 28;
+    group = Spec.Regfile_sensitive;
+  }

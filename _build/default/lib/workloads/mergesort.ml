@@ -1,0 +1,43 @@
+(* MergeSort (CUDA SDK): shared-memory bitonic-style merge steps. Heavy
+   shared-memory use (12 KB per CTA) limits occupancy; the register
+   footprint is small (15), so RegMutex's pick cannot raise occupancy —
+   the paper's one slowdown case. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 step counter, r2 shared slot, r3 checksum,
+   r4 partner slot, r5/r6 elements, r7 flag, r8 seed, r9..r14 merge
+   temps. *)
+let program =
+  assemble ~name:"mergesort"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0);
+        mov 2 tid;
+        load I.Global 5 (r 0);
+        store I.Shared (r 2) (r 5);
+        bar ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"step"
+        ([ xor 4 (r 2) (imm 32);
+           load I.Shared 5 (r 2);
+           load I.Shared 6 (r 4);
+           cmp I.Lt 7 (r 5) (r 6);
+           sel 8 (r 7) (r 5) (r 6) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6 ] ~seed:8 ~acc:3 ~first:9 ~last:14 ~hold:2 ()
+        (* Barrier between the reads and the write keeps cross-warp
+           shared-memory traffic deterministic. *)
+        @ [ bar; store I.Shared (r 2) (r 8); bar ])
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "MergeSort";
+    description = "shared-memory merge: shmem-limited occupancy, small footprint";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"mergesort" ~grid_ctas:32 ~cta_threads:256
+        ~shmem_bytes:12288 ~params:[| 20 |] program;
+    paper_regs = 15;
+    paper_rounded = 16;
+    paper_bs = 12;
+    group = Spec.Regfile_sensitive;
+  }

@@ -1,0 +1,36 @@
+(* MonteCarlo (CUDA SDK): option-pricing path simulation. A linear
+   congruential generator drives per-path payoffs; each path samples the
+   underlying price series from memory, mixing compute and latency. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 path counter, r2 rng state, r3 payoff sum,
+   r4..r6 step temps, r7 seed, r8..r12 payoff bulge. *)
+let program =
+  assemble ~name:"montecarlo"
+    (Shape.global_id ~gid:0
+    @ [ mad 2 (r 0) (imm 2654435761) (imm 12345); mov 3 (imm 0) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"path"
+        ([ mad 2 (r 2) (imm 1103515245) (imm 12345);
+           and_ 2 (r 2) (imm 0xfffff) ]
+        @ Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ shr 5 (r 4) (imm 8);
+            mul 5 (r 5) (r 5);
+            sub 6 (r 5) (r 4);
+            shr 7 (r 6) (imm 1) ]
+        @ Shape.bulge ~keep:[ 4; 5 ] ~seed:7 ~acc:3 ~first:8 ~last:12 ~hold:3 ())
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "MonteCarlo";
+    description = "Monte-Carlo option pricing: RNG-driven sampled paths";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"montecarlo" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 16 |] program;
+    paper_regs = 13;
+    paper_rounded = 16;
+    paper_bs = 12;
+    group = Spec.Regfile_sensitive;
+  }

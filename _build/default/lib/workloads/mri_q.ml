@@ -1,0 +1,39 @@
+(* MRI-Q (Parboil): non-Cartesian MRI reconstruction, Q-matrix kernel.
+   Compute-dense relative to its memory traffic: for each sample the kernel
+   chases the k-space trajectory, then evaluates trigonometric series
+   approximations (multiply-heavy chains). 21 registers per thread. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 sample counter, r2 cursor, r3 accumulator,
+   r4 k-space value, r5 phase, r6..r9 series temps, r10 seed,
+   r11..r20 series bulge. *)
+let program =
+  assemble ~name:"mri_q"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"sample"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:3
+        @ [ mul 5 (r 4) (r 0);
+            mad 7 (r 5) (imm 7) (r 5);
+            mul 8 (r 7) (r 5);
+            mad 9 (r 8) (imm 3) (r 7);
+            add 10 (r 9) (r 5);
+            add 6 (r 10) (r 8) ]
+        @ Shape.bulge ~keep:[ 4; 5; 7; 8 ] ~seed:6 ~acc:3 ~first:11 ~last:20 ~hold:4 ()
+        @ [ mad 3 (r 9) (imm 1) (r 3) ])
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "MRI-Q";
+    description = "MRI Q-matrix: multiply-heavy series evaluation, light memory traffic";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"mri_q" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 14 |] program;
+    paper_regs = 21;
+    paper_rounded = 24;
+    paper_bs = 18;
+    group = Spec.Occupancy_limited;
+  }

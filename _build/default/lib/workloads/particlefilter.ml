@@ -1,0 +1,47 @@
+(* ParticleFilter (Rodinia): sequential Monte-Carlo tracking. Each thread
+   owns particles; the likelihood evaluation is seeded directly by an
+   observation load, so the warp holds its extended set across part of the
+   memory latency — with the large |Es| this kernel needs, SRP sections are
+   few and acquires contend (the paper's example of limited benefit
+   despite an occupancy boost). *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 particle counter, r2 cursor, r3 weight sum,
+   r4 state, r5..r9 motion-model temps, r10 flag, r11 observation seed,
+   r12..r31 likelihood bulge. *)
+let program =
+  assemble ~name:"particlefilter"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"particle"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ sub 6 (r 4) (r 0);
+            mul 7 (r 6) (r 6);
+            shr 8 (r 7) (imm 4);
+            add 9 (r 8) (r 6);
+            cmp I.Gt 10 (r 9) (imm 0);
+            sel 5 (r 10) (r 9) (r 7);
+            load ~ofs:8 I.Global 11 (r 2);
+            (* Conditioning absorbs the observation latency outside the
+               acquire window; the long likelihood plateau is what keeps
+               the extended set busy. *)
+            xor 11 (r 11) (r 9) ]
+        @ Shape.bulge ~keep:[ 4; 6; 7; 8; 10 ] ~seed:11 ~acc:3 ~first:12 ~last:31 ~hold:14 ()
+        @ [ mad 3 (r 5) (imm 1) (r 3);
+            store ~ofs:0x10000000 I.Global (r 2) (r 3) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "ParticleFilter";
+    description = "particle filter: likelihood bulge held across observation loads";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"particlefilter" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 10 |] program;
+    paper_regs = 32;
+    paper_rounded = 32;
+    paper_bs = 20;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,50 @@
+(* RadixSort (CUDA SDK): per-digit counting passes. Each pass chases the
+   key list, updates a shared-memory histogram, and ranks keys (the
+   pressure bulge); passes are separated by CTA barriers. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 pass counter, r2 key cursor, r3 rank
+   accumulator, r4 shift amount, r5 key, r6 digit, r7 histogram slot,
+   r8 histogram value, r9 element counter, r10 seed, r11..r14 ranking
+   temps, r20..r32 scatter bulge. *)
+let program =
+  assemble ~name:"radixsort"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mov 4 (imm 0) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"pass"
+        ([ mul 2 (r 0) (imm 4) ]
+        @ Shape.counted_loop ~ctr:9 ~trips:(param 1) ~name:"elem"
+            (Shape.chase I.Global ~addr:2 ~dst:5 ~hops:2
+            @ [ shr 6 (r 5) (r 4);
+                and_ 6 (r 6) (imm 15);
+                add 7 (r 6) tid;
+                load I.Shared 8 (r 7);
+                add 8 (r 8) (imm 1);
+                store I.Shared (r 7) (r 8);
+                add 10 (r 8) (r 6) ]
+            @ Shape.alu_chain ~regs:[ 11; 12; 13; 14 ] ~len:4 ~seed:(r 10)
+            @ [ (* Rank digits retained across the scatter network. *)
+                add 15 (r 11) (imm 3);
+                sub 16 (r 12) (imm 5);
+                xor 17 (r 13) (imm 7);
+                shl 18 (r 14) (imm 1);
+                add 19 (r 15) (r 16) ]
+            @ Shape.bulge ~keep:[ 5; 6; 7; 8; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19 ]
+                ~seed:14 ~acc:3 ~first:20 ~last:32 ~hold:2 ())
+        @ [ bar; add 4 (r 4) (imm 4) ])
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "RadixSort";
+    description = "radix sort counting passes: shared-memory histogram, barriers";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"radixsort" ~grid_ctas:48 ~cta_threads:256
+        ~shmem_bytes:4096 ~params:[| 2; 8 |] program;
+    paper_regs = 33;
+    paper_rounded = 36;
+    paper_bs = 30;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,23 @@
+let occupancy_limited =
+  [ Bfs.spec; Cutcp.spec; Dwt2d.spec; Hotspot3d.spec; Mri_q.spec;
+    Particlefilter.spec; Radixsort.spec; Sad.spec ]
+
+let regfile_sensitive =
+  [ Gaussian.spec; Heartwall.spec; Lavamd.spec; Mergesort.spec;
+    Montecarlo.spec; Spmv.spec; Srad.spec; Tpacf.spec ]
+
+let all = occupancy_limited @ regfile_sensitive
+
+let find name =
+  let wanted = String.lowercase_ascii name in
+  match
+    List.find_opt (fun s -> String.lowercase_ascii s.Spec.name = wanted) all
+  with
+  | Some s -> s
+  | None -> raise Not_found
+
+let names = List.map (fun s -> s.Spec.name) all
+
+let figure1 =
+  [ Cutcp.spec; Dwt2d.spec; Heartwall.spec; Hotspot3d.spec;
+    Particlefilter.spec; Sad.spec ]

@@ -1,0 +1,22 @@
+(** The 16 workloads of Table I. *)
+
+(** All workloads, Figure 7 set first, in the paper's order. *)
+val all : Spec.t list
+
+(** The 8 kernels whose occupancy is register-limited on the full register
+    file (Figure 7 / 9(a) / 10 / 11 / 12(a)). *)
+val occupancy_limited : Spec.t list
+
+(** The 8 kernels evaluated with a halved register file (Figure 8 / 9(b) /
+    12(b)). *)
+val regfile_sensitive : Spec.t list
+
+(** Look up by paper name (case-insensitive).
+    @raise Not_found for unknown names. *)
+val find : string -> Spec.t
+
+(** Names in registry order. *)
+val names : string list
+
+(** The six kernels of Figure 1, in the paper's order. *)
+val figure1 : Spec.t list

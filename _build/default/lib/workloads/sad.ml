@@ -1,0 +1,47 @@
+(* SAD (Parboil): sum of absolute differences for motion estimation.
+   Block matching: reference pixels are compared, then the candidate pixel
+   arrives straight into a dense, long-held 20-register accumulation
+   network — the paper's example of a large |Es| shrinking the SRP and
+   capping the benefit of the occupancy boost. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 block counter, r2 cursor, r3 SAD accumulator,
+   r4..r7 reference pixels, r8 candidate seed, r9 scratch,
+   r10..r29 matching bulge. *)
+let program =
+  assemble ~name:"sad"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"block"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ Shape.strided_loads I.Global ~addr:2 ~dsts:[ 5; 6; 7 ] ~stride:4
+        @ [ sub 9 (r 4) (r 5);
+            un I.Abs 9 (r 9);
+            sub 8 (r 6) (r 7);
+            un I.Abs 8 (r 8);
+            add 9 (r 8) (r 9);
+            load ~ofs:20 I.Global 8 (r 2);
+            (* Conditioning absorbs the candidate-pixel latency; the dense
+               matching network then occupies the extended set for long
+               stretches of pure compute. *)
+            xor 8 (r 8) (r 9) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 7 ] ~seed:8 ~acc:3 ~first:10 ~last:29 ~hold:20 ()
+        @ [ mad 3 (r 9) (imm 1) (r 3);
+            store ~ofs:0x10000000 I.Global (r 2) (r 3);
+            add 2 (r 2) (imm 16) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "SAD";
+    description = "sum of absolute differences: dense long-held 20-register network";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"sad" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 12 |] program;
+    paper_regs = 30;
+    paper_rounded = 32;
+    paper_bs = 20;
+    group = Spec.Occupancy_limited;
+  }

@@ -1,0 +1,79 @@
+open Gpu_isa
+open Gpu_isa.Builder
+
+let global_id ~gid = [ mul gid ctaid ntid; add gid (r gid) tid ]
+
+let counted_loop ~ctr ~trips ~name body =
+  [ mov ctr trips; label name; bz (r ctr) (name ^ "_end") ]
+  @ body
+  @ [ sub ctr (r ctr) (imm 1); bra name; label (name ^ "_end") ]
+
+(* Binary operators cycled through pressure chains: a mix of simple and
+   complex-latency operations, like real inner loops. *)
+let chain_ops = [| Instr.Add; Instr.Xor; Instr.Mul; Instr.Sub; Instr.Or |]
+
+let bulge ?(keep = []) ~seed ~acc ~first ~last ~hold () =
+  if last < first then invalid_arg "Shape.bulge: empty register range";
+  let width = last - first + 1 in
+  (* Defines depend only on the seed, so once the seed is ready the whole
+     bulge issues back-to-back — the acquire window stays short even when
+     the seed came from memory. *)
+  let define =
+    List.init width (fun k ->
+        let op = chain_ops.(k mod Array.length chain_ops) in
+        bin op (first + k) (r seed) (imm ((k * 7) + 3)))
+  in
+  (* The plateau keeps every bulge register live through a serial
+     dependency chain: long wall-clock residency in the acquire state
+     without flooding the issue slots. *)
+  let plateau =
+    List.init hold (fun k ->
+        let dst = first + ((k + 1) mod width) in
+        let src = first + (k mod width) in
+        or_ dst (r dst) (r src))
+  in
+  (* Tree reduction: live count halves per level, releasing pressure in
+     logarithmic depth rather than a serial accumulate chain. *)
+  let fold =
+    let rec levels s acc =
+      if s >= width then List.rev acc
+      else begin
+        let rec pairs i acc =
+          if i + s >= width then acc
+          else pairs (i + (2 * s)) (add (first + i) (r (first + i)) (r (first + i + s)) :: acc)
+        in
+        levels (2 * s) (pairs 0 acc)
+      end
+    in
+    levels 1 []
+  in
+  (* The seed stays live through the bulge (referenced by the tail fold),
+     and [keep] registers are consumed after it — like a real kernel whose
+     peak pressure equals its allocation, the surrounding values survive
+     the high-pressure phase. *)
+  let tail =
+    mad acc (r first) (imm 3) (r acc)
+    :: mad acc (r seed) (imm 5) (r acc)
+    :: List.map (fun t -> mad acc (r t) (imm 1) (r acc)) keep
+  in
+  define @ plateau @ fold @ tail
+
+let strided_loads space ~addr ~dsts ~stride =
+  List.mapi (fun i dst -> load ~ofs:(i * stride) space dst (r addr)) dsts
+
+let chase space ~addr ~dst ~hops =
+  List.concat
+    (List.init hops (fun k ->
+         [ load ~ofs:k space dst (r addr); add addr (r dst) (imm (k + 1)) ]))
+
+let alu_chain ~regs ~len ~seed =
+  match regs with
+  | [] -> invalid_arg "Shape.alu_chain: no registers"
+  | first :: _ ->
+      let arr = Array.of_list regs in
+      let n = Array.length arr in
+      List.init len (fun k ->
+          let dst = arr.(k mod n) in
+          let src = if k = 0 then first else arr.((k - 1) mod n) in
+          let op = chain_ops.(k mod Array.length chain_ops) in
+          bin op dst (r src) seed)

@@ -1,0 +1,49 @@
+(** Code-shape combinators shared by the synthetic workloads.
+
+    Every combinator returns a {!Gpu_isa.Builder.item} list to be spliced
+    into a kernel. Register indices are explicit: the caller owns the
+    register budget (Table I fixes each kernel's count). *)
+
+open Gpu_isa
+
+(** [global_id ~gid] computes the linear thread id into [r gid]:
+    [gid = ctaid * ntid + tid]. *)
+val global_id : gid:int -> Builder.item list
+
+(** [counted_loop ~ctr ~trips ~name body] is a while-style loop running
+    [trips] iterations (zero-safe): [ctr] is initialised from [trips] and
+    decremented; labels [name] and [name ^ "_end"] are claimed. *)
+val counted_loop :
+  ctr:int -> trips:Instr.operand -> name:string -> Builder.item list ->
+  Builder.item list
+
+(** [bulge ?keep ~seed ~acc ~first ~last ~hold ()] creates a
+    register-pressure bulge: registers [first..last] are defined from
+    [seed] (independently, so the window opens only once the seed is
+    ready), all stay live for [hold] extra instructions, then collapse
+    through a tree reduction into [acc]. The [seed] and every register in
+    [keep] are consumed after the fold, so they stay live across the whole
+    bulge — peak pressure is [base + keep + seed + width], letting kernels
+    hit their Table I allocation exactly. Live count ramps up, plateaus,
+    and falls — the Figure 1 fluctuation pattern. *)
+val bulge :
+  ?keep:int list ->
+  seed:int -> acc:int -> first:int -> last:int -> hold:int -> unit ->
+  Builder.item list
+
+(** [strided_loads space ~addr ~dsts ~stride] issues independent loads
+    [dsts.(i) <- mem.(addr + i*stride)] (memory-level parallelism). *)
+val strided_loads :
+  Instr.space -> addr:int -> dsts:int list -> stride:int -> Builder.item list
+
+(** [chase space ~addr ~dst ~hops] issues [hops] {e dependent} loads — each
+    address derives from the previous value (pointer chasing), so the
+    sequence serializes on memory latency. Clobbers [addr]; the last value
+    is left in [dst]. *)
+val chase :
+  Instr.space -> addr:int -> dst:int -> hops:int -> Builder.item list
+
+(** [alu_chain ~regs ~len ~seed] emits [len] dependent ALU instructions
+    cycling over [regs] (pure compute padding; no pressure change beyond
+    [regs]). *)
+val alu_chain : regs:int list -> len:int -> seed:Instr.operand -> Builder.item list

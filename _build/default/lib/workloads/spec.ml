@@ -1,0 +1,28 @@
+type group =
+  | Occupancy_limited
+  | Regfile_sensitive
+
+type t = {
+  name : string;
+  description : string;
+  kernel : Gpu_sim.Kernel.t;
+  paper_regs : int;
+  paper_rounded : int;
+  paper_bs : int;
+  group : group;
+}
+
+let paper_es t = t.paper_rounded - t.paper_bs
+
+let with_grid t grid_ctas =
+  { t with kernel = { t.kernel with Gpu_sim.Kernel.grid_ctas } }
+
+let validate t =
+  let actual = Gpu_sim.Kernel.regs_per_thread t.kernel in
+  if actual <> t.paper_regs then
+    Error
+      (Printf.sprintf "%s: kernel uses %d registers, Table I says %d" t.name
+         actual t.paper_regs)
+  else if t.paper_bs + paper_es t <> t.paper_rounded then
+    Error (Printf.sprintf "%s: inconsistent Bs/Es split" t.name)
+  else Ok ()

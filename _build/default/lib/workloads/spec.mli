@@ -1,0 +1,34 @@
+(** Workload metadata: one entry per application of Table I.
+
+    The kernels are synthetic stand-ins for the Rodinia / Parboil /
+    CUDA-SDK binaries (see DESIGN.md): each reproduces its application's
+    per-thread register count, register-pressure profile shape, memory
+    intensity class and CTA geometry, which are the properties RegMutex's
+    behaviour depends on. *)
+
+type group =
+  | Occupancy_limited  (** Figure 7 set: registers limit occupancy on the
+                           full register file *)
+  | Regfile_sensitive  (** Figure 8 set: evaluated with a halved register
+                           file *)
+
+type t = {
+  name : string;          (** paper name, e.g. "BFS" *)
+  description : string;
+  kernel : Gpu_sim.Kernel.t;
+  paper_regs : int;       (** registers per thread, Table I *)
+  paper_rounded : int;    (** parenthesised value of Table I *)
+  paper_bs : int;         (** base set size, Table I *)
+  group : group;
+}
+
+(** [|Es|] implied by Table I ([paper_rounded - paper_bs]). *)
+val paper_es : t -> int
+
+(** Replace the grid size (experiments scale runs to the simulated SM
+    count). *)
+val with_grid : t -> int -> t
+
+(** Check that the authored kernel's register count matches Table I.
+    Returns [Error message] on mismatch. *)
+val validate : t -> (unit, string) result

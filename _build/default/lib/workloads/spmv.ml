@@ -1,0 +1,42 @@
+(* SPMV (Parboil): sparse matrix–vector product, CSR rows. Memory-bound:
+   the inner loop loads a column index and then the vector element it
+   names — a naturally dependent load pair — before the small accumulate
+   bulge (16 registers total). *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 row counter, r2 row cursor, r3 dot product,
+   r4 row length, r5 nonzero counter, r6 element cursor, r7 column,
+   r8 vector element, r9 seed, r10..r15 accumulate bulge. *)
+let program =
+  assemble ~name:"spmv"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"row"
+        ([ load I.Global 4 (r 2);
+           and_ 4 (r 4) (imm 3);
+           add 4 (r 4) (imm 1);
+           add 6 (r 2) (r 0) ]
+        @ Shape.counted_loop ~ctr:5 ~trips:(r 4) ~name:"nz"
+            ([ load I.Global 7 (r 6);
+               (* Gather x[col]: the address depends on the loaded column. *)
+               load I.Global 8 (r 7);
+               mad 9 (r 7) (r 8) (r 3) ]
+            @ Shape.bulge ~keep:[ 7; 8 ] ~seed:9 ~acc:3 ~first:10 ~last:15 ~hold:1 ()
+            @ [ add 6 (r 6) (imm 8) ])
+        @ [ store ~ofs:0x10000000 I.Global (r 2) (r 3); add 2 (r 2) (imm 4) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "SPMV";
+    description = "CSR sparse matrix-vector product: dependent gather, memory-bound";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"spmv" ~grid_ctas:72 ~cta_threads:256
+        ~params:[| 8 |] program;
+    paper_regs = 16;
+    paper_rounded = 16;
+    paper_bs = 12;
+    group = Spec.Regfile_sensitive;
+  }

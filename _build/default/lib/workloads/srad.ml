@@ -1,0 +1,43 @@
+(* SRAD (Rodinia): speckle-reducing anisotropic diffusion. Per-pixel
+   stencil reached through a dependent-index load pair, with a
+   data-dependent diffusion branch and a per-iteration barrier; modest
+   register footprint (18). *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 iteration counter, r2 cursor, r3 image value,
+   r4/r5 neighbours, r8 gradient, r9 flag, r10 seed, r11..r17 diffusion
+   bulge. *)
+let program =
+  assemble ~name:"srad"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"iter"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ load ~ofs:8 I.Global 5 (r 2);
+            add 8 (r 4) (r 5);
+            add 6 (r 4) (imm 3);
+            sub 7 (r 5) (imm 5);
+            cmp I.Gt 9 (r 8) (imm 32768);
+            bz (r 9) "smooth";
+            shr 10 (r 8) (imm 2) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 7; 8; 9 ] ~seed:10 ~acc:3 ~first:11
+            ~last:17 ~hold:3 ()
+        @ [ label "smooth";
+            store ~ofs:0x10000000 I.Global (r 0) (r 3);
+            bar ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "SRAD";
+    description = "anisotropic diffusion stencil: conditional diffusion, barriers";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"srad" ~grid_ctas:72 ~cta_threads:256
+        ~shmem_bytes:2048 ~params:[| 10 |] program;
+    paper_regs = 18;
+    paper_rounded = 20;
+    paper_bs = 12;
+    group = Spec.Regfile_sensitive;
+  }

@@ -1,0 +1,44 @@
+(* TPACF (Parboil): two-point angular correlation function. Pairwise
+   angular distances (galaxy pairs reached by dependent loads) binned into
+   a shared-memory histogram; the bin search and correlation update form a
+   14-register bulge. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 pair counter, r2 cursor, r3 checksum, r4/r5
+   galaxy coordinates, r6 dot product, r7 bin, r8 histogram slot, r9 bin
+   value, r10..r12 scratch, r13 seed, r14..r27 correlation bulge. *)
+let program =
+  assemble ~name:"tpacf"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 4) ]
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"pair"
+        (Shape.chase I.Global ~addr:2 ~dst:4 ~hops:2
+        @ [ shr 5 (r 4) (imm 5);
+            mul 6 (r 4) (r 5);
+            shr 7 (r 6) (imm 8);
+            and_ 7 (r 7) (imm 15);
+            add 8 (r 7) tid;
+            load I.Shared 9 (r 8);
+            add 9 (r 9) (imm 1);
+            store I.Shared (r 8) (r 9);
+            div 10 (r 6) (imm 97);
+            rem 11 (r 10) (imm 31);
+            add 12 (r 11) (r 10);
+            add 13 (r 12) (r 7) ]
+        @ Shape.bulge ~keep:[ 4; 5; 6; 7; 8; 10; 11; 12 ] ~seed:13 ~acc:3 ~first:14 ~last:27 ~hold:3 ())
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 3); exit_ ])
+
+let spec =
+  {
+    Spec.name = "TPACF";
+    description = "angular correlation: shared-memory histogram, bin-search bulge";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"tpacf" ~grid_ctas:96 ~cta_threads:128
+        ~shmem_bytes:2048 ~params:[| 14 |] program;
+    paper_regs = 28;
+    paper_rounded = 28;
+    paper_bs = 20;
+    group = Spec.Regfile_sensitive;
+  }

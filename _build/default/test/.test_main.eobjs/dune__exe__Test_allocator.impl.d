@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest Allocator Array Gpu_analysis Gpu_isa Gpu_sim List Printf Util Workloads

@@ -1,0 +1,1 @@
+test/test_bitmask.ml: Alcotest Bitmask Format Gpu_uarch List QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Builder Gpu_isa Instr List Program Util Workloads

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Gpu_analysis Gpu_isa List Util

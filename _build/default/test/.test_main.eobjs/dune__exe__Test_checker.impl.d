@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Checker Gpu_isa Gpu_sim List Regmutex String Transform Workloads

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Codec Gpu_isa Gpu_sim Instr Int64 List Program Util Workloads

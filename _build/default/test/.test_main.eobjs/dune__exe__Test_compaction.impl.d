@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Array Compaction Gpu_analysis Gpu_isa Gpu_sim QCheck2 Regmutex Util

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Cfg Dominance Gpu_analysis Gpu_isa Util

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Gpu_analysis Gpu_isa Gpu_sim Gpu_uarch List Printf Regmutex Util Workloads

@@ -1,0 +1,1 @@
+test/test_es_heuristic.ml: Alcotest Es_heuristic Gpu_uarch List QCheck2 Regmutex Util

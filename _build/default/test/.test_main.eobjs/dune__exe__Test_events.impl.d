@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Event_trace Format Gpu Gpu_isa Gpu_sim Kernel List Policy String Util Workloads

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Gpu_sim Gpu_uarch List Regmutex String Workloads

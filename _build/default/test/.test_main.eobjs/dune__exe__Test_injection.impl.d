@@ -1,0 +1,1 @@
+test/test_injection.ml: Alcotest Checker Gpu_analysis Gpu_isa Gpu_sim Injection List Regmutex Util Workloads

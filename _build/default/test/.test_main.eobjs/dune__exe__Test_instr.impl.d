@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Gpu_isa Instr List Regset Util

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Gpu_isa Gpu_sim Gpu_uarch Kernel Policy Util Workloads

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Cfg Gpu_analysis Gpu_isa List Liveness Util

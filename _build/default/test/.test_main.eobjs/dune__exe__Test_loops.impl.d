@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Array Cfg Gpu_analysis Gpu_isa Gpu_sim List Liveness Loops Util Workloads

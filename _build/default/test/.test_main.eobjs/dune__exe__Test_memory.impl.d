@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Gpu_sim Gpu_uarch Mem_system Memory Util

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Checker Gpu_analysis Gpu_isa Gpu_sim List QCheck2 Regmutex Transform Util Workloads

@@ -1,0 +1,1 @@
+test/test_occupancy.ml: Alcotest Arch_config Gpu_uarch Occupancy QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Format Gpu_isa Gpu_sim Instr List Parser Program Util Workloads

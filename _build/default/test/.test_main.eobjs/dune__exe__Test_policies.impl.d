@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Gpu Gpu_analysis Gpu_isa Gpu_sim Gpu_uarch Kernel Policy Sm Stats Util Workloads

@@ -1,0 +1,1 @@
+test/test_pressure.ml: Alcotest Array Gpu_analysis Gpu_isa Liveness Pressure String Util

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Gpu_isa Instr Program Util

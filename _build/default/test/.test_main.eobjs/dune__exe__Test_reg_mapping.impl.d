@@ -1,0 +1,1 @@
+test/test_reg_mapping.ml: Alcotest Gpu_uarch QCheck2 Reg_mapping Util

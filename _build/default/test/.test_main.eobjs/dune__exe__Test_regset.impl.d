@@ -1,0 +1,1 @@
+test/test_regset.ml: Alcotest Format Gpu_isa QCheck2 Regset Util

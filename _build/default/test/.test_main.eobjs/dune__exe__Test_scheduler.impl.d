@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Gpu_isa Gpu_sim Gpu_uarch List Scheduler Util Warp

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gpu Gpu_isa Gpu_sim Gpu_uarch Kernel List Policy Printf Stats Util Workloads

@@ -1,0 +1,1 @@
+test/test_srp.ml: Alcotest Gpu_uarch List QCheck2 Srp Srp_paired Util

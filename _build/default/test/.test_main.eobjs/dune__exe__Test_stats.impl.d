@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Format Gpu_isa Gpu_sim List Stats String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Arch_config Gpu_uarch List Storage_cost

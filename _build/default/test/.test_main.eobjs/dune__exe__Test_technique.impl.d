@@ -1,0 +1,1 @@
+test/test_technique.ml: Alcotest Array Gpu_isa Gpu_sim Gpu_uarch List Regmutex Workloads

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Gpu_analysis Gpu_isa Gpu_sim List Regmutex Transform Util Workloads

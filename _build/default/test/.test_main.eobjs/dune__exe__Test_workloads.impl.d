@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Gpu_analysis Gpu_isa Gpu_sim Gpu_uarch List Util Workloads

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Builder Gpu_isa Gpu_sim Gpu_uarch Instr List Printf Program QCheck2 QCheck_alcotest Regset Workloads

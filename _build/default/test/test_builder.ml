@@ -1,0 +1,75 @@
+open Gpu_isa
+module B = Builder
+module I = Instr
+
+let test_label_resolution () =
+  let p =
+    B.(assemble ~name:"t"
+         [ mov 0 (imm 3);
+           label "top";
+           sub 0 (r 0) (imm 1);
+           bnz (r 0) "top";
+           exit_ ])
+  in
+  Alcotest.check Util.instr "bnz resolved" (I.Jump_if (I.Reg 0, 1)) (Program.get p 2)
+
+let test_forward_label () =
+  let p = B.(assemble ~name:"t" [ bra "end"; mov 0 (imm 1); label "end"; exit_ ]) in
+  Alcotest.check Util.instr "forward" (I.Jump 2) (Program.get p 0)
+
+let test_label_at_end () =
+  (* A label binding to the index just past the last emitted instruction is
+     only valid if something follows; with exit_ after it resolves fine. *)
+  let p = B.(assemble ~name:"t" [ bz (imm 0) "done"; label "done"; exit_ ]) in
+  Alcotest.check Util.instr "points at exit" (I.Jump_ifz (I.Imm 0, 1)) (Program.get p 0)
+
+let test_unresolved () =
+  Alcotest.check_raises "unresolved" (B.Unresolved_label "nowhere") (fun () ->
+      ignore (B.assemble ~name:"t" [ B.bra "nowhere"; B.exit_ ]))
+
+let test_duplicate () =
+  Alcotest.check_raises "duplicate" (B.Duplicate_label "x") (fun () ->
+      ignore (B.assemble ~name:"t" [ B.label "x"; B.mov 0 (B.imm 1); B.label "x"; B.exit_ ]))
+
+let test_operand_helpers () =
+  Alcotest.(check bool) "r" true (B.r 4 = I.Reg 4);
+  Alcotest.(check bool) "imm" true (B.imm 7 = I.Imm 7);
+  Alcotest.(check bool) "tid" true (B.tid = I.Special I.Tid);
+  Alcotest.(check bool) "ctaid" true (B.ctaid = I.Special I.Ctaid);
+  Alcotest.(check bool) "ntid" true (B.ntid = I.Special I.Ntid);
+  Alcotest.(check bool) "nctaid" true (B.nctaid = I.Special I.Nctaid);
+  Alcotest.(check bool) "warp_id" true (B.warp_id = I.Special I.Warp_id);
+  Alcotest.(check bool) "param" true (B.param 2 = I.Param 2)
+
+let test_emitters () =
+  let p =
+    B.(assemble ~name:"t"
+         [ add 0 (imm 1) (imm 2); min_ 1 (r 0) (imm 5); load ~ofs:8 I.Shared 2 (r 0);
+           store I.Global (r 0) (r 2); mad 3 (r 0) (r 1) (r 2); sel 4 (r 3) (r 0) (r 1);
+           un I.Abs 5 (r 4); cmp I.Ge 6 (r 5) (imm 0); bar; acquire; release; exit_ ])
+  in
+  Alcotest.check Util.instr "load with offset" (I.Load (I.Shared, 2, I.Reg 0, 8))
+    (Program.get p 2);
+  Alcotest.check Util.instr "bar" I.Bar (Program.get p 8);
+  Alcotest.(check int) "all emitted" 12 (Program.length p)
+
+let test_counted_loop_zero_safe () =
+  (* The Shape loop must execute its body zero times for trips = 0. *)
+  let p =
+    B.(assemble ~name:"t"
+         (Workloads.Shape.counted_loop ~ctr:0 ~trips:(imm 0) ~name:"l"
+            [ store ~ofs:0x10000000 I.Global (imm 1) (imm 42) ]
+         @ [ exit_ ]))
+  in
+  let stats = Util.run_with ~grid:1 ~threads:32 (Util.static_policy p) p in
+  Alcotest.(check int) "no store executed" 0 (List.length (Util.traces stats))
+
+let suite =
+  [ Alcotest.test_case "backward label" `Quick test_label_resolution;
+    Alcotest.test_case "forward label" `Quick test_forward_label;
+    Alcotest.test_case "label at end" `Quick test_label_at_end;
+    Alcotest.test_case "unresolved label" `Quick test_unresolved;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate;
+    Alcotest.test_case "operand helpers" `Quick test_operand_helpers;
+    Alcotest.test_case "all emitters" `Quick test_emitters;
+    Alcotest.test_case "counted loop zero-safe" `Quick test_counted_loop_zero_safe ]

@@ -1,0 +1,69 @@
+open Gpu_analysis
+module I = Gpu_isa.Instr
+module Program = Gpu_isa.Program
+
+let test_straight () =
+  let cfg = Cfg.of_program Util.straight in
+  Alcotest.(check int) "single block" 1 (Cfg.n_blocks cfg);
+  let b = Cfg.block cfg 0 in
+  Alcotest.(check int) "first" 0 b.Cfg.first;
+  Alcotest.(check int) "last" 4 b.Cfg.last;
+  Alcotest.(check (list int)) "no succs" [] b.Cfg.succs
+
+let test_diamond () =
+  let cfg = Cfg.of_program Util.diamond in
+  (* Blocks: entry(0-3), then(4-5), else(6), join(7-8). *)
+  Alcotest.(check int) "four blocks" 4 (Cfg.n_blocks cfg);
+  let entry = Cfg.block cfg 0 in
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] entry.Cfg.succs;
+  let join = Cfg.block cfg 3 in
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ] (List.sort compare join.Cfg.preds);
+  Alcotest.(check int) "block of instr 6" 2 cfg.Cfg.block_of_instr.(6)
+
+let test_loop () =
+  let cfg = Cfg.of_program Util.loop in
+  (* mov | header(bz) | body..bra | end(store/exit) *)
+  Alcotest.(check int) "blocks" 4 (Cfg.n_blocks cfg);
+  let header = Cfg.block cfg 1 in
+  Alcotest.(check (list int)) "header succs" [ 2; 3 ] (List.sort compare header.Cfg.succs);
+  let body = Cfg.block cfg 2 in
+  Alcotest.(check (list int)) "body loops back" [ 1 ] body.Cfg.succs;
+  Alcotest.(check (list int)) "header preds" [ 0; 2 ] (List.sort compare header.Cfg.preds)
+
+let test_instr_succs () =
+  let p = Util.diamond in
+  Alcotest.(check (list int)) "cond branch" [ 6; 4 ] (Cfg.instr_succs p 3);
+  Alcotest.(check (list int)) "fallthrough" [ 1 ] (Cfg.instr_succs p 0);
+  Alcotest.(check (list int)) "exit" [] (Cfg.instr_succs p 8);
+  Alcotest.(check (list int)) "jump" [ 7 ] (Cfg.instr_succs p 5)
+
+let test_conditional_and_exit_blocks () =
+  let cfg = Cfg.of_program Util.diamond in
+  let conds = Cfg.conditional_blocks cfg in
+  Alcotest.(check int) "one conditional block" 1 (List.length conds);
+  Alcotest.(check int) "it is the entry" 0 (List.hd conds).Cfg.id;
+  let exits = Cfg.exit_blocks cfg in
+  Alcotest.(check int) "one exit block" 1 (List.length exits);
+  Alcotest.(check int) "it is the join" 3 (List.hd exits).Cfg.id
+
+let test_region () =
+  let cfg = Cfg.of_program Util.diamond in
+  (* Branch region of the entry block, avoiding the join: both arms. *)
+  Alcotest.(check (list int)) "arms only" [ 1; 2 ] (Cfg.region cfg ~from:0 ~avoiding:3);
+  (* Avoiding nothing reaches the join too. *)
+  Alcotest.(check (list int)) "all reachable" [ 1; 2; 3 ]
+    (Cfg.region cfg ~from:0 ~avoiding:(-1))
+
+let test_instrs () =
+  let cfg = Cfg.of_program Util.diamond in
+  let b = Cfg.block cfg 0 in
+  Alcotest.(check (list int)) "instruction indices" [ 0; 1; 2; 3 ] (Cfg.instrs cfg b)
+
+let suite =
+  [ Alcotest.test_case "straight line" `Quick test_straight;
+    Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "loop" `Quick test_loop;
+    Alcotest.test_case "instruction successors" `Quick test_instr_succs;
+    Alcotest.test_case "conditional/exit blocks" `Quick test_conditional_and_exit_blocks;
+    Alcotest.test_case "branch region" `Quick test_region;
+    Alcotest.test_case "block instructions" `Quick test_instrs ]

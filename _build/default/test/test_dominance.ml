@@ -1,0 +1,71 @@
+open Gpu_analysis
+
+let dom_of prog =
+  let cfg = Cfg.of_program prog in
+  (cfg, Dominance.compute cfg)
+
+let test_diamond () =
+  let _, dom = dom_of Util.diamond in
+  Alcotest.(check (option int)) "entry has no idom" None (Dominance.idom dom 0);
+  Alcotest.(check (option int)) "then idom" (Some 0) (Dominance.idom dom 1);
+  Alcotest.(check (option int)) "else idom" (Some 0) (Dominance.idom dom 2);
+  Alcotest.(check (option int)) "join idom" (Some 0) (Dominance.idom dom 3);
+  (* Post-dominators: the join post-dominates everything. *)
+  Alcotest.(check (option int)) "entry ipostdom" (Some 3) (Dominance.ipostdom dom 0);
+  Alcotest.(check (option int)) "then ipostdom" (Some 3) (Dominance.ipostdom dom 1);
+  Alcotest.(check (option int)) "join ipostdom is sink" None (Dominance.ipostdom dom 3)
+
+let test_loop () =
+  let _, dom = dom_of Util.loop in
+  (* Blocks: 0 preheader, 1 header, 2 body, 3 exit. *)
+  Alcotest.(check (option int)) "header idom" (Some 0) (Dominance.idom dom 1);
+  Alcotest.(check (option int)) "body idom" (Some 1) (Dominance.idom dom 2);
+  Alcotest.(check (option int)) "exit idom" (Some 1) (Dominance.idom dom 3);
+  Alcotest.(check (option int)) "body ipostdom" (Some 1) (Dominance.ipostdom dom 2);
+  Alcotest.(check (option int)) "header ipostdom" (Some 3) (Dominance.ipostdom dom 1)
+
+let test_relations () =
+  let _, dom = dom_of Util.diamond in
+  Alcotest.(check bool) "entry dominates join" true (Dominance.dominates dom 0 3);
+  Alcotest.(check bool) "then does not dominate join" false (Dominance.dominates dom 1 3);
+  Alcotest.(check bool) "reflexive" true (Dominance.dominates dom 2 2);
+  Alcotest.(check bool) "join postdominates entry" true (Dominance.postdominates dom 3 0);
+  Alcotest.(check bool) "then does not postdominate entry" false
+    (Dominance.postdominates dom 1 0)
+
+(* Nested diamonds: outer branch, inner branch inside the then-arm. *)
+let nested =
+  Gpu_isa.Builder.(
+    assemble ~name:"nested"
+      [ mov 0 (imm 1);          (* B0: 0-1 *)
+        bz (r 0) "outer_else";
+        mov 1 (imm 2);          (* B1: 2-3 *)
+        bz (r 1) "inner_else";
+        mov 2 (imm 3);          (* B2: 4-5 *)
+        bra "inner_join";
+        label "inner_else";
+        mov 2 (imm 4);          (* B3: 6 *)
+        label "inner_join";
+        bra "outer_join";       (* B4: 7 *)
+        label "outer_else";
+        mov 2 (imm 5);          (* B5: 8 *)
+        label "outer_join";
+        store Gpu_isa.Instr.Global (imm 64) (r 2); (* B6: 9-10 *)
+        exit_ ])
+
+let test_nested () =
+  let _, dom = dom_of nested in
+  Alcotest.(check (option int)) "inner join ipostdom path" (Some 6)
+    (Dominance.ipostdom dom 4);
+  Alcotest.(check (option int)) "inner branch ipostdom" (Some 4)
+    (Dominance.ipostdom dom 1);
+  Alcotest.(check (option int)) "outer branch ipostdom" (Some 6)
+    (Dominance.ipostdom dom 0);
+  Alcotest.(check bool) "outer join postdominates inner arms" true
+    (Dominance.postdominates dom 6 2)
+
+let suite =
+  [ Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "loop" `Quick test_loop;
+    Alcotest.test_case "dominates/postdominates" `Quick test_relations;
+    Alcotest.test_case "nested diamonds" `Quick test_nested ]

@@ -1,0 +1,111 @@
+open Regmutex
+module H = Es_heuristic
+module O = Gpu_uarch.Occupancy
+
+let arch = Gpu_uarch.Arch_config.gtx480
+let demand regs = { O.regs_per_thread = regs; shmem_bytes = 0; cta_threads = 256 }
+
+let test_candidate_sizes () =
+  (* The paper's example: 24 x {0.1..0.35} floored, evens -> {2,4,6,8}. *)
+  Alcotest.(check (list int)) "for 24" [ 2; 4; 6; 8 ] (H.candidate_sizes ~rounded_regs:24);
+  Alcotest.(check (list int)) "for 44" [ 4; 6; 8 ] (H.candidate_sizes ~rounded_regs:44);
+  Alcotest.(check (list int)) "for 36" [ 10; 12 ] (H.candidate_sizes ~rounded_regs:36);
+  Alcotest.(check (list int)) "for 12" [ 2; 4 ] (H.candidate_sizes ~rounded_regs:12);
+  (* Tiny kernels have no even candidate at all. *)
+  Alcotest.(check (list int)) "for 8" [ 2 ] (H.candidate_sizes ~rounded_regs:8)
+
+(* The §III-A2 worked example end to end. *)
+let test_worked_example () =
+  match H.choose arch ~demand:(demand 21) ~min_bs:0 () with
+  | None -> Alcotest.fail "expected a choice"
+  | Some c ->
+      Alcotest.(check int) "R rounded" 24 c.H.rounded_regs;
+      Alcotest.(check int) "|Es| = 6" 6 c.H.es;
+      Alcotest.(check int) "|Bs| = 18" 18 c.H.bs;
+      Alcotest.(check int) "full base occupancy" 48 c.H.warps;
+      Alcotest.(check int) "26 sections" 26 c.H.sections;
+      Alcotest.(check int) "baseline 40 warps" 40 c.H.baseline_warps;
+      Alcotest.(check bool) "raises occupancy" true (H.raises_occupancy c)
+
+let test_min_bs_constraint () =
+  (* Barrier liveness of 20 forbids |Bs| < 20, i.e. |Es| > 4. *)
+  match H.choose arch ~demand:(demand 21) ~min_bs:20 () with
+  | None -> Alcotest.fail "expected a choice"
+  | Some c ->
+      Alcotest.(check bool) "bs >= min_bs" true (c.H.bs >= 20);
+      List.iter
+        (fun (cand : H.candidate) ->
+          Alcotest.(check bool) "all candidates respect min_bs" true (cand.H.bs >= 20))
+        c.H.candidates
+
+let test_no_candidate () =
+  (* min_bs above every candidate's |Bs| leaves nothing. *)
+  Alcotest.(check bool) "no viable candidate" true
+    (H.choose arch ~demand:(demand 21) ~min_bs:23 () = None)
+
+let test_deadlock_rule_sections () =
+  (* A demand whose base sets fill the register file leaves no SRP section;
+     such candidates must be dropped. Every surviving candidate has >= 1. *)
+  match H.choose arch ~demand:{ (demand 21) with O.cta_threads = 512 } ~min_bs:0 () with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun (cand : H.candidate) ->
+          Alcotest.(check bool) "sections >= 1" true (cand.H.sections >= 1))
+        c.H.candidates
+
+let test_with_es () =
+  (match H.with_es arch ~demand:(demand 21) ~min_bs:0 ~es:4 with
+  | Some c ->
+      Alcotest.(check int) "forced es" 4 c.H.es;
+      Alcotest.(check int) "bs" 20 c.H.bs
+  | None -> Alcotest.fail "es=4 is feasible");
+  (* Odd/oversized overrides are allowed as long as deadlock rules hold. *)
+  (match H.with_es arch ~demand:(demand 21) ~min_bs:0 ~es:12 with
+  | Some c -> Alcotest.(check int) "bs 12" 12 c.H.bs
+  | None -> Alcotest.fail "es=12 feasible");
+  Alcotest.(check bool) "es >= R infeasible" true
+    (H.with_es arch ~demand:(demand 21) ~min_bs:0 ~es:24 = None)
+
+let test_half_rf_heartwall () =
+  (* On the halved register file the heuristic reproduces Table I's
+     HeartWall split (28 regs -> |Bs| = 20). *)
+  let half = Gpu_uarch.Arch_config.with_half_regfile arch in
+  match
+    H.choose half ~demand:{ O.regs_per_thread = 28; shmem_bytes = 0; cta_threads = 128 }
+      ~min_bs:0 ()
+  with
+  | Some c -> Alcotest.(check int) "HeartWall |Bs|" 20 c.H.bs
+  | None -> Alcotest.fail "expected a choice"
+
+let test_not_raising () =
+  (* A kernel capped by shared memory gains nothing: the pick must still
+     exist (the paper applies RegMutex to MergeSort anyway). *)
+  let d = { O.regs_per_thread = 15; shmem_bytes = 12288; cta_threads = 256 } in
+  let half = Gpu_uarch.Arch_config.with_half_regfile arch in
+  match H.choose half ~demand:d ~min_bs:0 () with
+  | Some c -> Alcotest.(check bool) "no occupancy gain" false (H.raises_occupancy c)
+  | None -> Alcotest.fail "expected a choice"
+
+let prop_split_consistent =
+  Util.qtest "bs + es = rounded regs for every candidate"
+    QCheck2.Gen.(int_range 8 60)
+    (fun regs ->
+      match H.choose arch ~demand:(demand regs) ~min_bs:0 () with
+      | None -> true
+      | Some c ->
+          c.H.bs + c.H.es = c.H.rounded_regs
+          && List.for_all
+               (fun (cand : H.candidate) -> cand.H.bs + cand.H.es = c.H.rounded_regs)
+               c.H.candidates)
+
+let suite =
+  [ Alcotest.test_case "candidate sizes" `Quick test_candidate_sizes;
+    Alcotest.test_case "paper worked example" `Quick test_worked_example;
+    Alcotest.test_case "barrier min-bs rule" `Quick test_min_bs_constraint;
+    Alcotest.test_case "no viable candidate" `Quick test_no_candidate;
+    Alcotest.test_case "sections deadlock rule" `Quick test_deadlock_rule_sections;
+    Alcotest.test_case "forced |Es|" `Quick test_with_es;
+    Alcotest.test_case "half-RF reproduces Table I (HeartWall)" `Quick test_half_rf_heartwall;
+    Alcotest.test_case "pick without occupancy gain" `Quick test_not_raising;
+    prop_split_consistent ]

@@ -1,0 +1,148 @@
+module E = Experiments
+
+let tiny =
+  (* Very small grids keep these integration tests quick. *)
+  { E.Exp_config.default with E.Exp_config.grid_scale = 0.1 }
+
+let test_table_render () =
+  let out =
+    E.Table.render
+      ~columns:[ ("a", E.Table.Left); ("bb", E.Table.Right) ]
+      [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + rule + rows" 4 (List.length lines);
+  (* Right-aligned column pads on the left. *)
+  Alcotest.(check bool) "right aligned" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 3));
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Table.render: row 0 has wrong arity") (fun () ->
+      ignore (E.Table.render ~columns:[ ("a", E.Table.Left) ] [ [ "x"; "y" ] ]))
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "12.3%" (E.Table.pct 12.34);
+  Alcotest.(check string) "occ" "67%" (E.Table.occ 0.667);
+  Alcotest.(check (float 1e-9)) "mean" 2. (E.Table.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (E.Table.mean [])
+
+let test_exp_config () =
+  let cfg = E.Exp_config.default in
+  Alcotest.(check int) "4-SM slice" 4 cfg.E.Exp_config.arch.Gpu_uarch.Arch_config.n_sms;
+  Alcotest.(check int) "half register file"
+    (cfg.E.Exp_config.arch.Gpu_uarch.Arch_config.regfile_regs / 2)
+    cfg.E.Exp_config.half_arch.Gpu_uarch.Arch_config.regfile_regs;
+  let bfs = Workloads.Registry.find "BFS" in
+  let k = E.Exp_config.kernel_of E.Exp_config.quick bfs in
+  Alcotest.(check bool) "quick grids smaller" true
+    (k.Gpu_sim.Kernel.grid_ctas < bfs.Workloads.Spec.kernel.Gpu_sim.Kernel.grid_ctas);
+  Alcotest.(check bool) "fig7 set on full RF" true
+    (E.Exp_config.eval_arch cfg bfs == cfg.E.Exp_config.arch);
+  Alcotest.(check bool) "fig8 set on half RF" true
+    (E.Exp_config.eval_arch cfg (Workloads.Registry.find "SPMV")
+    == cfg.E.Exp_config.half_arch)
+
+let test_engine_caching () =
+  E.Engine.clear ();
+  let bfs = Workloads.Registry.find "Gaussian" in
+  let misses0 = E.Engine.simulations () in
+  let r1 = E.Engine.run tiny ~arch:tiny.E.Exp_config.arch Regmutex.Technique.Baseline bfs in
+  let misses1 = E.Engine.simulations () in
+  let r2 = E.Engine.run tiny ~arch:tiny.E.Exp_config.arch Regmutex.Technique.Baseline bfs in
+  let misses2 = E.Engine.simulations () in
+  Alcotest.(check int) "first run simulates" (misses0 + 1) misses1;
+  Alcotest.(check int) "second run cached" misses1 misses2;
+  Alcotest.(check int) "same result" r1.Regmutex.Runner.cycles r2.Regmutex.Runner.cycles;
+  (* Different es_override is a different key. *)
+  let _ =
+    E.Engine.run ~es_override:4 tiny ~arch:tiny.E.Exp_config.arch
+      Regmutex.Technique.Regmutex bfs
+  in
+  Alcotest.(check int) "override misses" (misses2 + 1) (E.Engine.simulations ())
+
+let test_table1_rows () =
+  let rows = E.Table1.rows tiny in
+  Alcotest.(check int) "16 rows" 16 (List.length rows);
+  let bfs = List.find (fun r -> r.E.Table1.app = "BFS") rows in
+  Alcotest.(check int) "BFS regs" 21 bfs.E.Table1.regs;
+  Alcotest.(check int) "BFS rounded" 24 bfs.E.Table1.rounded;
+  Alcotest.(check (option int)) "BFS |Bs| matches paper" (Some 18) bfs.E.Table1.heuristic_bs;
+  Alcotest.(check int) "paper column" 18 bfs.E.Table1.paper_bs
+
+let test_fig2 () =
+  let r = E.Fig2.run () in
+  Alcotest.(check bool) "baseline serializes" true
+    (r.E.Fig2.baseline_cycles > r.E.Fig2.regmutex_cycles);
+  Alcotest.(check int) "timeline buckets" 64 (Array.length r.E.Fig2.baseline_timeline);
+  (* Baseline allocation never exceeds one warp's worth (31). *)
+  Array.iter
+    (fun v -> Alcotest.(check bool) "baseline <= 31" true (v <= 31))
+    r.E.Fig2.baseline_timeline;
+  (* RegMutex overlaps: some bucket must exceed a single warp's 31. *)
+  Alcotest.(check bool) "regmutex overlaps" true
+    (Array.exists (fun v -> v > 31) r.E.Fig2.regmutex_timeline)
+
+let test_fig1_rows () =
+  let rows = E.Fig1.rows tiny in
+  Alcotest.(check int) "6 kernels" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.E.Fig1.app ^ " has profile") true
+        (r.E.Fig1.dynamic_instructions > 0);
+      Alcotest.(check bool)
+        (r.E.Fig1.app ^ " underutilised most of the time")
+        true
+        (r.E.Fig1.mean_ratio < 0.8))
+    rows
+
+let test_fig7_rows () =
+  let rows = E.Fig7.rows tiny in
+  Alcotest.(check int) "8 rows" 8 (List.length rows);
+  List.iter
+    (fun (r : E.Fig7.row) ->
+      Alcotest.(check bool) (r.E.Fig7.app ^ " occupancy never drops") true
+        (r.E.Fig7.occ_after >= r.E.Fig7.occ_before);
+      Alcotest.(check bool) (r.E.Fig7.app ^ " cycles measured") true
+        (r.E.Fig7.baseline_cycles > 0 && r.E.Fig7.regmutex_cycles > 0))
+    rows
+
+let test_fig13_rows () =
+  let rows = E.Fig13.rows tiny in
+  Alcotest.(check int) "16 rows" 16 (List.length rows);
+  List.iter
+    (fun (r : E.Fig13.row) ->
+      Alcotest.(check bool) (r.E.Fig13.app ^ " ratios in [0,1]") true
+        (r.E.Fig13.default_ratio >= 0. && r.E.Fig13.default_ratio <= 1.
+        && r.E.Fig13.paired_ratio >= 0. && r.E.Fig13.paired_ratio <= 1.))
+    rows
+
+let test_fig10_marks_heuristic () =
+  let rows = E.Fig10.rows tiny in
+  List.iter
+    (fun (r : E.Fig10.row) ->
+      match r.E.Fig10.heuristic_es with
+      | None -> Alcotest.failf "%s: no heuristic pick" r.E.Fig10.app
+      | Some es ->
+          Alcotest.(check bool) (r.E.Fig10.app ^ " pick is in the sweep") true
+            (List.mem es E.Fig10.es_values))
+    rows
+
+let test_ablation_variants () =
+  Alcotest.(check int) "five variants" 5 (List.length E.Ablation.variants);
+  Alcotest.(check bool) "labels distinct" true
+    (let labels =
+       List.map (fun (v : E.Ablation.variant) -> v.E.Ablation.label) E.Ablation.variants
+     in
+     List.length (List.sort_uniq compare labels) = List.length labels)
+
+let suite =
+  [ Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "experiment config" `Quick test_exp_config;
+    Alcotest.test_case "engine caching" `Slow test_engine_caching;
+    Alcotest.test_case "Table 1 rows" `Quick test_table1_rows;
+    Alcotest.test_case "Figure 2 story" `Slow test_fig2;
+    Alcotest.test_case "Figure 1 rows" `Slow test_fig1_rows;
+    Alcotest.test_case "Figure 7 rows" `Slow test_fig7_rows;
+    Alcotest.test_case "Figure 13 rows" `Slow test_fig13_rows;
+    Alcotest.test_case "Figure 10 heuristic marks" `Slow test_fig10_marks_heuristic;
+    Alcotest.test_case "ablation variants" `Quick test_ablation_variants ]

@@ -1,0 +1,93 @@
+open Gpu_isa
+module I = Instr
+
+let set = Util.regset
+
+let test_defs_uses () =
+  let cases =
+    [ (I.Bin (I.Add, 2, I.Reg 0, I.Reg 1), [ 2 ], [ 0; 1 ]);
+      (I.Un (I.Neg, 3, I.Reg 3), [ 3 ], [ 3 ]);
+      (I.Mad (4, I.Reg 1, I.Imm 2, I.Reg 3), [ 4 ], [ 1; 3 ]);
+      (I.Mov (5, I.Imm 9), [ 5 ], []);
+      (I.Mov (5, I.Special I.Tid), [ 5 ], []);
+      (I.Cmp (I.Lt, 1, I.Reg 2, I.Param 0), [ 1 ], [ 2 ]);
+      (I.Sel (0, I.Reg 1, I.Reg 2, I.Reg 3), [ 0 ], [ 1; 2; 3 ]);
+      (I.Load (I.Global, 7, I.Reg 2, 4), [ 7 ], [ 2 ]);
+      (I.Store (I.Shared, I.Reg 1, I.Reg 2, 0), [], [ 1; 2 ]);
+      (I.Jump 3, [], []);
+      (I.Jump_if (I.Reg 6, 0), [], [ 6 ]);
+      (I.Jump_ifz (I.Imm 0, 0), [], []);
+      (I.Bar, [], []);
+      (I.Acquire, [], []);
+      (I.Release, [], []);
+      (I.Exit, [], []) ]
+  in
+  List.iter
+    (fun (instr, defs, uses) ->
+      Alcotest.check set (I.to_string instr ^ " defs") (Regset.of_list defs)
+        (I.defs instr);
+      Alcotest.check set (I.to_string instr ^ " uses") (Regset.of_list uses)
+        (I.uses instr))
+    cases
+
+let test_lat_class () =
+  let check name expected instr =
+    Alcotest.(check bool) name true (I.lat_class instr = expected)
+  in
+  check "add is alu" I.Lat_alu (I.Bin (I.Add, 0, I.Imm 1, I.Imm 2));
+  check "mul is complex" I.Lat_complex (I.Bin (I.Mul, 0, I.Imm 1, I.Imm 2));
+  check "div is complex" I.Lat_complex (I.Bin (I.Div, 0, I.Imm 1, I.Imm 2));
+  check "mad is complex" I.Lat_complex (I.Mad (0, I.Imm 1, I.Imm 2, I.Imm 3));
+  check "shared load" I.Lat_shared (I.Load (I.Shared, 0, I.Imm 0, 0));
+  check "global store" I.Lat_global (I.Store (I.Global, I.Imm 0, I.Imm 0, 0));
+  check "acquire is control" I.Lat_control I.Acquire;
+  check "bar is control" I.Lat_control I.Bar
+
+let test_branch_helpers () =
+  Alcotest.(check bool) "jump is branch" true (I.is_branch (I.Jump 4));
+  Alcotest.(check bool) "bar is not" false (I.is_branch I.Bar);
+  Alcotest.(check (option int)) "target" (Some 4) (I.target (I.Jump_if (I.Reg 0, 4)));
+  Alcotest.(check (option int)) "no target" None (I.target I.Exit);
+  Alcotest.check Util.instr "with_target" (I.Jump 9) (I.with_target (I.Jump 2) 9);
+  Alcotest.check Util.instr "with_target non-branch id" I.Bar (I.with_target I.Bar 9);
+  Alcotest.check Util.instr "map_target"
+    (I.Jump_ifz (I.Reg 1, 6))
+    (I.map_target (fun t -> t * 2) (I.Jump_ifz (I.Reg 1, 3)))
+
+let test_map_regs () =
+  let shift r = r + 10 in
+  Alcotest.check Util.instr "bin renamed"
+    (I.Bin (I.Add, 12, I.Reg 10, I.Imm 3))
+    (I.map_regs shift (I.Bin (I.Add, 2, I.Reg 0, I.Imm 3)));
+  Alcotest.check Util.instr "store renamed"
+    (I.Store (I.Global, I.Reg 11, I.Reg 12, 8))
+    (I.map_regs shift (I.Store (I.Global, I.Reg 1, I.Reg 2, 8)));
+  Alcotest.check Util.instr "immediates untouched"
+    (I.Mov (10, I.Param 3))
+    (I.map_regs shift (I.Mov (0, I.Param 3)));
+  (* Branch targets survive register renaming. *)
+  Alcotest.check Util.instr "jump_if target preserved"
+    (I.Jump_if (I.Reg 15, 7))
+    (I.map_regs shift (I.Jump_if (I.Reg 5, 7)))
+
+let test_pp () =
+  let check s i = Alcotest.(check string) s s (I.to_string i) in
+  check "add r2, r0, r1" (I.Bin (I.Add, 2, I.Reg 0, I.Reg 1));
+  check "ld.global r7, [r2+4]" (I.Load (I.Global, 7, I.Reg 2, 4));
+  check "st.shared [r1+0], 5" (I.Store (I.Shared, I.Reg 1, I.Imm 5, 0));
+  check "bra.nz %tid, @3" (I.Jump_if (I.Special I.Tid, 3));
+  check "regmutex.acquire" I.Acquire;
+  check "mov r5, param[1]" (I.Mov (5, I.Param 1))
+
+let test_regs () =
+  Alcotest.check set "regs = defs u uses"
+    (Regset.of_list [ 0; 1; 2 ])
+    (I.regs (I.Bin (I.Xor, 2, I.Reg 0, I.Reg 1)))
+
+let suite =
+  [ Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+    Alcotest.test_case "latency classes" `Quick test_lat_class;
+    Alcotest.test_case "branch helpers" `Quick test_branch_helpers;
+    Alcotest.test_case "register renaming" `Quick test_map_regs;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "regs union" `Quick test_regs ]

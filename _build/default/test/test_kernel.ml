@@ -1,0 +1,80 @@
+open Gpu_sim
+module Arch_config = Gpu_uarch.Arch_config
+
+let arch = Arch_config.gtx480
+
+let test_make_validation () =
+  Alcotest.check_raises "empty grid" (Invalid_argument "Kernel.make: empty grid")
+    (fun () ->
+      ignore (Kernel.make ~name:"t" ~grid_ctas:0 ~cta_threads:32 Util.straight));
+  Alcotest.check_raises "empty CTA" (Invalid_argument "Kernel.make: empty CTA")
+    (fun () ->
+      ignore (Kernel.make ~name:"t" ~grid_ctas:1 ~cta_threads:0 Util.straight))
+
+let test_derived_metadata () =
+  let k =
+    Kernel.make ~name:"t" ~grid_ctas:4 ~cta_threads:100 ~shmem_bytes:1000
+      ~params:[| 7 |] Util.straight
+  in
+  Alcotest.(check int) "regs" 3 (Kernel.regs_per_thread k);
+  Alcotest.(check int) "warps per cta (ragged)" 4 (Kernel.warps_per_cta arch k);
+  let d = Kernel.demand k in
+  Alcotest.(check int) "demand regs" 3 d.Gpu_uarch.Occupancy.regs_per_thread;
+  Alcotest.(check int) "demand shmem" 1000 d.Gpu_uarch.Occupancy.shmem_bytes;
+  Alcotest.(check int) "demand threads" 100 d.Gpu_uarch.Occupancy.cta_threads
+
+let test_with_program () =
+  let k = Kernel.make ~name:"t" ~grid_ctas:2 ~cta_threads:64 Util.straight in
+  let k' = Kernel.with_program k Util.loop in
+  Alcotest.(check string) "program swapped" "loop"
+    k'.Kernel.program.Gpu_isa.Program.name;
+  Alcotest.(check int) "grid preserved" 2 k'.Kernel.grid_ctas
+
+(* Policy admission accounting (per-CTA registers). *)
+let test_policy_accounting () =
+  let per ?(wpc = 8) p = Policy.regs_per_cta arch p ~warps_per_cta:wpc in
+  (* Static rounds to the allocation granularity: 21 -> 24. *)
+  Alcotest.(check int) "static rounded" (24 * 32 * 8)
+    (per (Policy.Static { regs_per_thread = 21 }));
+  (* SRP reserves only the base set. *)
+  Alcotest.(check int) "srp base only" (18 * 32 * 8)
+    (per (Policy.Srp { bs = 18; es = 6; verify = false }));
+  (* Paired and OWF add one extended set per warp pair. *)
+  Alcotest.(check int) "paired adds es per pair"
+    ((18 * 32 * 8) + (6 * 32 * 4))
+    (per (Policy.Srp_paired { bs = 18; es = 6; verify = false }));
+  Alcotest.(check int) "owf same accounting"
+    ((18 * 32 * 8) + (6 * 32 * 4))
+    (per (Policy.Owf { bs = 18; es = 6 }));
+  (* Odd warp counts round the pair count up. *)
+  Alcotest.(check int) "odd warps, ceil pairs"
+    ((18 * 32 * 3) + (6 * 32 * 2))
+    (per ~wpc:3 (Policy.Owf { bs = 18; es = 6 }));
+  (* RFV reserves nothing at admission. *)
+  Alcotest.(check int) "rfv dynamic" 0 (per (Policy.Rfv { live = [||]; max_live = 20 }))
+
+let test_policy_names () =
+  Alcotest.(check string) "static" "baseline"
+    (Policy.name (Policy.Static { regs_per_thread = 8 }));
+  Alcotest.(check string) "srp" "regmutex"
+    (Policy.name (Policy.Srp { bs = 1; es = 1; verify = false }));
+  Alcotest.(check string) "paired" "regmutex-paired"
+    (Policy.name (Policy.Srp_paired { bs = 1; es = 1; verify = false }));
+  Alcotest.(check string) "owf" "owf" (Policy.name (Policy.Owf { bs = 1; es = 1 }));
+  Alcotest.(check string) "rfv" "rfv"
+    (Policy.name (Policy.Rfv { live = [||]; max_live = 1 }))
+
+let test_spec_helpers () =
+  let bfs = Workloads.Registry.find "BFS" in
+  Alcotest.(check int) "paper es" 6 (Workloads.Spec.paper_es bfs);
+  match Workloads.Spec.validate bfs with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [ Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "derived metadata" `Quick test_derived_metadata;
+    Alcotest.test_case "with_program" `Quick test_with_program;
+    Alcotest.test_case "policy admission accounting" `Quick test_policy_accounting;
+    Alcotest.test_case "policy names" `Quick test_policy_names;
+    Alcotest.test_case "spec helpers" `Quick test_spec_helpers ]

@@ -1,0 +1,94 @@
+open Gpu_analysis
+
+let analyze prog = Loops.analyze (Cfg.of_program prog)
+
+let test_straight_no_loops () =
+  let t = analyze Util.straight in
+  Alcotest.(check (list int)) "no headers" [] (Loops.headers t);
+  Alcotest.(check int) "depth 0" 0 (Loops.depth t 0)
+
+let test_single_loop () =
+  (* Util.loop blocks: 0 preheader, 1 header, 2 body, 3 exit. *)
+  let t = analyze Util.loop in
+  Alcotest.(check (list int)) "one header" [ 1 ] (Loops.headers t);
+  match Loops.loops t with
+  | [ l ] ->
+      Alcotest.(check (list int)) "body" [ 1; 2 ] l.Loops.body;
+      Alcotest.(check (list int)) "back edge from body" [ 2 ] l.Loops.back_sources;
+      Alcotest.(check int) "header depth" 1 (Loops.depth t 1);
+      Alcotest.(check int) "preheader depth" 0 (Loops.depth t 0);
+      Alcotest.(check int) "exit depth" 0 (Loops.depth t 3);
+      Alcotest.(check bool) "contains body" true (Loops.contains l 2);
+      Alcotest.(check bool) "not exit" false (Loops.contains l 3)
+  | _ -> Alcotest.fail "expected exactly one loop"
+
+let nested =
+  Gpu_isa.Builder.(
+    assemble ~name:"nested"
+      ([ mov 0 (imm 0) ]
+      @ Workloads.Shape.counted_loop ~ctr:1 ~trips:(imm 3) ~name:"outer"
+          (Workloads.Shape.counted_loop ~ctr:2 ~trips:(imm 2) ~name:"inner"
+             [ add 0 (r 0) (imm 1) ])
+      @ [ store Gpu_isa.Instr.Global (imm 64) (r 0); exit_ ]))
+
+let test_nested_loops () =
+  let t = analyze nested in
+  Alcotest.(check int) "two loops" 2 (List.length (Loops.loops t));
+  (* The inner loop body sits at depth 2, the outer-only parts at 1. *)
+  let max_depth =
+    List.fold_left max 0
+      (List.init (Cfg.n_blocks (Cfg.of_program nested)) (Loops.depth t))
+  in
+  Alcotest.(check int) "max depth 2" 2 max_depth;
+  (* Innermost query: a depth-2 block's innermost loop is the smaller one. *)
+  let cfg = Cfg.of_program nested in
+  let deep_block =
+    let rec find b = if Loops.depth t b = 2 then b else find (b + 1) in
+    find 0
+  in
+  match Loops.innermost t deep_block with
+  | Some inner ->
+      let outer =
+        List.find (fun l -> l.Loops.header <> inner.Loops.header) (Loops.loops t)
+      in
+      Alcotest.(check bool) "inner smaller than outer" true
+        (List.length inner.Loops.body < List.length outer.Loops.body);
+      Alcotest.(check bool) "outer contains inner header" true
+        (Loops.contains outer inner.Loops.header);
+      ignore cfg
+  | None -> Alcotest.fail "expected an innermost loop"
+
+let test_workload_loop_shapes () =
+  (* LavaMD and RadixSort have two nested loop levels; Gaussian one. *)
+  let depth_of name =
+    let prog = (Workloads.Registry.find name).Workloads.Spec.kernel.Gpu_sim.Kernel.program in
+    let cfg = Cfg.of_program prog in
+    let t = Loops.analyze cfg in
+    List.fold_left max 0 (List.init (Cfg.n_blocks cfg) (Loops.depth t))
+  in
+  Alcotest.(check int) "LavaMD nests two deep" 2 (depth_of "LavaMD");
+  Alcotest.(check int) "RadixSort nests two deep" 2 (depth_of "RadixSort");
+  Alcotest.(check int) "Gaussian single level" 1 (depth_of "Gaussian")
+
+let test_pressure_concentrates_in_loops () =
+  (* The §II observation the workloads are built around: peak register
+     pressure lives inside the (innermost) loops. *)
+  let prog = (Workloads.Registry.find "BFS").Workloads.Spec.kernel.Gpu_sim.Kernel.program in
+  let cfg = Cfg.of_program prog in
+  let t = Loops.analyze cfg in
+  let liveness = Liveness.analyze prog in
+  let peak = Liveness.max_pressure liveness in
+  let peak_instr =
+    let rec find i = if Liveness.pressure_at liveness i = peak then i else find (i + 1) in
+    find 0
+  in
+  let peak_block = cfg.Cfg.block_of_instr.(peak_instr) in
+  Alcotest.(check bool) "peak pressure inside a loop" true (Loops.depth t peak_block >= 1)
+
+let suite =
+  [ Alcotest.test_case "straight line" `Quick test_straight_no_loops;
+    Alcotest.test_case "single loop" `Quick test_single_loop;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "workload loop shapes" `Quick test_workload_loop_shapes;
+    Alcotest.test_case "pressure concentrates in loops" `Quick
+      test_pressure_concentrates_in_loops ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "regmutex"
+    [ ("regset", Test_regset.suite);
+      ("instr", Test_instr.suite);
+      ("program", Test_program.suite);
+      ("builder", Test_builder.suite);
+      ("parser", Test_parser.suite);
+      ("codec", Test_codec.suite);
+      ("cfg", Test_cfg.suite);
+      ("dominance", Test_dominance.suite);
+      ("liveness", Test_liveness.suite);
+      ("pressure", Test_pressure.suite);
+      ("allocator", Test_allocator.suite);
+      ("loops", Test_loops.suite);
+      ("occupancy", Test_occupancy.suite);
+      ("bitmask", Test_bitmask.suite);
+      ("srp", Test_srp.suite);
+      ("reg-mapping", Test_reg_mapping.suite);
+      ("storage-cost", Test_storage.suite);
+      ("es-heuristic", Test_es_heuristic.suite);
+      ("injection", Test_injection.suite);
+      ("checker", Test_checker.suite);
+      ("compaction", Test_compaction.suite);
+      ("transform", Test_transform.suite);
+      ("exec", Test_exec.suite);
+      ("memory", Test_memory.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("sim", Test_sim.suite);
+      ("policies", Test_policies.suite);
+      ("events", Test_events.suite);
+      ("kernel-policy", Test_kernel.suite);
+      ("stats", Test_stats.suite);
+      ("technique", Test_technique.suite);
+      ("workloads", Test_workloads.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("mutation", Test_mutation.suite);
+      ("experiments", Test_experiments.suite) ]

@@ -1,0 +1,101 @@
+open Gpu_uarch
+module O = Occupancy
+
+let arch = Arch_config.gtx480
+let demand regs = { O.regs_per_thread = regs; shmem_bytes = 0; cta_threads = 256 }
+
+(* The paper's §III-A2 worked example: a 24-register kernel on Fermi. *)
+let test_worked_example () =
+  let r = O.calculate arch (demand 24) in
+  Alcotest.(check int) "24 regs -> 5 CTAs" 5 r.O.ctas;
+  Alcotest.(check int) "40 warps" 40 r.O.warps;
+  let base18 = O.calculate ~round_regs:false arch (demand 18) in
+  Alcotest.(check int) "18 regs -> full occupancy" 48 base18.O.warps;
+  let _, sections = O.srp_sections arch ~demand:(demand 24) ~bs:18 ~es:6 in
+  Alcotest.(check int) "26 SRP sections (paper)" 26 sections;
+  let _, s4 = O.srp_sections arch ~demand:(demand 24) ~bs:20 ~es:4 in
+  Alcotest.(check int) "16 sections for |Es|=4" 16 s4;
+  let _, s8 = O.srp_sections arch ~demand:(demand 24) ~bs:16 ~es:8 in
+  Alcotest.(check int) "32 sections for |Es|=8" 32 s8
+
+let test_limiters () =
+  let check_lim name d expected =
+    let r = O.calculate arch d in
+    Alcotest.(check bool) name true (r.O.limiter = expected)
+  in
+  check_lim "register-limited" (demand 40) O.Lim_regs;
+  check_lim "thread-limited" (demand 8) O.Lim_threads;
+  check_lim "shmem-limited"
+    { (demand 8) with O.shmem_bytes = 13000 }
+    O.Lim_shmem;
+  check_lim "cta-limited" { O.regs_per_thread = 8; shmem_bytes = 0; cta_threads = 96 }
+    O.Lim_ctas;
+  (* A ragged CTA (not a multiple of the warp size) can hit the warp-slot
+     limit before the thread limit: 200 threads -> 7 warps; 48/7 = 6 CTAs
+     by warps, 1536/200 = 7 by threads, 8 CTA slots. *)
+  check_lim "warp-limited"
+    { O.regs_per_thread = 8; shmem_bytes = 0; cta_threads = 200 }
+    O.Lim_warps
+
+let test_rounding () =
+  (* 21 registers round to 24 (Table I parenthesis). *)
+  let rounded = O.calculate arch (demand 21) in
+  let exact = O.calculate ~round_regs:false arch (demand 21) in
+  Alcotest.(check int) "rounded like 24" 5 rounded.O.ctas;
+  Alcotest.(check int) "exact 21" 6 exact.O.ctas;
+  Alcotest.(check int) "round_regs" 24 (Arch_config.round_regs arch 21);
+  Alcotest.(check int) "round multiple unchanged" 24 (Arch_config.round_regs arch 24);
+  Alcotest.(check int) "round shmem" 128 (Arch_config.round_shmem arch 1)
+
+let test_occupancy_value () =
+  let r = O.calculate arch (demand 24) in
+  Alcotest.(check (float 1e-9)) "40/48" (40. /. 48.) r.O.occupancy;
+  Alcotest.(check int) "regs used" (5 * 24 * 256) r.O.regs_used
+
+let test_zero_sections () =
+  (* Base sets that fill the register file leave no SRP. *)
+  let _, sections =
+    O.srp_sections arch ~demand:{ (demand 16) with O.cta_threads = 256 } ~bs:16 ~es:8
+  in
+  (* 6 CTAs (thread cap) x 16 x 256 = 24576, leftover 8192 -> 32 sections *)
+  Alcotest.(check int) "leftover sections" 32 sections;
+  let _, none = O.srp_sections arch ~demand:(demand 32) ~bs:21 ~es:0 in
+  Alcotest.(check int) "es=0 -> no sections" 0 none
+
+let test_invalid () =
+  Alcotest.check_raises "empty CTA" (Invalid_argument "Occupancy.calculate: empty CTA")
+    (fun () -> ignore (O.calculate arch { (demand 8) with O.cta_threads = 0 }))
+
+let test_half_regfile () =
+  let half = Arch_config.with_half_regfile arch in
+  Alcotest.(check int) "halved" (arch.Arch_config.regfile_regs / 2)
+    half.Arch_config.regfile_regs;
+  let r = O.calculate half (demand 28) in
+  Alcotest.(check int) "2 CTAs on half RF" 2 r.O.ctas
+
+let prop_monotone_regs =
+  Util.qtest "more registers never increase occupancy"
+    QCheck2.Gen.(pair (int_range 4 60) (int_range 4 60))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      (O.calculate arch (demand hi)).O.warps <= (O.calculate arch (demand lo)).O.warps)
+
+let prop_warps_bounded =
+  Util.qtest "resident warps within machine limits"
+    QCheck2.Gen.(pair (int_range 1 62) (int_range 32 1024))
+    (fun (regs, threads) ->
+      let r = O.calculate arch { O.regs_per_thread = regs; shmem_bytes = 0; cta_threads = threads } in
+      r.O.warps <= arch.Arch_config.max_warps
+      && r.O.threads <= arch.Arch_config.max_threads
+      && r.O.regs_used <= arch.Arch_config.regfile_regs)
+
+let suite =
+  [ Alcotest.test_case "paper worked example" `Quick test_worked_example;
+    Alcotest.test_case "limiter identification" `Quick test_limiters;
+    Alcotest.test_case "allocation rounding" `Quick test_rounding;
+    Alcotest.test_case "occupancy value" `Quick test_occupancy_value;
+    Alcotest.test_case "srp sections" `Quick test_zero_sections;
+    Alcotest.test_case "invalid demand" `Quick test_invalid;
+    Alcotest.test_case "half register file" `Quick test_half_regfile;
+    prop_monotone_regs;
+    prop_warps_bounded ]

@@ -1,0 +1,55 @@
+open Gpu_analysis
+
+let profile_of prog pcs =
+  let liveness = Liveness.analyze prog in
+  Pressure.dynamic_profile ~liveness ~allocated:prog.Gpu_isa.Program.n_regs pcs
+
+let test_dynamic_profile () =
+  let profile = profile_of Util.straight [| 0; 1; 2; 3; 4 |] in
+  Alcotest.(check int) "points" 5 (Array.length profile);
+  Alcotest.(check int) "allocated" 3 profile.(0).Pressure.allocated;
+  Alcotest.(check int) "live at mul" 2 profile.(2).Pressure.live;
+  Alcotest.(check int) "steps increase" 3 profile.(3).Pressure.step
+
+let test_ratio () =
+  let p = { Pressure.step = 0; live = 1; allocated = 4 } in
+  Alcotest.(check (float 1e-9)) "ratio" 0.25 (Pressure.ratio p);
+  Alcotest.(check (float 1e-9)) "zero allocation" 0.
+    (Pressure.ratio { p with Pressure.allocated = 0 })
+
+let test_fraction_below () =
+  let mk live = { Pressure.step = 0; live; allocated = 10 } in
+  let pts = [| mk 2; mk 5; mk 9; mk 10 |] in
+  Alcotest.(check (float 1e-9)) "half below 0.5" 0.5
+    (Pressure.fraction_below ~threshold:0.5 pts);
+  Alcotest.(check (float 1e-9)) "all below 1.0" 1.0
+    (Pressure.fraction_below ~threshold:1.0 pts);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Pressure.fraction_below ~threshold:0.5 [||])
+
+let test_mean_ratio () =
+  let mk live = { Pressure.step = 0; live; allocated = 10 } in
+  Alcotest.(check (float 1e-9)) "mean" 0.5 (Pressure.mean_ratio [| mk 2; mk 8 |])
+
+let test_downsample () =
+  let pts = Array.init 100 (fun i -> { Pressure.step = i; live = i mod 10; allocated = 10 }) in
+  let d = Pressure.downsample ~buckets:10 pts in
+  Alcotest.(check int) "bucket count" 10 (Array.length d);
+  (* Each bucket of 10 consecutive values 0..9 averages to 4. *)
+  Alcotest.(check int) "bucket mean" 4 d.(0).Pressure.live;
+  let small = Pressure.downsample ~buckets:200 pts in
+  Alcotest.(check int) "no upsampling" 100 (Array.length small)
+
+let test_sparkline () =
+  let pts = Array.init 10 (fun i -> { Pressure.step = i; live = i; allocated = 9 }) in
+  let line = Pressure.sparkline ~width:10 pts in
+  Alcotest.(check int) "width" 10 (String.length line);
+  Alcotest.(check char) "low start" ' ' line.[0];
+  Alcotest.(check char) "high end" '#' line.[9]
+
+let suite =
+  [ Alcotest.test_case "dynamic profile" `Quick test_dynamic_profile;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+    Alcotest.test_case "fraction below" `Quick test_fraction_below;
+    Alcotest.test_case "mean ratio" `Quick test_mean_ratio;
+    Alcotest.test_case "downsample" `Quick test_downsample;
+    Alcotest.test_case "sparkline" `Quick test_sparkline ]

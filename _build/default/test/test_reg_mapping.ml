@@ -1,0 +1,70 @@
+open Gpu_uarch
+module M = Reg_mapping
+
+let cfg = { M.bs = 18; es = 6; srp_offset = 48 * 18 }
+
+let test_baseline () =
+  Alcotest.(check int) "warp 0" 5 (M.baseline ~coeff:24 ~widx:0 ~x:5);
+  Alcotest.(check int) "warp 3" (3 * 24 + 5) (M.baseline ~coeff:24 ~widx:3 ~x:5)
+
+let test_base_segment () =
+  (match M.regmutex cfg ~widx:2 ~section:None ~x:10 with
+  | Ok y -> Alcotest.(check int) "base mapping" ((2 * 18) + 10) y
+  | Error _ -> Alcotest.fail "base access needs no section");
+  (* Base accesses are independent of any held section. *)
+  match M.regmutex cfg ~widx:2 ~section:(Some 4) ~x:10 with
+  | Ok y -> Alcotest.(check int) "same with section" ((2 * 18) + 10) y
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let test_extended_segment () =
+  match M.regmutex cfg ~widx:7 ~section:(Some 3) ~x:20 with
+  | Ok y -> Alcotest.(check int) "srp mapping" (cfg.M.srp_offset + (3 * 6) + 2) y
+  | Error _ -> Alcotest.fail "extended access with section"
+
+let test_errors () =
+  (match M.regmutex cfg ~widx:0 ~section:None ~x:20 with
+  | Error M.Extended_not_acquired -> ()
+  | _ -> Alcotest.fail "extended access without section must fault");
+  (match M.regmutex cfg ~widx:0 ~section:(Some 0) ~x:24 with
+  | Error M.Out_of_range -> ()
+  | _ -> Alcotest.fail "x >= bs+es must fault");
+  match M.regmutex cfg ~widx:0 ~section:(Some 0) ~x:(-1) with
+  | Error M.Out_of_range -> ()
+  | _ -> Alcotest.fail "negative index must fault"
+
+let test_srp_offset () =
+  Alcotest.(check int) "offset after base sets" (48 * 18)
+    (M.srp_offset_for ~bs:18 ~resident_warps:48)
+
+(* Injectivity: distinct (warp, section, x) triples never map to the same
+   physical pack, provided warps hold distinct sections. *)
+let prop_injective =
+  let gen =
+    QCheck2.Gen.(
+      let* w1 = int_bound 47 and* w2 = int_bound 47 in
+      let* x1 = int_bound 23 and* x2 = int_bound 23 in
+      return ((w1, x1), (w2, x2)))
+  in
+  Util.qtest "mapping is injective across warps" gen
+    (fun ((w1, x1), (w2, x2)) ->
+      (* Warp w holds section w (distinct sections). *)
+      let map (w, x) = M.regmutex cfg ~widx:w ~section:(Some w) ~x in
+      match (map (w1, x1), map (w2, x2)) with
+      | Ok y1, Ok y2 -> ((w1, x1) = (w2, x2)) = (y1 = y2)
+      | _ -> false)
+
+let prop_segments_disjoint =
+  let gen = QCheck2.Gen.(pair (int_bound 47) (int_bound 23)) in
+  Util.qtest "base and SRP segments never collide" gen (fun (w, x) ->
+      match M.regmutex cfg ~widx:w ~section:(Some (w mod 6)) ~x with
+      | Ok y -> if x < cfg.M.bs then y < cfg.M.srp_offset else y >= cfg.M.srp_offset
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "baseline Y = X + coeff*widx" `Quick test_baseline;
+    Alcotest.test_case "base segment" `Quick test_base_segment;
+    Alcotest.test_case "extended segment" `Quick test_extended_segment;
+    Alcotest.test_case "fault conditions" `Quick test_errors;
+    Alcotest.test_case "srp offset" `Quick test_srp_offset;
+    prop_injective;
+    prop_segments_disjoint ]

@@ -1,0 +1,157 @@
+open Gpu_sim
+
+let mk_warp ~slot ~age =
+  Warp.create ~slot ~cta_slot:0 ~global_cta:0 ~warp_in_cta:slot ~age ~n_regs:4
+
+let pool slots_ages =
+  let n = 1 + List.fold_left (fun acc (s, _) -> max acc s) 0 slots_ages in
+  let arr = Array.make n None in
+  List.iter (fun (s, a) -> arr.(s) <- Some (mk_warp ~slot:s ~age:a)) slots_ages;
+  arr
+
+let no_priority (_ : Warp.t) = 0
+
+let test_gto_oldest_first () =
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 5); (1, 2); (2, 9) ] in
+  match
+    Scheduler.pick sched ~n_slots:3 ~get:(fun s -> warps.(s))
+      ~can_issue:(fun _ -> true) ~priority:no_priority
+  with
+  | Some w -> Alcotest.(check int) "oldest wins" 1 w.Warp.slot
+  | None -> Alcotest.fail "expected a pick"
+
+let test_gto_greedy () =
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 5); (1, 2) ] in
+  let pick can =
+    Scheduler.pick sched ~n_slots:2 ~get:(fun s -> warps.(s)) ~can_issue:can
+      ~priority:no_priority
+  in
+  (match pick (fun _ -> true) with
+  | Some w -> Alcotest.(check int) "first pick oldest" 1 w.Warp.slot
+  | None -> Alcotest.fail "pick");
+  (* Same warp keeps issuing while it can (greedy). *)
+  (match pick (fun _ -> true) with
+  | Some w -> Alcotest.(check int) "greedy sticks" 1 w.Warp.slot
+  | None -> Alcotest.fail "pick");
+  (* When the current warp stalls, switch to the other one. *)
+  (match pick (fun w -> w.Warp.slot <> 1) with
+  | Some w -> Alcotest.(check int) "switch on stall" 0 w.Warp.slot
+  | None -> Alcotest.fail "pick");
+  (* And stay greedy on the new one. *)
+  match pick (fun _ -> true) with
+  | Some w -> Alcotest.(check int) "greedy on new warp" 0 w.Warp.slot
+  | None -> Alcotest.fail "pick"
+
+let test_ownership () =
+  let sched = Scheduler.create Scheduler.Gto ~id:1 ~n_schedulers:2 in
+  Alcotest.(check bool) "owns odd slots" true (Scheduler.owns sched ~slot:3);
+  Alcotest.(check bool) "not even slots" false (Scheduler.owns sched ~slot:2);
+  let warps = pool [ (0, 0); (1, 10); (2, 1); (3, 11) ] in
+  match
+    Scheduler.pick sched ~n_slots:4 ~get:(fun s -> warps.(s))
+      ~can_issue:(fun _ -> true) ~priority:no_priority
+  with
+  | Some w -> Alcotest.(check int) "only scans own slots" 1 w.Warp.slot
+  | None -> Alcotest.fail "pick"
+
+let test_priority_beats_age () =
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 0); (1, 5) ] in
+  (* OWF-style: warp 1 is an owner (priority 0), warp 0 is not. *)
+  let priority (w : Warp.t) = if w.Warp.slot = 1 then 0 else 1 in
+  match
+    Scheduler.pick sched ~n_slots:2 ~get:(fun s -> warps.(s))
+      ~can_issue:(fun _ -> true) ~priority
+  with
+  | Some w -> Alcotest.(check int) "owner first despite age" 1 w.Warp.slot
+  | None -> Alcotest.fail "pick"
+
+let test_none_issueable () =
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 0) ] in
+  Alcotest.(check bool) "none" true
+    (Scheduler.pick sched ~n_slots:1 ~get:(fun s -> warps.(s))
+       ~can_issue:(fun _ -> false) ~priority:no_priority
+    = None)
+
+let test_lrr_rotates () =
+  let sched = Scheduler.create Scheduler.Lrr ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 0); (1, 1); (2, 2) ] in
+  let pick () =
+    match
+      Scheduler.pick sched ~n_slots:3 ~get:(fun s -> warps.(s))
+        ~can_issue:(fun _ -> true) ~priority:no_priority
+    with
+    | Some w -> w.Warp.slot
+    | None -> Alcotest.fail "pick"
+  in
+  let first = pick () in
+  let second = pick () in
+  let third = pick () in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 2 ]
+    (List.sort compare [ first; second; third ]);
+  Alcotest.(check bool) "no immediate repeat" true (first <> second && second <> third)
+
+let test_two_level_drains_group () =
+  let sched = Scheduler.create (Scheduler.Two_level 2) ~id:0 ~n_schedulers:1 in
+  let warps = pool [ (0, 0); (1, 1); (2, 2); (3, 3) ] in
+  let pick can =
+    match
+      Scheduler.pick sched ~n_slots:4 ~get:(fun s -> warps.(s)) ~can_issue:can
+        ~priority:no_priority
+    with
+    | Some w -> w.Warp.slot
+    | None -> Alcotest.fail "pick"
+  in
+  (* Group 0 = slots {0,1}. Oldest of the active group wins while the
+     group has runnable warps. *)
+  Alcotest.(check int) "active group first" 0 (pick (fun _ -> true));
+  Alcotest.(check int) "stays in group" 1 (pick (fun w -> w.Warp.slot <> 0));
+  (* When the whole group stalls, rotate to group 1. *)
+  Alcotest.(check int) "rotates on group stall" 2 (pick (fun w -> w.Warp.slot >= 2));
+  (* The rotation is sticky: group 1 is now active. *)
+  Alcotest.(check int) "sticky rotation" 2 (pick (fun _ -> true))
+
+let test_two_level_invalid () =
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Scheduler.create: empty fetch group") (fun () ->
+      ignore (Scheduler.create (Scheduler.Two_level 0) ~id:0 ~n_schedulers:1))
+
+let test_two_level_end_to_end () =
+  (* A full simulation under each scheduler produces identical stores. *)
+  let prog = Util.loop in
+  let run kind =
+    let arch = { Util.small_arch with Gpu_uarch.Arch_config.scheduler = kind } in
+    Util.run_with ~arch (Util.static_policy prog) prog
+  in
+  let gto = run Gpu_uarch.Arch_config.Gto in
+  let lrr = run Gpu_uarch.Arch_config.Lrr in
+  let two = run (Gpu_uarch.Arch_config.Two_level 4) in
+  Util.check_same_traces "gto vs lrr" (Util.traces gto) (Util.traces lrr);
+  Util.check_same_traces "gto vs two-level" (Util.traces gto) (Util.traces two)
+
+let test_warp_deps_ready () =
+  let w = mk_warp ~slot:0 ~age:0 in
+  let instr = Gpu_isa.Instr.Bin (Gpu_isa.Instr.Add, 0, Gpu_isa.Instr.Reg 1, Gpu_isa.Instr.Imm 1) in
+  Alcotest.(check bool) "ready initially" true (Warp.deps_ready w instr ~cycle:0);
+  w.Warp.reg_ready.(1) <- 10;
+  Alcotest.(check bool) "source in flight" false (Warp.deps_ready w instr ~cycle:5);
+  Alcotest.(check bool) "ready at completion" true (Warp.deps_ready w instr ~cycle:10);
+  w.Warp.reg_ready.(1) <- 0;
+  w.Warp.reg_ready.(0) <- 10;
+  Alcotest.(check bool) "destination busy blocks too" false
+    (Warp.deps_ready w instr ~cycle:5)
+
+let suite =
+  [ Alcotest.test_case "GTO picks oldest" `Quick test_gto_oldest_first;
+    Alcotest.test_case "GTO greedy behaviour" `Quick test_gto_greedy;
+    Alcotest.test_case "slot ownership" `Quick test_ownership;
+    Alcotest.test_case "priority beats age (OWF)" `Quick test_priority_beats_age;
+    Alcotest.test_case "nothing issueable" `Quick test_none_issueable;
+    Alcotest.test_case "LRR rotation" `Quick test_lrr_rotates;
+    Alcotest.test_case "two-level drains and rotates" `Quick test_two_level_drains_group;
+    Alcotest.test_case "two-level validation" `Quick test_two_level_invalid;
+    Alcotest.test_case "schedulers agree on behaviour" `Quick test_two_level_end_to_end;
+    Alcotest.test_case "warp scoreboard" `Quick test_warp_deps_ready ]

@@ -1,0 +1,74 @@
+open Gpu_sim
+module I = Gpu_isa.Instr
+
+let test_derived_metrics () =
+  let s = Stats.create () in
+  s.Stats.cycles <- 100;
+  s.Stats.instructions <- 250;
+  Alcotest.(check (float 1e-9)) "ipc" 2.5 (Stats.ipc s);
+  s.Stats.resident_warp_cycles <- 300;
+  s.Stats.warp_capacity_cycles <- 400;
+  Alcotest.(check (float 1e-9)) "occupancy" 0.75 (Stats.achieved_occupancy s);
+  let empty = Stats.create () in
+  Alcotest.(check (float 1e-9)) "ipc of empty run" 0. (Stats.ipc empty);
+  Alcotest.(check (float 1e-9)) "occupancy of empty run" 0.
+    (Stats.achieved_occupancy empty)
+
+let test_acquire_ratio () =
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "no acquires -> 1.0" 1. (Stats.acquire_success_ratio s);
+  s.Stats.acquire_execs <- 10;
+  s.Stats.acquire_first_try <- 7;
+  Alcotest.(check (float 1e-9)) "7/10" 0.7 (Stats.acquire_success_ratio s)
+
+let test_stall_counters () =
+  let s = Stats.create () in
+  Stats.bump_stall s Stats.Stall_deps;
+  Stats.bump_stall s Stats.Stall_deps;
+  Stats.bump_stall s Stats.Stall_acquire;
+  Alcotest.(check int) "deps" 2 (Stats.stall_count s Stats.Stall_deps);
+  Alcotest.(check int) "acquire" 1 (Stats.stall_count s Stats.Stall_acquire);
+  Alcotest.(check int) "untouched" 0 (Stats.stall_count s Stats.Stall_regs)
+
+let test_store_traces () =
+  let s = Stats.create () in
+  Stats.record_store s ~cta:1 ~warp:0 I.Global 10 100;
+  Stats.record_store s ~cta:0 ~warp:1 I.Shared 5 50;
+  Stats.record_store s ~cta:1 ~warp:0 I.Global 11 101;
+  let traces = Stats.store_traces s in
+  Alcotest.(check int) "two warps" 2 (List.length traces);
+  (match traces with
+  | [ ((0, 1), [ (I.Shared, 5, 50) ]); ((1, 0), t) ] ->
+      Alcotest.(check int) "issue order preserved" 2 (List.length t);
+      Alcotest.(check bool) "ordered" true
+        (t = [ (I.Global, 10, 100); (I.Global, 11, 101) ])
+  | _ -> Alcotest.fail "unexpected trace structure")
+
+let test_pc_trace () =
+  let s = Stats.create () in
+  s.Stats.pc_trace <- [ 3; 2; 1 ];
+  Alcotest.(check (array int)) "oldest first" [| 1; 2; 3 |] (Stats.trace s)
+
+let test_warp_instruction_counts () =
+  let s = Stats.create () in
+  Stats.record_warp_done s ~cta:1 ~warp:1 ~instructions:50;
+  Stats.record_warp_done s ~cta:0 ~warp:0 ~instructions:40;
+  Alcotest.(check (list (pair (pair int int) int))) "sorted"
+    [ ((0, 0), 40); ((1, 1), 50) ]
+    (Stats.warp_instruction_counts s)
+
+let test_pp_smoke () =
+  let s = Stats.create () in
+  s.Stats.cycles <- 10;
+  Stats.bump_stall s Stats.Stall_barrier;
+  let out = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "mentions cycles" true (String.length out > 0)
+
+let suite =
+  [ Alcotest.test_case "derived metrics" `Quick test_derived_metrics;
+    Alcotest.test_case "acquire ratio" `Quick test_acquire_ratio;
+    Alcotest.test_case "stall counters" `Quick test_stall_counters;
+    Alcotest.test_case "store traces" `Quick test_store_traces;
+    Alcotest.test_case "pc trace" `Quick test_pc_trace;
+    Alcotest.test_case "per-warp counts" `Quick test_warp_instruction_counts;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke ]

@@ -1,0 +1,45 @@
+open Gpu_uarch
+module S = Storage_cost
+
+let arch = Arch_config.gtx480
+
+let test_regmutex_default () =
+  let b = S.bits arch S.Regmutex_default in
+  (* 48 + 48 + 48*ceil(log2 48) = 48 + 48 + 288 = 384 (paper §III-B1). *)
+  Alcotest.(check int) "384 bits" 384 b.S.total_bits;
+  Alcotest.(check int) "LUT is 288 bits" 288 (List.assoc "warp->section LUT" b.S.components)
+
+let test_paired () =
+  let b = S.bits arch S.Regmutex_paired in
+  Alcotest.(check int) "Nw/2 bits" 24 b.S.total_bits
+
+let test_rfv () =
+  let b = S.bits arch S.Rfv in
+  (* 48 x 63 x 10 + 1024 = 31,264 bits (paper §IV-C). *)
+  Alcotest.(check int) "renaming table" 30240 (List.assoc "renaming table" b.S.components);
+  Alcotest.(check int) "availability" 1024 (List.assoc "availability bits" b.S.components);
+  Alcotest.(check int) "total" 31264 b.S.total_bits
+
+let test_ratios () =
+  (* Paper: RFV needs >81x more storage than RegMutex. *)
+  let r = S.ratio arch S.Regmutex_default S.Rfv in
+  Alcotest.(check bool) "more than 81x" true (r > 81.);
+  (* Paper says ">20x"; with its own bit counts (384 vs Nw/2 = 24) the
+     ratio is 16x — we report the value our model actually yields. *)
+  let p = S.ratio arch S.Regmutex_paired S.Regmutex_default in
+  Alcotest.(check (float 0.01)) "384/24 = 16x" 16. p
+
+let test_owf () =
+  let b = S.bits arch S.Owf in
+  Alcotest.(check int) "lock + owner bits" 48 b.S.total_bits
+
+let test_names () =
+  Alcotest.(check string) "name" "RegMutex" (S.technique_name S.Regmutex_default)
+
+let suite =
+  [ Alcotest.test_case "RegMutex default = 384 bits" `Quick test_regmutex_default;
+    Alcotest.test_case "paired = 24 bits" `Quick test_paired;
+    Alcotest.test_case "RFV = 31,264 bits" `Quick test_rfv;
+    Alcotest.test_case "cost ratios" `Quick test_ratios;
+    Alcotest.test_case "OWF bits" `Quick test_owf;
+    Alcotest.test_case "names" `Quick test_names ]

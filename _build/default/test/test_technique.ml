@@ -1,0 +1,138 @@
+module Technique = Regmutex.Technique
+module Runner = Regmutex.Runner
+module Policy = Gpu_sim.Policy
+module Spec = Workloads.Spec
+
+let arch = Gpu_uarch.Arch_config.gtx480
+
+let test_prepare_baseline () =
+  let spec = Workloads.Registry.find "BFS" in
+  let p = Technique.prepare arch Technique.Baseline spec.Spec.kernel in
+  (match p.Technique.policy with
+  | Policy.Static { regs_per_thread } ->
+      Alcotest.(check int) "full demand" 21 regs_per_thread
+  | _ -> Alcotest.fail "expected static policy");
+  Alcotest.(check bool) "no plan" true (p.Technique.plan = None)
+
+let test_prepare_regmutex () =
+  let spec = Workloads.Registry.find "BFS" in
+  let p = Technique.prepare arch Technique.Regmutex spec.Spec.kernel in
+  (match p.Technique.policy with
+  | Policy.Srp { bs; es; verify } ->
+      Alcotest.(check int) "paper |Bs|" 18 bs;
+      Alcotest.(check int) "paper |Es|" 6 es;
+      Alcotest.(check bool) "verification on" true verify
+  | _ -> Alcotest.fail "expected SRP policy");
+  (match p.Technique.plan with
+  | Some plan -> Alcotest.(check bool) "primitives injected" true
+                   (plan.Regmutex.Transform.n_acquires > 0)
+  | None -> Alcotest.fail "expected a plan");
+  (* The prepared kernel carries the transformed program. *)
+  Alcotest.(check bool) "program instrumented" true
+    (Gpu_isa.Program.count (fun i -> i = Gpu_isa.Instr.Acquire)
+       p.Technique.kernel.Gpu_sim.Kernel.program
+    > 0)
+
+let test_prepare_es_override () =
+  let spec = Workloads.Registry.find "BFS" in
+  let options = { Technique.default_options with es_override = Some 4 } in
+  let p = Technique.prepare ~options arch Technique.Regmutex spec.Spec.kernel in
+  match p.Technique.policy with
+  | Policy.Srp { bs; es; _ } ->
+      Alcotest.(check int) "forced es" 4 es;
+      Alcotest.(check int) "bs" 20 bs
+  | _ -> Alcotest.fail "expected SRP policy"
+
+let test_prepare_fallback () =
+  (* An impossible override falls back to baseline behaviour. *)
+  let spec = Workloads.Registry.find "Gaussian" in
+  let options = { Technique.default_options with es_override = Some 40 } in
+  let p = Technique.prepare ~options arch Technique.Regmutex spec.Spec.kernel in
+  (match p.Technique.policy with
+  | Policy.Static _ -> ()
+  | _ -> Alcotest.fail "expected fallback to static");
+  Alcotest.(check bool) "no choice" true (p.Technique.choice = None)
+
+let test_prepare_owf_gate () =
+  (* A frozen pair contributes ~1 warp of progress, so OWF shares only on
+     a >= 2x occupancy gain. BFS gains 2 -> 3 CTAs (1.5x): unshared. *)
+  let bfs = Workloads.Registry.find "BFS" in
+  let p = Technique.prepare arch Technique.Owf bfs.Spec.kernel in
+  (match p.Technique.policy with
+  | Policy.Static _ -> ()
+  | _ -> Alcotest.fail "BFS: expected unshared fallback below the 2x gate");
+  (* The capacities behind the decision. *)
+  let static_caps =
+    Gpu_sim.Sm.cta_capacity_for arch
+      ~policy:(Policy.Static { regs_per_thread = 21 })
+      ~kernel:bfs.Spec.kernel
+  in
+  let owf_caps =
+    Gpu_sim.Sm.cta_capacity_for arch
+      ~policy:(Policy.Owf { bs = 18; es = 6 })
+      ~kernel:bfs.Spec.kernel
+  in
+  Alcotest.(check int) "static CTAs" 2 static_caps;
+  Alcotest.(check int) "OWF CTAs" 3 owf_caps;
+  (* A kernel whose occupancy doubles under pairing does share: 34
+     registers in 512-thread CTAs fit 1 CTA statically but 2 CTAs when
+     pairs split 12 base + 24 shared. *)
+  let prog =
+    Gpu_isa.Builder.(
+      assemble ~name:"sharey"
+        ([ mul 0 ctaid ntid; add 0 (r 0) tid; mov 1 (imm 0) ]
+        @ Workloads.Shape.bulge ~seed:0 ~acc:1 ~first:2 ~last:33 ~hold:2 ()
+        @ [ store ~ofs:0x10000000 Gpu_isa.Instr.Global (r 0) (r 1); exit_ ]))
+  in
+  let kernel = Gpu_sim.Kernel.make ~name:"sharey" ~grid_ctas:4 ~cta_threads:512 prog in
+  let options = { Technique.default_options with es_override = Some 24 } in
+  let p = Technique.prepare ~options arch Technique.Owf kernel in
+  match p.Technique.policy with
+  | Policy.Owf { bs; es } ->
+      Alcotest.(check (pair int int)) "shares above the gate" (12, 24) (bs, es)
+  | _ -> Alcotest.fail "expected OWF sharing above the 2x gate"
+
+let test_prepare_rfv () =
+  let spec = Workloads.Registry.find "BFS" in
+  let p = Technique.prepare arch Technique.Rfv spec.Spec.kernel in
+  match p.Technique.policy with
+  | Policy.Rfv { live; max_live } ->
+      Alcotest.(check int) "live table covers program"
+        (Gpu_isa.Program.length spec.Spec.kernel.Gpu_sim.Kernel.program)
+        (Array.length live);
+      Alcotest.(check int) "max live" 21 max_live
+  | _ -> Alcotest.fail "expected RFV policy"
+
+let test_runner_metrics () =
+  let spec = Spec.with_grid (Workloads.Registry.find "Gaussian") 4 in
+  let arch1 = { arch with Gpu_uarch.Arch_config.n_sms = 1 } in
+  let run = Runner.execute arch1 Technique.Baseline spec.Spec.kernel in
+  Alcotest.(check bool) "cycles measured" true (run.Runner.cycles > 0);
+  Alcotest.(check (float 1e-9)) "full occupancy" 1.0 run.Runner.theoretical_occupancy;
+  Alcotest.(check string) "kernel name" "gaussian" run.Runner.kernel_name
+
+let test_reduction_math () =
+  let spec = Spec.with_grid (Workloads.Registry.find "Gaussian") 2 in
+  let arch1 = { arch with Gpu_uarch.Arch_config.n_sms = 1 } in
+  let base = Runner.execute arch1 Technique.Baseline spec.Spec.kernel in
+  let fake_faster = { base with Runner.cycles = base.Runner.cycles / 2 } in
+  Alcotest.(check (float 0.01)) "50% reduction" 50.
+    (Runner.reduction_pct ~baseline:base fake_faster);
+  Alcotest.(check (float 0.01)) "-50% increase" (-50.)
+    (Runner.increase_pct ~baseline:base fake_faster)
+
+let test_names () =
+  Alcotest.(check (list string)) "technique names"
+    [ "baseline"; "regmutex"; "regmutex-paired"; "owf"; "rfv" ]
+    (List.map Technique.name Technique.all)
+
+let suite =
+  [ Alcotest.test_case "prepare baseline" `Quick test_prepare_baseline;
+    Alcotest.test_case "prepare regmutex (paper split)" `Quick test_prepare_regmutex;
+    Alcotest.test_case "prepare with es override" `Quick test_prepare_es_override;
+    Alcotest.test_case "prepare fallback" `Quick test_prepare_fallback;
+    Alcotest.test_case "OWF occupancy gate" `Quick test_prepare_owf_gate;
+    Alcotest.test_case "prepare RFV" `Quick test_prepare_rfv;
+    Alcotest.test_case "runner metrics" `Quick test_runner_metrics;
+    Alcotest.test_case "reduction arithmetic" `Quick test_reduction_math;
+    Alcotest.test_case "names" `Quick test_names ]

@@ -1,0 +1,123 @@
+(* Table I conformance and determinism of the 16 synthetic workloads. *)
+
+module Liveness = Gpu_analysis.Liveness
+module Spec = Workloads.Spec
+
+let all = Workloads.Registry.all
+
+let test_registry_complete () =
+  Alcotest.(check int) "16 workloads" 16 (List.length all);
+  Alcotest.(check int) "8 occupancy-limited" 8
+    (List.length Workloads.Registry.occupancy_limited);
+  Alcotest.(check int) "8 regfile-sensitive" 8
+    (List.length Workloads.Registry.regfile_sensitive);
+  Alcotest.(check int) "6 figure-1 kernels" 6 (List.length Workloads.Registry.figure1);
+  Alcotest.(check (list string)) "paper order (first four)"
+    [ "BFS"; "CUTCP"; "DWT2D"; "HotSpot3D" ]
+    (List.filteri (fun i _ -> i < 4) Workloads.Registry.names)
+
+let test_find () =
+  Alcotest.(check string) "case-insensitive" "BFS"
+    (Workloads.Registry.find "bfs").Spec.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Workloads.Registry.find "nope"))
+
+let test_table1_register_counts () =
+  List.iter
+    (fun spec ->
+      match Spec.validate spec with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    all
+
+let test_pressure_matches_allocation () =
+  (* A real allocator sizes the register set by the peak live count; every
+     kernel must reach within one register of its allocation. *)
+  List.iter
+    (fun spec ->
+      let prog = spec.Spec.kernel.Gpu_sim.Kernel.program in
+      let pressure = Liveness.max_pressure (Liveness.analyze prog) in
+      let names = Gpu_sim.Kernel.regs_per_thread spec.Spec.kernel in
+      if pressure < names - 1 || pressure > names then
+        Alcotest.failf "%s: pressure %d vs %d names" spec.Spec.name pressure names)
+    all
+
+let test_barrier_liveness_rule () =
+  (* Deadlock rule 2: |Bs| must cover the live set at every barrier. *)
+  List.iter
+    (fun spec ->
+      let prog = spec.Spec.kernel.Gpu_sim.Kernel.program in
+      let at_bar = Liveness.live_at_barriers prog (Liveness.analyze prog) in
+      if at_bar > spec.Spec.paper_bs then
+        Alcotest.failf "%s: %d live at barrier > |Bs| = %d" spec.Spec.name at_bar
+          spec.Spec.paper_bs)
+    all
+
+let test_even_warps_per_cta () =
+  (* Paired-warps specialization requires an even warp count per CTA. *)
+  List.iter
+    (fun spec ->
+      let wpc = Gpu_sim.Kernel.warps_per_cta Gpu_uarch.Arch_config.gtx480 spec.Spec.kernel in
+      if wpc mod 2 <> 0 then Alcotest.failf "%s: odd warps/CTA" spec.Spec.name)
+    all
+
+let test_with_grid () =
+  let spec = Workloads.Registry.find "BFS" in
+  let smaller = Spec.with_grid spec 4 in
+  Alcotest.(check int) "grid replaced" 4 smaller.Spec.kernel.Gpu_sim.Kernel.grid_ctas;
+  Alcotest.(check string) "same program" "bfs"
+    smaller.Spec.kernel.Gpu_sim.Kernel.program.Gpu_isa.Program.name
+
+let run_small spec =
+  let kernel = (Spec.with_grid spec 2).Spec.kernel in
+  let config =
+    { (Gpu_sim.Gpu.default_config Util.small_arch
+         (Gpu_sim.Policy.Static
+            { regs_per_thread = Gpu_sim.Kernel.regs_per_thread kernel }))
+      with
+      Gpu_sim.Gpu.record_stores = true;
+      max_cycles = 3_000_000 }
+  in
+  Gpu_sim.Gpu.run config kernel
+
+let test_all_run_to_completion () =
+  List.iter
+    (fun spec ->
+      let stats = run_small spec in
+      if stats.Gpu_sim.Stats.timed_out then
+        Alcotest.failf "%s timed out" spec.Spec.name;
+      if Util.traces stats = [] then
+        Alcotest.failf "%s produced no stores" spec.Spec.name)
+    all
+
+let test_deterministic () =
+  (* Two runs of the same kernel produce identical store traces. *)
+  List.iter
+    (fun spec ->
+      let a = run_small spec and b = run_small spec in
+      Util.check_same_traces spec.Spec.name (Util.traces a) (Util.traces b))
+    all
+
+let test_divergent_kernels_take_both_paths () =
+  (* HeartWall and CUTCP have data-dependent branches; over a couple of
+     CTAs both paths must be exercised (instruction counts differ from a
+     straight-line execution and the bulge sometimes fires). *)
+  List.iter
+    (fun name ->
+      let spec = Workloads.Registry.find name in
+      let stats = run_small spec in
+      Alcotest.(check bool) (name ^ " executed") true
+        (stats.Gpu_sim.Stats.instructions > 0))
+    [ "HeartWall"; "CUTCP"; "SRAD" ]
+
+let suite =
+  [ Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "find by name" `Quick test_find;
+    Alcotest.test_case "Table I register counts" `Quick test_table1_register_counts;
+    Alcotest.test_case "peak pressure = allocation" `Quick test_pressure_matches_allocation;
+    Alcotest.test_case "barrier liveness under |Bs|" `Quick test_barrier_liveness_rule;
+    Alcotest.test_case "even warps per CTA" `Quick test_even_warps_per_cta;
+    Alcotest.test_case "with_grid" `Quick test_with_grid;
+    Alcotest.test_case "all kernels run" `Slow test_all_run_to_completion;
+    Alcotest.test_case "deterministic traces" `Slow test_deterministic;
+    Alcotest.test_case "divergent kernels execute" `Quick test_divergent_kernels_take_both_paths ]
