@@ -6,35 +6,82 @@
      dune exec bench/main.exe              # all figures, full-size grids
      dune exec bench/main.exe -- quick     # all figures, quarter grids
      dune exec bench/main.exe -- fig7 fig10
+     dune exec bench/main.exe -- sweep     # serial vs parallel sweep timing
      dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
 
-let experiments : (string * (Experiments.Exp_config.t -> unit)) list =
-  [ ("table1", Experiments.Table1.print);
-    ("fig1", Experiments.Fig1.print);
-    ("fig2", Experiments.Fig2.print);
-    ("fig7", Experiments.Fig7.print);
-    ("fig8", Experiments.Fig8.print);
-    ("fig9a", Experiments.Fig9.print_a);
-    ("fig9b", Experiments.Fig9.print_b);
-    ("fig10", Experiments.Fig10.print);
-    ("fig11", Experiments.Fig11.print);
-    ("fig12", Experiments.Fig12.print);
-    ("fig13", Experiments.Fig13.print);
-    ("storage", Experiments.Storage.print);
-    ("ablation", Experiments.Ablation.print);
-    ("sched", Experiments.Sched_ablation.print) ]
+module Suite = Experiments.Suite
+module Engine = Experiments.Engine
 
 let run_experiment cfg name =
-  match List.assoc_opt name experiments with
-  | Some f ->
+  match Suite.find name with
+  | Some e ->
       Printf.printf "\n================ %s ================\n%!" name;
       let t0 = Unix.gettimeofday () in
-      f cfg;
+      e.Suite.print cfg;
       Printf.printf "(%s finished in %.1fs)\n%!" name (Unix.gettimeofday () -. t0)
   | None ->
-      Printf.eprintf "unknown experiment %S; available: %s, perf\n" name
-        (String.concat ", " (List.map fst experiments));
+      Printf.eprintf "unknown experiment %S; available: %s, sweep, perf\n" name
+        (String.concat ", " Suite.names);
       exit 1
+
+(* Serial vs parallel sweep: drive every simulation-bearing experiment
+   through its row builders (no table rendering) with 1 worker and again
+   with one worker per core, from a cold in-memory cache and no disk
+   store, and compare wall time and result fingerprints. *)
+let sweep_bench cfg =
+  let row_builders : (Experiments.Exp_config.t -> string list) list =
+    [ (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig7.row) -> string_of_int r.regmutex_cycles)
+          (Experiments.Fig7.rows cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig8.row) -> string_of_int r.half_rm_cycles)
+          (Experiments.Fig8.rows cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig9.row_a) -> string_of_float r.regmutex_red)
+          (Experiments.Fig9.rows_a cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig9.row_b) -> string_of_float r.regmutex_inc)
+          (Experiments.Fig9.rows_b cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig12.row_a) -> string_of_float r.paired_red)
+          (Experiments.Fig12.rows_a cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Fig13.row) -> string_of_float r.paired_ratio)
+          (Experiments.Fig13.rows cfg));
+      (fun cfg ->
+        List.map
+          (fun (r : Experiments.Sched_ablation.row) ->
+            string_of_int r.regmutex_cycles)
+          (Experiments.Sched_ablation.rows cfg)) ]
+  in
+  let timed jobs =
+    Engine.clear ();
+    Engine.set_cache_dir None;
+    Engine.set_jobs jobs;
+    let sims_before = Engine.simulations () in
+    let t0 = Unix.gettimeofday () in
+    let results = List.concat_map (fun f -> f cfg) row_builders in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Engine.simulations () - sims_before, results)
+  in
+  let serial_t, serial_sims, serial_r = timed 1 in
+  Printf.printf "serial:   %4d simulations in %6.2fs (1 worker)\n%!" serial_sims
+    serial_t;
+  let jobs = Engine.auto_jobs () in
+  let par_t, par_sims, par_r = timed 0 in
+  Printf.printf "parallel: %4d simulations in %6.2fs (%d worker%s)\n%!" par_sims
+    par_t jobs
+    (if jobs = 1 then "" else "s");
+  Printf.printf "speedup:  %.2fx; results %s\n" (serial_t /. par_t)
+    (if serial_r = par_r then "identical" else "DIFFER");
+  Engine.set_jobs 1;
+  if serial_r <> par_r then exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -45,5 +92,7 @@ let () =
   in
   match args with
   | [ "perf" ] -> Perf.run ()
-  | [] -> List.iter (fun (name, _) -> run_experiment cfg name) experiments
+  | [ "sweep" ] -> sweep_bench cfg
+  | [] ->
+      List.iter (fun (e : Suite.entry) -> run_experiment cfg e.Suite.name) Suite.all
   | names -> List.iter (run_experiment cfg) names

@@ -5,6 +5,7 @@
      regmutex liveness BFS [--no-widen]
      regmutex transform BFS [--bs N] [--es N] [--half-rf]
      regmutex run BFS [--technique regmutex] [--half-rf] [--es N] [--grid N]
+     regmutex sweep [fig7 fig9a ...] [--jobs N] [--no-cache] [--quick]
      regmutex storage *)
 
 open Cmdliner
@@ -230,6 +231,82 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ const ())
 
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep_cmd =
+  let doc =
+    "Run the experiment sweep (tables, figures, ablations) with parallel \
+     workers and a persistent result store under _results/."
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the simulation fan-out. 0 selects one \
+             worker per available core; 1 (the default) runs serially. \
+             Output is byte-identical for any value.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Do not read or write the persistent store under _results/.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Quarter-size grids.")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiments to run (default: all). See $(b,sweep --list).")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment names and exit.")
+  in
+  let run jobs no_cache quick names list_only =
+    let module Engine = Experiments.Engine in
+    let module Suite = Experiments.Suite in
+    if list_only then
+      List.iter
+        (fun (e : Suite.entry) -> Printf.printf "%-10s %s\n" e.Suite.name e.Suite.doc)
+        Suite.all
+    else begin
+      Engine.set_jobs jobs;
+      Engine.set_cache_dir (if no_cache then None else Some "_results");
+      let cfg =
+        if quick then Experiments.Exp_config.quick
+        else Experiments.Exp_config.default
+      in
+      let entries =
+        match names with
+        | [] -> Suite.all
+        | names ->
+            List.map
+              (fun n ->
+                match Suite.find n with
+                | Some e -> e
+                | None ->
+                    Printf.eprintf "unknown experiment %S; available: %s\n" n
+                      (String.concat ", " Suite.names);
+                    exit 1)
+              names
+      in
+      let t0 = Unix.gettimeofday () in
+      Suite.run cfg entries;
+      (* Stderr, so stdout stays comparable across job counts and runs. *)
+      Printf.eprintf "sweep: %d simulation(s) in %.1fs (%d worker%s%s)\n"
+        (Engine.simulations ())
+        (Unix.gettimeofday () -. t0)
+        (Engine.jobs ())
+        (if Engine.jobs () = 1 then "" else "s")
+        (if no_cache then ", no store" else ", store: _results/")
+    end
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ jobs $ no_cache $ quick $ names $ list_flag)
+
 (* --- storage -------------------------------------------------------- *)
 
 let storage_cmd =
@@ -244,4 +321,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; occupancy_cmd; liveness_cmd; transform_cmd; run_cmd;
-            run_file_cmd; check_cmd; storage_cmd ]))
+            run_file_cmd; check_cmd; sweep_cmd; storage_cmd ]))

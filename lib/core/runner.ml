@@ -48,6 +48,20 @@ let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
     prepared;
   }
 
+(* Stable digest of everything the figures read off a run. Two runs of the
+   same cell must produce the same fingerprint no matter which domain (or
+   process) simulated them — the experiment engine's determinism and
+   cache round-trip checks compare these. *)
+let fingerprint r =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( r.kernel_name, Technique.name r.technique, r.cycles, r.instructions,
+            r.theoretical_warps, r.theoretical_occupancy, r.achieved_occupancy,
+            r.acquire_ratio, r.srp_sections, r.stats.Stats.acquire_execs,
+            r.stats.Stats.acquire_first_try, r.stats.Stats.shared_oob )
+          []))
+
 let reduction_pct ~baseline run =
   if baseline.cycles = 0 then 0.
   else

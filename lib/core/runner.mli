@@ -26,6 +26,12 @@ val execute :
   Gpu_sim.Kernel.t ->
   run
 
+(** Stable digest of the metrics the figures read. Identical for two runs
+    of the same configuration regardless of which domain or process
+    simulated them — the experiment engine compares these in its
+    determinism checks. *)
+val fingerprint : run -> string
+
 (** [(baseline - run) / baseline × 100] — positive is faster (Figures 7,
     9a, 10, 12a). *)
 val reduction_pct : baseline:run -> run -> float

@@ -27,11 +27,13 @@ type row = {
 
 let apps = [ "CUTCP"; "HeartWall" ]
 
-let row_of cfg spec variant =
+let run_variant cfg spec variant =
   let arch = Exp_config.eval_arch cfg spec in
   let options = { Technique.default_options with transform = variant.options } in
-  let kernel = Exp_config.kernel_of cfg spec in
-  let run = Runner.execute ~options arch Technique.Regmutex kernel in
+  Engine.run ~options ~variant:variant.label cfg ~arch Technique.Regmutex spec
+
+let row_of cfg spec variant =
+  let run = run_variant cfg spec variant in
   let plan = run.Runner.prepared.Technique.plan in
   {
     app = spec.Workloads.Spec.name;
@@ -44,11 +46,21 @@ let row_of cfg spec variant =
   }
 
 let rows cfg =
-  List.concat_map
-    (fun name ->
-      let spec = Workloads.Registry.find name in
-      List.map (row_of cfg spec) variants)
-    apps
+  let specs = List.map Workloads.Registry.find apps in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         List.map
+           (fun variant ->
+             let arch = Exp_config.eval_arch cfg spec in
+             let options =
+               { Technique.default_options with transform = variant.options }
+             in
+             Engine.cell ~options ~variant:variant.label ~arch Technique.Regmutex
+               spec)
+           variants)
+       specs);
+  List.concat_map (fun spec -> List.map (row_of cfg spec) variants) specs
 
 let print cfg =
   let rows = rows cfg in

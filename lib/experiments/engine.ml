@@ -1,25 +1,232 @@
-let cache : (string, Regmutex.Runner.run) Hashtbl.t = Hashtbl.create 64
-let misses = ref 0
+module Runner = Regmutex.Runner
+module Technique = Regmutex.Technique
+module Arch_config = Gpu_uarch.Arch_config
 
-let key ?es_override cfg ~arch technique spec =
-  Printf.sprintf "%s/%s/%s/%s/%.3f" arch.Gpu_uarch.Arch_config.name
-    (Regmutex.Technique.name technique)
-    spec.Workloads.Spec.name
-    (match es_override with None -> "auto" | Some es -> string_of_int es)
-    cfg.Exp_config.grid_scale
+(* --- worker configuration ------------------------------------------- *)
 
-let run ?es_override cfg ~arch technique spec =
-  let k = key ?es_override cfg ~arch technique spec in
-  match Hashtbl.find_opt cache k with
-  | Some run -> run
-  | None ->
-      incr misses;
-      let options = { Regmutex.Technique.default_options with es_override } in
-      let kernel = Exp_config.kernel_of cfg spec in
-      let run = Regmutex.Runner.execute ~options arch technique kernel in
-      Hashtbl.replace cache k run;
-      run
+let auto_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let default_jobs = ref 1
+
+let set_jobs n = default_jobs := if n <= 0 then auto_jobs () else n
+
+let jobs () = !default_jobs
+
+(* --- persistent store configuration ---------------------------------- *)
+
+(* Results are versioned by a schema tag plus the simulator's git-describe:
+   a rebuilt simulator writes into a fresh directory, so stale results are
+   never replayed and need no explicit invalidation scan. *)
+let schema_version = 1
+
+let simulator_version =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if line = "" then "unversioned" else line
+     with _ -> "unversioned")
+
+let version_tag () =
+  Printf.sprintf "v%d-%s" schema_version (Lazy.force simulator_version)
+
+let cache_root = ref None
+
+let set_cache_dir dir = cache_root := dir
+
+let cache_dir () = !cache_root
+
+(* --- cells and keys --------------------------------------------------- *)
+
+type cell = {
+  arch : Arch_config.t;
+  technique : Technique.t;
+  spec : Workloads.Spec.t;
+  es_override : int option;
+  options : Technique.options option;
+  variant : string;
+}
+
+let cell ?es_override ?options ?(variant = "") ~arch technique spec =
+  { arch; technique; spec; es_override; options; variant }
+
+let resolved_options c =
+  match c.options with
+  | Some o -> (
+      match c.es_override with
+      | None -> o
+      | Some _ -> { o with Technique.es_override = c.es_override })
+  | None -> { Technique.default_options with Technique.es_override = c.es_override }
+
+(* Both records are pure data, so their marshalled form is a stable
+   fingerprint. It folds every architectural parameter (scheduler kind,
+   register-file size, latencies, ...) and every compile option into the
+   key — two cells may share an architecture *name* yet differ in the
+   record, as the scheduler ablation's variants do. *)
+let config_digest arch options =
+  Digest.to_hex (Digest.string (Marshal.to_string (arch, options) []))
+
+let key_of_cell cfg c =
+  let options = resolved_options c in
+  (* %h prints the float's full precision — "%.3f" would collide two grid
+     scales closer than 1e-3 and silently return the wrong cached run. *)
+  Printf.sprintf "%s/%s/%s/%s/%h/%s/%s" c.arch.Arch_config.name
+    (Technique.name c.technique) c.spec.Workloads.Spec.name
+    (match options.Technique.es_override with
+    | None -> "auto"
+    | Some es -> string_of_int es)
+    cfg.Exp_config.grid_scale c.variant
+    (String.sub (config_digest c.arch options) 0 12)
+
+let key ?es_override ?options ?variant cfg ~arch technique spec =
+  key_of_cell cfg (cell ?es_override ?options ?variant ~arch technique spec)
+
+(* --- in-memory and on-disk caches ------------------------------------ *)
+
+let cache : (string, Runner.run) Hashtbl.t = Hashtbl.create 64
+
+let misses = Atomic.make 0
+
+let simulations () = Atomic.get misses
 
 let clear () = Hashtbl.reset cache
 
-let simulations () = !misses
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let disk_path k =
+  Option.map
+    (fun root ->
+      Filename.concat
+        (Filename.concat root (version_tag ()))
+        (Digest.to_hex (Digest.string k) ^ ".run"))
+    !cache_root
+
+let disk_load k =
+  match disk_path k with
+  | None -> None
+  | Some path when not (Sys.file_exists path) -> None
+  | Some path -> (
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let stored_key, run = (Marshal.from_channel ic : string * Runner.run) in
+            (* The file name is a digest; storing the key guards against
+               the (unlikely) digest collision. *)
+            if String.equal stored_key k then Some run else None)
+      with _ -> None)
+
+let disk_store k run =
+  match disk_path k with
+  | None -> ()
+  | Some path -> (
+      try
+        mkdir_p (Filename.dirname path);
+        let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+        let oc = open_out_bin tmp in
+        Marshal.to_channel oc (k, run) [];
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* --- execution -------------------------------------------------------- *)
+
+let compute cfg c =
+  let options = resolved_options c in
+  let kernel = Exp_config.kernel_of cfg c.spec in
+  Runner.execute ~options c.arch c.technique kernel
+
+let lookup cfg c =
+  let k = key_of_cell cfg c in
+  match Hashtbl.find_opt cache k with
+  | Some run -> run
+  | None -> (
+      match disk_load k with
+      | Some run ->
+          Hashtbl.replace cache k run;
+          run
+      | None ->
+          Atomic.incr misses;
+          let run = compute cfg c in
+          Hashtbl.replace cache k run;
+          disk_store k run;
+          run)
+
+let run ?es_override ?options ?variant cfg ~arch technique spec =
+  lookup cfg (cell ?es_override ?options ?variant ~arch technique spec)
+
+(* Work-queue fan-out: worker domains claim task indices through an atomic
+   counter and write into disjoint slots of the result array, so the only
+   shared mutable state is the counter itself. Each task is a full
+   self-contained simulation (kernel, memory system, statistics are all
+   per-run state). The coordinator participates as the last worker. *)
+let parallel_map ~jobs tasks f =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (try Ok (f tasks.(i)) with e -> Error e);
+        go ()
+      end
+    in
+    go ()
+  in
+  let d = max 1 (min jobs n) in
+  let helpers = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  Array.map
+    (function Some (Ok r) -> r | Some (Error e) -> raise e | None -> assert false)
+    results
+
+let prefetch ?jobs:requested cfg cells =
+  let jobs =
+    match requested with
+    | Some n when n > 0 -> n
+    | Some _ -> auto_jobs ()
+    | None -> !default_jobs
+  in
+  (* Deduplicate by key and drop every cell either cache layer already
+     holds; only genuinely missing cells are simulated. *)
+  let queued = Hashtbl.create 16 in
+  let pending =
+    List.filter_map
+      (fun c ->
+        let k = key_of_cell cfg c in
+        if Hashtbl.mem cache k || Hashtbl.mem queued k then None
+        else
+          match disk_load k with
+          | Some run ->
+              Hashtbl.replace cache k run;
+              None
+          | None ->
+              Hashtbl.replace queued k ();
+              Some (k, c))
+      cells
+  in
+  if pending <> [] then begin
+    let tasks = Array.of_list pending in
+    let runs = parallel_map ~jobs tasks (fun (_, c) -> compute cfg c) in
+    (* Merge on the coordinator, in submission order: figure output is
+       byte-identical whatever the worker count or completion order. *)
+    Array.iteri
+      (fun i run ->
+        let k, _ = tasks.(i) in
+        Atomic.incr misses;
+        Hashtbl.replace cache k run;
+        disk_store k run)
+      runs
+  end
+
+let run_batch ?jobs cfg cells =
+  prefetch ?jobs cfg cells;
+  List.map (lookup cfg) cells

@@ -1,20 +1,92 @@
-(** Memoized simulation runs. Several figures share the same
-    (architecture, technique, kernel) simulations — Figure 7's RegMutex
-    runs reappear in Figures 9(a), 12(a) and 13 — so results are cached for
-    the lifetime of the process. *)
+(** Memoized, parallel simulation runs with a persistent result store.
 
-(** [run ?es_override cfg ~arch technique spec] executes (or recalls) the
-    simulation of [spec] under [technique] on [arch]. *)
+    Several figures share the same (architecture, technique, kernel)
+    simulations — Figure 7's RegMutex runs reappear in Figures 9(a), 12(a)
+    and 13 — so results are cached at two levels:
+
+    - an in-memory table for the lifetime of the process;
+    - optionally (see {!set_cache_dir}) an on-disk store with one file per
+      cache key under [<dir>/v<schema>-<git-describe>/], so repeated CLI or
+      figure runs skip simulation entirely. A rebuilt simulator gets a
+      fresh version directory; stale results are never replayed.
+
+    Batches of cells ({!prefetch}, {!run_batch}) are deduplicated and
+    fanned out over worker domains (see {!set_jobs}); results are merged
+    deterministically, so figure output is byte-identical to a serial run. *)
+
+(** One simulation the engine can run: workload under a technique on an
+    architecture, with optional |Es| override or full compile options.
+    [variant] is a free-form label that keeps human-readable keys distinct
+    when cells differ only in [options] (the ablations use it). *)
+type cell
+
+val cell :
+  ?es_override:int ->
+  ?options:Regmutex.Technique.options ->
+  ?variant:string ->
+  arch:Gpu_uarch.Arch_config.t ->
+  Regmutex.Technique.t ->
+  Workloads.Spec.t ->
+  cell
+
+(** Cache key of a cell: human-readable prefix (arch, technique, workload,
+    |Es|, full-precision grid scale, variant) plus a digest of the entire
+    architecture record and compile options, so configurations that differ
+    in any parameter can never collide. *)
+val key :
+  ?es_override:int ->
+  ?options:Regmutex.Technique.options ->
+  ?variant:string ->
+  Exp_config.t ->
+  arch:Gpu_uarch.Arch_config.t ->
+  Regmutex.Technique.t ->
+  Workloads.Spec.t ->
+  string
+
+(** [run ?es_override ?options ?variant cfg ~arch technique spec] executes
+    (or recalls) the simulation of [spec] under [technique] on [arch]. *)
 val run :
   ?es_override:int ->
+  ?options:Regmutex.Technique.options ->
+  ?variant:string ->
   Exp_config.t ->
   arch:Gpu_uarch.Arch_config.t ->
   Regmutex.Technique.t ->
   Workloads.Spec.t ->
   Regmutex.Runner.run
 
-(** Drop all cached runs (tests use this to control sharing). *)
+(** [prefetch ?jobs cfg cells] simulates every cell not already cached,
+    fanning the unique missing cells out over [jobs] worker domains
+    (default {!jobs}; [0] means {!auto_jobs}). On return every cell is a
+    cache hit. Figures call this up front so their row builders never
+    simulate serially. *)
+val prefetch : ?jobs:int -> Exp_config.t -> cell list -> unit
+
+(** [run_batch ?jobs cfg cells] — {!prefetch} then the runs, in order. *)
+val run_batch :
+  ?jobs:int -> Exp_config.t -> cell list -> Regmutex.Runner.run list
+
+(** Default worker-domain count for {!prefetch}. [set_jobs 0] (or any
+    non-positive value) selects {!auto_jobs}. The default is 1: serial,
+    exactly the behaviour of the pre-parallel engine. *)
+val set_jobs : int -> unit
+
+val jobs : unit -> int
+
+(** [Domain.recommended_domain_count () - 1] workers (at least 1), leaving
+    one core for the coordinator. *)
+val auto_jobs : unit -> int
+
+(** Enable ([Some dir], conventionally ["_results"]) or disable ([None],
+    the default) the persistent on-disk store. *)
+val set_cache_dir : string option -> unit
+
+val cache_dir : unit -> string option
+
+(** Drop all in-memory cached runs (tests use this to control sharing).
+    The on-disk store, if enabled, is untouched. *)
 val clear : unit -> unit
 
-(** Number of simulations actually executed (cache misses). *)
+(** Number of simulations actually executed by this process (misses in
+    both cache layers). *)
 val simulations : unit -> int

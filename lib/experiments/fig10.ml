@@ -30,7 +30,15 @@ let row_of cfg spec =
         auto.Runner.prepared.Technique.choice;
   }
 
-let rows cfg = List.map (row_of cfg) Workloads.Registry.occupancy_limited
+let cells cfg spec =
+  let arch = cfg.Exp_config.arch in
+  Engine.cell ~arch Technique.Baseline spec
+  :: Engine.cell ~arch Technique.Regmutex spec
+  :: List.map (fun es -> Engine.cell ~es_override:es ~arch Technique.Regmutex spec) es_values
+
+let rows cfg =
+  Engine.prefetch cfg (List.concat_map (cells cfg) Workloads.Registry.occupancy_limited);
+  List.map (row_of cfg) Workloads.Registry.occupancy_limited
 
 let cell heuristic_es (es, red) =
   let mark = if heuristic_es = Some es then "*" else "" in

@@ -24,7 +24,17 @@ let row_of cfg spec =
         auto.Runner.prepared.Technique.choice;
   }
 
-let rows cfg = List.map (row_of cfg) Workloads.Registry.occupancy_limited
+let rows cfg =
+  let arch = cfg.Exp_config.arch in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         Engine.cell ~arch Technique.Regmutex spec
+         :: List.map
+              (fun es -> Engine.cell ~es_override:es ~arch Technique.Regmutex spec)
+              Fig10.es_values)
+       Workloads.Registry.occupancy_limited);
+  List.map (row_of cfg) Workloads.Registry.occupancy_limited
 
 let print_part rows ~title ~select =
   print_endline title;

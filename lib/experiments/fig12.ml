@@ -38,8 +38,26 @@ let row_b_of cfg spec =
     occ_paired = paired.Runner.theoretical_occupancy;
   }
 
-let rows_a cfg = List.map (row_a_of cfg) Workloads.Registry.occupancy_limited
-let rows_b cfg = List.map (row_b_of cfg) Workloads.Registry.regfile_sensitive
+let rows_a cfg =
+  let arch = cfg.Exp_config.arch in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         [ Engine.cell ~arch Technique.Baseline spec;
+           Engine.cell ~arch Technique.Regmutex_paired spec;
+           Engine.cell ~arch Technique.Regmutex spec ])
+       Workloads.Registry.occupancy_limited);
+  List.map (row_a_of cfg) Workloads.Registry.occupancy_limited
+
+let rows_b cfg =
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         [ Engine.cell ~arch:cfg.Exp_config.arch Technique.Baseline spec;
+           Engine.cell ~arch:cfg.Exp_config.half_arch Technique.Regmutex_paired spec;
+           Engine.cell ~arch:cfg.Exp_config.half_arch Technique.Regmutex spec ])
+       Workloads.Registry.regfile_sensitive);
+  List.map (row_b_of cfg) Workloads.Registry.regfile_sensitive
 
 let print cfg =
   let a = rows_a cfg in

@@ -17,7 +17,15 @@ let row_of cfg spec =
     paired_ratio = paired.Runner.acquire_ratio;
   }
 
-let rows cfg = List.map (row_of cfg) Workloads.Registry.all
+let rows cfg =
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         let arch = Exp_config.eval_arch cfg spec in
+         [ Engine.cell ~arch Technique.Regmutex spec;
+           Engine.cell ~arch Technique.Regmutex_paired spec ])
+       Workloads.Registry.all);
+  List.map (row_of cfg) Workloads.Registry.all
 
 let print cfg =
   let rows = rows cfg in

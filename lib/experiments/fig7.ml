@@ -27,7 +27,15 @@ let row_of cfg spec =
     acquire_ratio = rm.Runner.acquire_ratio;
   }
 
-let rows cfg = List.map (row_of cfg) Workloads.Registry.occupancy_limited
+let rows cfg =
+  let arch = cfg.Exp_config.arch in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         [ Engine.cell ~arch Technique.Baseline spec;
+           Engine.cell ~arch Technique.Regmutex spec ])
+       Workloads.Registry.occupancy_limited);
+  List.map (row_of cfg) Workloads.Registry.occupancy_limited
 
 let mean_reduction rows = Table.mean (List.map (fun r -> r.reduction_pct) rows)
 

@@ -27,7 +27,15 @@ let row_of cfg spec =
     occ_half_rm = half_rm.Runner.theoretical_occupancy;
   }
 
-let rows cfg = List.map (row_of cfg) Workloads.Registry.regfile_sensitive
+let rows cfg =
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         [ Engine.cell ~arch:cfg.Exp_config.arch Technique.Baseline spec;
+           Engine.cell ~arch:cfg.Exp_config.half_arch Technique.Baseline spec;
+           Engine.cell ~arch:cfg.Exp_config.half_arch Technique.Regmutex spec ])
+       Workloads.Registry.regfile_sensitive);
+  List.map (row_of cfg) Workloads.Registry.regfile_sensitive
 
 let print cfg =
   let rows = rows cfg in

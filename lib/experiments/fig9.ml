@@ -41,8 +41,27 @@ let row_b_of cfg spec =
     regmutex_inc = inc Technique.Regmutex;
   }
 
-let rows_a cfg = List.map (row_a_of cfg) Workloads.Registry.occupancy_limited
-let rows_b cfg = List.map (row_b_of cfg) Workloads.Registry.regfile_sensitive
+let techniques =
+  [ Technique.Baseline; Technique.Owf; Technique.Rfv; Technique.Regmutex ]
+
+let rows_a cfg =
+  let arch = cfg.Exp_config.arch in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec -> List.map (fun t -> Engine.cell ~arch t spec) techniques)
+       Workloads.Registry.occupancy_limited);
+  List.map (row_a_of cfg) Workloads.Registry.occupancy_limited
+
+let rows_b cfg =
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         Engine.cell ~arch:cfg.Exp_config.arch Technique.Baseline spec
+         :: List.map
+              (fun t -> Engine.cell ~arch:cfg.Exp_config.half_arch t spec)
+              techniques)
+       Workloads.Registry.regfile_sensitive);
+  List.map (row_b_of cfg) Workloads.Registry.regfile_sensitive
 
 let print_a cfg =
   let rows = rows_a cfg in

@@ -19,9 +19,8 @@ let apps = [ "BFS"; "ParticleFilter"; "RadixSort" ]
 
 let row_of cfg spec (label, kind) =
   let arch = { cfg.Exp_config.arch with Arch_config.scheduler = kind } in
-  let kernel = Exp_config.kernel_of cfg spec in
-  let baseline = Runner.execute arch Technique.Baseline kernel in
-  let rm = Runner.execute arch Technique.Regmutex kernel in
+  let baseline = Engine.run ~variant:label cfg ~arch Technique.Baseline spec in
+  let rm = Engine.run ~variant:label cfg ~arch Technique.Regmutex spec in
   {
     app = spec.Workloads.Spec.name;
     scheduler = label;
@@ -32,11 +31,20 @@ let row_of cfg spec (label, kind) =
   }
 
 let rows cfg =
-  List.concat_map
-    (fun name ->
-      let spec = Workloads.Registry.find name in
-      List.map (row_of cfg spec) schedulers)
-    apps
+  let specs = List.map Workloads.Registry.find apps in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         List.concat_map
+           (fun (label, kind) ->
+             let arch =
+               { cfg.Exp_config.arch with Arch_config.scheduler = kind }
+             in
+             [ Engine.cell ~variant:label ~arch Technique.Baseline spec;
+               Engine.cell ~variant:label ~arch Technique.Regmutex spec ])
+           schedulers)
+       specs);
+  List.concat_map (fun spec -> List.map (row_of cfg spec) schedulers) specs
 
 let print cfg =
   let rows = rows cfg in

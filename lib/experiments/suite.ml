@@ -1,0 +1,45 @@
+type entry = {
+  name : string;
+  doc : string;
+  print : Exp_config.t -> unit;
+}
+
+let all =
+  [ { name = "table1"; doc = "Table I: per-workload |Bs| vs heuristic";
+      print = Table1.print };
+    { name = "fig1"; doc = "Figure 1: live/allocated register utilization";
+      print = Fig1.print };
+    { name = "fig2"; doc = "Figure 2: occupancy-limiter breakdown";
+      print = Fig2.print };
+    { name = "fig7"; doc = "Figure 7: cycle reduction, occupancy-limited set";
+      print = Fig7.print };
+    { name = "fig8"; doc = "Figure 8: half register file recovery";
+      print = Fig8.print };
+    { name = "fig9a"; doc = "Figure 9(a): vs OWF and RFV, baseline arch";
+      print = Fig9.print_a };
+    { name = "fig9b"; doc = "Figure 9(b): vs OWF and RFV, half register file";
+      print = Fig9.print_b };
+    { name = "fig10"; doc = "Figure 10: cycle reduction vs |Es|";
+      print = Fig10.print };
+    { name = "fig11"; doc = "Figure 11: occupancy and acquires vs |Es|";
+      print = Fig11.print };
+    { name = "fig12"; doc = "Figure 12: paired-warps specialization";
+      print = Fig12.print };
+    { name = "fig13"; doc = "Figure 13: acquire success rate";
+      print = Fig13.print };
+    { name = "storage"; doc = "Hardware storage cost per technique";
+      print = Storage.print };
+    { name = "ablation"; doc = "Compiler-pass ablation";
+      print = Ablation.print };
+    { name = "sched"; doc = "Warp-scheduler sensitivity";
+      print = Sched_ablation.print } ]
+
+let names = List.map (fun e -> e.name) all
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let run cfg entries =
+  List.iter
+    (fun e ->
+      Printf.printf "\n================ %s ================\n%!" e.name;
+      e.print cfg)
+    entries

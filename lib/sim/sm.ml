@@ -276,11 +276,19 @@ let shared_ref t (warp : Warp.t) =
 
 let make_ctx t (warp : Warp.t) =
   let shared = shared_ref t warp in
-  let smask = Array.length shared in
+  let shared_words = Array.length shared in
+  (* Out-of-bounds shared accesses wrap (real hardware would fault or read
+     a neighbour's bank); the wrap is counted so workloads exercising it
+     are visible in the statistics rather than silently absorbed. *)
+  let shared_index addr =
+    if addr < 0 || addr >= shared_words then
+      t.stats.Stats.shared_oob <- t.stats.Stats.shared_oob + 1;
+    ((addr mod shared_words) + shared_words) mod shared_words
+  in
   let read space addr =
     match space with
     | Instr.Global -> Memory.read_global t.memory addr
-    | Instr.Shared -> shared.(((addr mod smask) + smask) mod smask)
+    | Instr.Shared -> shared.(shared_index addr)
   in
   let write space addr v =
     if t.record_stores then
@@ -288,7 +296,7 @@ let make_ctx t (warp : Warp.t) =
         space addr v;
     match space with
     | Instr.Global -> Memory.write_global t.memory addr v
-    | Instr.Shared -> shared.(((addr mod smask) + smask) mod smask) <- v
+    | Instr.Shared -> shared.(shared_index addr) <- v
   in
   {
     Exec.regs = warp.Warp.regs;
@@ -339,7 +347,12 @@ let oldest_ready_age t =
       | Some _ | None -> acc)
     max_int t.warps
 
-let check_warp t (warp : Warp.t) ~cycle =
+(* [check_warp] answers "can this warp issue right now, and if not, why?".
+   With [~probe:true] the answer is computed without side effects. The
+   default (an actual issue attempt by the warp's scheduler) records
+   acquire stalls: the flag feeds the first-try statistic and the
+   [Acquire_stalled] trace event marks the start of a stall episode. *)
+let check_warp ?(probe = false) t (warp : Warp.t) ~cycle =
   match warp.Warp.status with
   | Warp.Done -> Blocked_done
   | Warp.At_barrier -> Blocked_barrier
@@ -365,23 +378,27 @@ let check_warp t (warp : Warp.t) ~cycle =
                     || Srp.free_sections srp > 0
                   then Can_issue
                   else begin
-                    if not warp.Warp.acquire_stalled then
-                      emit t ~cycle
-                        (Event_trace.Acquire_stalled
-                           { sm = t.sm_id; cta = warp.Warp.global_cta;
-                             warp = warp.Warp.warp_in_cta });
-                    warp.Warp.acquire_stalled <- true;
+                    if not probe then begin
+                      if not warp.Warp.acquire_stalled then
+                        emit t ~cycle
+                          (Event_trace.Acquire_stalled
+                             { sm = t.sm_id; cta = warp.Warp.global_cta;
+                               warp = warp.Warp.warp_in_cta });
+                      warp.Warp.acquire_stalled <- true
+                    end;
                     Blocked_acquire
                   end
               | Ps_paired srp ->
                   if Srp_paired.available srp ~warp:warp.Warp.slot then Can_issue
                   else begin
-                    if not warp.Warp.acquire_stalled then
-                      emit t ~cycle
-                        (Event_trace.Acquire_stalled
-                           { sm = t.sm_id; cta = warp.Warp.global_cta;
-                             warp = warp.Warp.warp_in_cta });
-                    warp.Warp.acquire_stalled <- true;
+                    if not probe then begin
+                      if not warp.Warp.acquire_stalled then
+                        emit t ~cycle
+                          (Event_trace.Acquire_stalled
+                             { sm = t.sm_id; cta = warp.Warp.global_cta;
+                               warp = warp.Warp.warp_in_cta });
+                      warp.Warp.acquire_stalled <- true
+                    end;
                     Blocked_acquire
                   end
               | Ps_static | Ps_owf | Ps_rfv _ -> Can_issue)
@@ -404,7 +421,7 @@ let check_warp t (warp : Warp.t) ~cycle =
                     | None -> false
                   in
                   if partner_owns then begin
-                    warp.Warp.acquire_stalled <- true;
+                    if not probe then warp.Warp.acquire_stalled <- true;
                     Blocked_acquire
                   end
                   else Can_issue
@@ -624,7 +641,10 @@ let issue t (warp : Warp.t) ~cycle =
 let classify_idle t ~cycle =
   (* Attribute an idle scheduler slot to the most specific blockage among
      the resident warps: resource blockage (registers, SRP sections, memory
-     slots) outranks plain dependency or barrier waits. *)
+     slots) outranks plain dependency or barrier waits. Classification is
+     an observation, not an issue attempt — warps are probed without side
+     effects, so the number of idle schedulers looking at a stalled warp
+     never changes the acquire statistics or the event trace. *)
   let rank = function
     | Blocked_regs -> 5
     | Blocked_acquire -> 4
@@ -638,7 +658,7 @@ let classify_idle t ~cycle =
     (fun w ->
       match w with
       | Some w when w.Warp.status <> Warp.Done ->
-          let reason = check_warp t w ~cycle in
+          let reason = check_warp ~probe:true t w ~cycle in
           if rank reason > rank !best then best := reason
       | Some _ | None -> ())
     t.warps;

@@ -48,3 +48,9 @@ val try_launch : t -> global_cta:int -> cycle:int -> bool
 
 (** Advance one cycle: every scheduler issues at most one instruction. *)
 val step : t -> cycle:int -> unit
+
+(** Attribute an idle scheduler slot to the most specific blockage among
+    the resident warps. Pure observation: probing never mutates warp
+    state, statistics, or the event trace, no matter how many idle
+    schedulers classify the same cycle. *)
+val classify_idle : t -> cycle:int -> Stats.stall_reason

@@ -15,6 +15,7 @@ type t = {
   mutable acquire_first_try : int;
   mutable acquire_stall_cycles : int;
   mutable release_execs : int;
+  mutable shared_oob : int;
   mutable stall_cycles : (stall_reason * int ref) list;
   mutable ctas_retired : int;
   mutable timed_out : bool;
@@ -36,6 +37,7 @@ let create () =
     acquire_first_try = 0;
     acquire_stall_cycles = 0;
     release_execs = 0;
+    shared_oob = 0;
     stall_cycles = List.map (fun r -> (r, ref 0)) all_reasons;
     ctas_retired = 0;
     timed_out = false;
@@ -102,6 +104,8 @@ let pp ppf t =
     t.acquire_execs
     (100. *. acquire_success_ratio t)
     t.release_execs t.acquire_stall_cycles;
+  if t.shared_oob > 0 then
+    Format.fprintf ppf "shared-oob=%d@," t.shared_oob;
   List.iter
     (fun (r, c) -> if !c > 0 then Format.fprintf ppf "stall[%s]=%d@," (reason_name r) !c)
     t.stall_cycles;

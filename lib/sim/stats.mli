@@ -17,6 +17,8 @@ type t = {
   mutable acquire_first_try : int;(** completed without ever stalling *)
   mutable acquire_stall_cycles : int;
   mutable release_execs : int;
+  mutable shared_oob : int;
+      (** shared-memory accesses outside the CTA's allocation (wrapped) *)
   mutable stall_cycles : (stall_reason * int ref) list;
   mutable ctas_retired : int;
   mutable timed_out : bool;

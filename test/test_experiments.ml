@@ -59,6 +59,94 @@ let test_engine_caching () =
   in
   Alcotest.(check int) "override misses" (misses2 + 1) (E.Engine.simulations ())
 
+let test_engine_key_precision () =
+  let bfs = Workloads.Registry.find "BFS" in
+  let arch = tiny.E.Exp_config.arch in
+  let key_at scale =
+    E.Engine.key
+      { tiny with E.Exp_config.grid_scale = scale }
+      ~arch Regmutex.Technique.Baseline bfs
+  in
+  (* Scales that a "%.3f" rendering would conflate must stay distinct. *)
+  Alcotest.(check bool) "1e-5 apart" true (key_at 1.0 <> key_at 1.00001);
+  Alcotest.(check bool) "sub-milli scales" true (key_at 1e-4 <> key_at 2e-4);
+  Alcotest.(check string) "equal scales agree" (key_at 0.25) (key_at 0.25);
+  (* Variant labels and compile options are part of the key. *)
+  Alcotest.(check bool) "variant distinguishes" true
+    (E.Engine.key tiny ~arch Regmutex.Technique.Regmutex bfs
+    <> E.Engine.key ~variant:"lrr" tiny ~arch Regmutex.Technique.Regmutex bfs);
+  let no_widen =
+    { Regmutex.Technique.default_options with
+      transform = { Regmutex.Transform.default_options with widen = false } }
+  in
+  Alcotest.(check bool) "options distinguish" true
+    (E.Engine.key tiny ~arch Regmutex.Technique.Regmutex bfs
+    <> E.Engine.key ~options:no_widen tiny ~arch Regmutex.Technique.Regmutex bfs)
+
+let with_engine_defaults f =
+  Fun.protect
+    ~finally:(fun () ->
+      E.Engine.set_jobs 1;
+      E.Engine.set_cache_dir None;
+      E.Engine.clear ())
+    f
+
+let test_parallel_determinism () =
+  with_engine_defaults @@ fun () ->
+  let fingerprints () =
+    E.Engine.clear ();
+    let sims0 = E.Engine.simulations () in
+    let rows = E.Fig7.rows tiny in
+    (E.Engine.simulations () - sims0, rows)
+  in
+  E.Engine.set_jobs 1;
+  let serial_sims, serial = fingerprints () in
+  E.Engine.set_jobs 4;
+  let parallel_sims, parallel = fingerprints () in
+  Alcotest.(check bool) "rows simulate" true (serial_sims > 0);
+  Alcotest.(check int) "same simulation count" serial_sims parallel_sims;
+  Alcotest.(check bool) "identical rows" true (serial = parallel)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_cache_round_trip () =
+  with_engine_defaults @@ fun () ->
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "regmutex-store-%d" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  E.Engine.set_cache_dir (Some dir);
+  let gaussian = Workloads.Registry.find "Gaussian" in
+  let run () =
+    E.Engine.run tiny ~arch:tiny.E.Exp_config.arch Regmutex.Technique.Regmutex
+      gaussian
+  in
+  E.Engine.clear ();
+  let sims0 = E.Engine.simulations () in
+  let r1 = run () in
+  Alcotest.(check int) "cold store simulates" (sims0 + 1) (E.Engine.simulations ());
+  (* A fresh in-memory cache must be rebuilt entirely from disk. *)
+  E.Engine.clear ();
+  let r2 = run () in
+  Alcotest.(check int) "warm store does not simulate" (sims0 + 1)
+    (E.Engine.simulations ());
+  Alcotest.(check string) "identical result" (Regmutex.Runner.fingerprint r1)
+    (Regmutex.Runner.fingerprint r2);
+  (* Prefetch also hits the store: still no simulation. *)
+  E.Engine.clear ();
+  E.Engine.prefetch tiny
+    [ E.Engine.cell ~arch:tiny.E.Exp_config.arch Regmutex.Technique.Regmutex
+        gaussian ];
+  Alcotest.(check int) "prefetch hits the store" (sims0 + 1)
+    (E.Engine.simulations ())
+
 let test_table1_rows () =
   let rows = E.Table1.rows tiny in
   Alcotest.(check int) "16 rows" 16 (List.length rows);
@@ -139,6 +227,9 @@ let suite =
     Alcotest.test_case "table cells" `Quick test_table_cells;
     Alcotest.test_case "experiment config" `Quick test_exp_config;
     Alcotest.test_case "engine caching" `Slow test_engine_caching;
+    Alcotest.test_case "engine key precision" `Quick test_engine_key_precision;
+    Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+    Alcotest.test_case "cache round trip" `Slow test_cache_round_trip;
     Alcotest.test_case "Table 1 rows" `Quick test_table1_rows;
     Alcotest.test_case "Figure 2 story" `Slow test_fig2;
     Alcotest.test_case "Figure 1 rows" `Slow test_fig1_rows;

@@ -28,6 +28,7 @@ let () =
       ("sim", Test_sim.suite);
       ("policies", Test_policies.suite);
       ("events", Test_events.suite);
+      ("stall-classification", Test_stall_classification.suite);
       ("kernel-policy", Test_kernel.suite);
       ("stats", Test_stats.suite);
       ("technique", Test_technique.suite);

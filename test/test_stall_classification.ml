@@ -1,0 +1,139 @@
+(* Regression tests for idle-slot stall classification: classifying why a
+   scheduler slot is idle is an observation, not an issue attempt, so it
+   must never mark warps acquire-stalled or emit Acquire_stalled events —
+   no matter how many idle schedulers probe the same warp. *)
+
+open Gpu_sim
+module E = Event_trace
+module B = Gpu_isa.Builder
+
+(* One CTA slot, zero SRP sections: the kernel's first acquire can never
+   be granted, so classification always lands on the acquire stall. *)
+let starved_sm () =
+  let arch =
+    { Util.small_arch with
+      Gpu_uarch.Arch_config.regfile_regs = 256;
+      max_ctas = 1;
+      max_warps = 1;
+      max_threads = 32;
+      reg_alloc_gran = 1 }
+  in
+  let prog = B.(assemble ~name:"acq" [ acquire; release; exit_ ]) in
+  let kernel = Kernel.make ~name:"acq" ~grid_ctas:1 ~cta_threads:32 prog in
+  let policy = Policy.Srp { bs = 8; es = 4; verify = false } in
+  let stats = Stats.create () in
+  let events = E.create () in
+  let sm =
+    Sm.create ~events arch ~sm_id:0 ~policy ~kernel ~memory:(Memory.create ())
+      ~mem_sys:(Mem_system.create arch ~n_sms:1)
+      ~stats ~record_stores:false ~trace_warp0:false
+  in
+  (sm, stats, events)
+
+let test_classification_is_pure () =
+  let sm, stats, events = starved_sm () in
+  Alcotest.(check int) "no sections" 0 (Sm.srp_sections sm);
+  Alcotest.(check bool) "CTA launched" true
+    (Sm.try_launch sm ~global_cta:0 ~cycle:0);
+  let baseline_events = E.length events in
+  for cycle = 0 to 99 do
+    match Sm.classify_idle sm ~cycle with
+    | Stats.Stall_acquire -> ()
+    | _ -> Alcotest.fail "expected an acquire stall classification"
+  done;
+  Alcotest.(check int) "no events emitted by probing" baseline_events
+    (E.length events);
+  Alcotest.(check int) "no acquires recorded" 0 stats.Stats.acquire_execs;
+  Alcotest.(check int) "no first-tries recorded" 0 stats.Stats.acquire_first_try;
+  Alcotest.(check int) "no stall counters bumped" 0
+    (Stats.stall_count stats Stats.Stall_acquire)
+
+(* A contended SRP configuration: 2 CTAs x 2 warps fight over a single
+   section, so real acquire stalls do happen. 448 registers = 2 CTAs x
+   (3 regs x 64 threads) + one |Es|=2 section of 64. *)
+let contended_arch =
+  { Util.small_arch with
+    Gpu_uarch.Arch_config.regfile_regs = 448;
+    reg_alloc_gran = 1 }
+
+let contended_run ?observe () =
+  let events =
+    E.create ~keep:(function
+      | E.Acquire_stalled _ | E.Acquire_granted _ -> true
+      | _ -> false)
+      ()
+  in
+  let kernel =
+    Kernel.make ~name:"ev" ~grid_ctas:4 ~cta_threads:64 Test_events.srp_kernel
+  in
+  let config =
+    { (Gpu.default_config contended_arch (Policy.Srp { bs = 3; es = 2; verify = true }))
+      with Gpu.events = Some events }
+  in
+  let stats = Gpu.run ?observe config kernel in
+  (stats, events)
+
+let stalled_events events =
+  List.filter
+    (fun e -> match e.E.event with E.Acquire_stalled _ -> true | _ -> false)
+    (E.entries events)
+
+(* The headline regression: acquire statistics and the stall-event stream
+   must be identical whether or not idle schedulers classify every cycle.
+   The observer plays the part of arbitrarily many extra idle schedulers
+   probing mid-run. *)
+let test_stats_independent_of_probing () =
+  let plain_stats, plain_events = contended_run () in
+  let probed_stats, probed_events =
+    contended_run
+      ~observe:(fun ~cycle sms ->
+        Array.iter
+          (fun sm ->
+            for _ = 1 to 3 do
+              ignore (Sm.classify_idle sm ~cycle)
+            done)
+          sms)
+      ()
+  in
+  (* The scenario really contends: some acquire waited. *)
+  Alcotest.(check bool) "stalls happened" true
+    (plain_stats.Stats.acquire_first_try < plain_stats.Stats.acquire_execs);
+  Alcotest.(check bool) "stall events recorded" true
+    (stalled_events plain_events <> []);
+  Alcotest.(check int) "same cycles" plain_stats.Stats.cycles
+    probed_stats.Stats.cycles;
+  Alcotest.(check int) "same acquires" plain_stats.Stats.acquire_execs
+    probed_stats.Stats.acquire_execs;
+  Alcotest.(check int) "same first-tries" plain_stats.Stats.acquire_first_try
+    probed_stats.Stats.acquire_first_try;
+  Alcotest.(check int) "same stall events"
+    (List.length (stalled_events plain_events))
+    (List.length (stalled_events probed_events))
+
+(* One Acquire_stalled event per stall episode: per warp, a second stall
+   event may only appear after the stalled acquire was finally granted. *)
+let test_one_event_per_episode () =
+  let _, events = contended_run () in
+  for cta = 0 to 3 do
+    for warp = 0 to 1 do
+      let stalled = ref false in
+      List.iter
+        (fun e ->
+          match e.E.event with
+          | E.Acquire_stalled _ ->
+              if !stalled then
+                Alcotest.failf
+                  "cta %d warp %d: repeated stall event without a grant" cta warp;
+              stalled := true
+          | E.Acquire_granted _ -> stalled := false
+          | _ -> ())
+        (E.for_warp events ~cta ~warp)
+    done
+  done
+
+let suite =
+  [ Alcotest.test_case "classification is pure" `Quick test_classification_is_pure;
+    Alcotest.test_case "stats independent of idle probing" `Quick
+      test_stats_independent_of_probing;
+    Alcotest.test_case "one stall event per episode" `Quick
+      test_one_event_per_episode ]
