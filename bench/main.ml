@@ -6,7 +6,9 @@
      dune exec bench/main.exe              # all figures, full-size grids
      dune exec bench/main.exe -- quick     # all figures, quarter grids
      dune exec bench/main.exe -- fig7 fig10
-     dune exec bench/main.exe -- sweep     # serial vs parallel sweep timing
+     dune exec bench/main.exe -- sweep     # serial vs parallel vs brute force
+     dune exec bench/main.exe -- cycles    # cycle-skip microbenchmark
+                                           # (writes BENCH_cycle_skip.json)
      dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
 
 module Suite = Experiments.Suite
@@ -24,10 +26,12 @@ let run_experiment cfg name =
         (String.concat ", " Suite.names);
       exit 1
 
-(* Serial vs parallel sweep: drive every simulation-bearing experiment
-   through its row builders (no table rendering) with 1 worker and again
-   with one worker per core, from a cold in-memory cache and no disk
-   store, and compare wall time and result fingerprints. *)
+(* Serial vs parallel vs brute-force sweep: drive every simulation-bearing
+   experiment through its row builders (no table rendering) with 1 worker,
+   again with one worker per core, and again serially with fast-forward
+   disabled — each from a cold in-memory cache and no disk store — and
+   compare wall time and results. A divergence between fast-forward and
+   brute force is a simulator bug and fails the run. *)
 let sweep_bench cfg =
   let row_builders : (Experiments.Exp_config.t -> string list) list =
     [ (fun cfg ->
@@ -60,14 +64,16 @@ let sweep_bench cfg =
             string_of_int r.regmutex_cycles)
           (Experiments.Sched_ablation.rows cfg)) ]
   in
-  let timed jobs =
+  let timed ?(fast_forward = true) jobs =
     Engine.clear ();
     Engine.set_cache_dir None;
     Engine.set_jobs jobs;
+    Engine.set_fast_forward fast_forward;
     let sims_before = Engine.simulations () in
     let t0 = Unix.gettimeofday () in
     let results = List.concat_map (fun f -> f cfg) row_builders in
     let dt = Unix.gettimeofday () -. t0 in
+    Engine.set_fast_forward true;
     (dt, Engine.simulations () - sims_before, results)
   in
   let serial_t, serial_sims, serial_r = timed 1 in
@@ -78,10 +84,88 @@ let sweep_bench cfg =
   Printf.printf "parallel: %4d simulations in %6.2fs (%d worker%s)\n%!" par_sims
     par_t jobs
     (if jobs = 1 then "" else "s");
-  Printf.printf "speedup:  %.2fx; results %s\n" (serial_t /. par_t)
+  let brute_t, brute_sims, brute_r = timed ~fast_forward:false 1 in
+  Printf.printf "brute:    %4d simulations in %6.2fs (1 worker, no fast-forward)\n%!"
+    brute_sims brute_t;
+  Printf.printf "parallel speedup:     %.2fx; results %s\n" (serial_t /. par_t)
     (if serial_r = par_r then "identical" else "DIFFER");
+  Printf.printf "fast-forward speedup: %.2fx; results %s\n" (brute_t /. serial_t)
+    (if serial_r = brute_r then "identical" else "DIFFER");
   Engine.set_jobs 1;
-  if serial_r <> par_r then exit 1
+  if serial_r <> par_r || serial_r <> brute_r then exit 1
+
+(* Cycle-skip microbenchmark: every suite cell (workload x technique on
+   that workload's evaluation architecture) simulated twice, brute force
+   then fast-forward, from scratch each time (no engine, no caches). The
+   two runs must produce the same fingerprint — a divergence is a
+   simulator bug and fails the process — and the wall-time ratio is the
+   cycle-skipping payoff, largest on memory-bound, low-occupancy cells
+   where whole stall spans collapse into one bulk update. Results land in
+   BENCH_cycle_skip.json for the CI artifact. *)
+let cycles_bench ~quick cfg =
+  let module Runner = Regmutex.Runner in
+  let module Technique = Regmutex.Technique in
+  let techniques =
+    [ Technique.Baseline; Technique.Regmutex; Technique.Regmutex_paired;
+      Technique.Owf; Technique.Rfv ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  Printf.printf "%-16s %-16s %10s %10s %8s  %s\n" "workload" "technique"
+    "brute (s)" "fast (s)" "speedup" "results";
+  let cells =
+    List.concat_map
+      (fun spec ->
+        let arch = Experiments.Exp_config.eval_arch cfg spec in
+        let kernel = Experiments.Exp_config.kernel_of cfg spec in
+        List.map
+          (fun technique ->
+            let brute_t, brute =
+              time (fun () ->
+                  Runner.execute ~fast_forward:false arch technique kernel)
+            in
+            let fast_t, fast =
+              time (fun () ->
+                  Runner.execute ~fast_forward:true arch technique kernel)
+            in
+            let identical =
+              String.equal (Runner.fingerprint brute) (Runner.fingerprint fast)
+            in
+            let speedup = brute_t /. Float.max fast_t 1e-9 in
+            Printf.printf "%-16s %-16s %10.3f %10.3f %7.2fx  %s\n%!"
+              spec.Workloads.Spec.name (Technique.name technique) brute_t
+              fast_t speedup
+              (if identical then "identical" else "DIFFER");
+            (spec.Workloads.Spec.name, Technique.name technique, brute_t,
+             fast_t, speedup, identical))
+          techniques)
+      (Workloads.Registry.all @ Workloads.Registry.latency_bound)
+  in
+  let best =
+    List.fold_left (fun acc (_, _, _, _, s, _) -> Float.max acc s) 0. cells
+  in
+  let all_identical = List.for_all (fun (_, _, _, _, _, ok) -> ok) cells in
+  Printf.printf "max speedup: %.2fx; results %s\n" best
+    (if all_identical then "identical" else "DIFFER");
+  let oc = open_out "BENCH_cycle_skip.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"cycle_skip\",\n  \"config\": %S,\n  \"max_speedup\": %.3f,\n  \"all_identical\": %b,\n  \"cells\": [\n"
+    (if quick then "quick" else "full")
+    best all_identical;
+  List.iteri
+    (fun i (w, t, bt, ft, s, ok) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"technique\": %S, \"brute_s\": %.4f, \"fast_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+        w t bt ft s ok
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_cycle_skip.json (%d cells)\n" (List.length cells);
+  if not all_identical then exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -93,6 +177,7 @@ let () =
   match args with
   | [ "perf" ] -> Perf.run ()
   | [ "sweep" ] -> sweep_bench cfg
+  | [ "cycles" ] -> cycles_bench ~quick cfg
   | [] ->
       List.iter (fun (e : Suite.entry) -> run_experiment cfg e.Suite.name) Suite.all
   | names -> List.iter (run_experiment cfg) names

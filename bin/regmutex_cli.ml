@@ -33,6 +33,16 @@ let spec_arg =
 let half_flag =
   Arg.(value & flag & info [ "half-rf" ] ~doc:"Use the halved register file.")
 
+let no_fast_forward_flag =
+  Arg.(
+    value & flag
+    & info [ "no-fast-forward" ]
+        ~doc:
+          "Step the simulator cycle by cycle instead of fast-forwarding \
+           over fully idle spans. Statistics and event traces are \
+           bit-identical in both modes; this is the brute-force reference \
+           (and much slower on memory-bound kernels).")
+
 let min_bs_of spec =
   let prog = spec.Workloads.Spec.kernel.Gpu_sim.Kernel.program in
   Gpu_analysis.Liveness.live_at_barriers prog (Gpu_analysis.Liveness.analyze prog)
@@ -147,14 +157,15 @@ let run_cmd =
   let grid =
     Arg.(value & opt (some int) None & info [ "grid" ] ~doc:"Override grid CTAs.")
   in
-  let run spec half technique es grid =
+  let run spec half technique es grid no_ff =
     let arch = arch_of half in
     let spec =
       match grid with Some g -> Workloads.Spec.with_grid spec g | None -> spec
     in
     let options = { Regmutex.Technique.default_options with es_override = es } in
     let run =
-      Regmutex.Runner.execute ~options arch technique spec.Workloads.Spec.kernel
+      Regmutex.Runner.execute ~options ~fast_forward:(not no_ff) arch technique
+        spec.Workloads.Spec.kernel
     in
     Format.printf "%a@." Regmutex.Runner.pp run;
     Format.printf "%a@." Gpu_sim.Stats.pp run.Regmutex.Runner.stats;
@@ -163,7 +174,9 @@ let run_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ spec_arg $ half_flag $ technique $ es_opt $ grid)
+    Term.(
+      const run $ spec_arg $ half_flag $ technique $ es_opt $ grid
+      $ no_fast_forward_flag)
 
 (* --- run-file --------------------------------------------------------- *)
 
@@ -184,7 +197,7 @@ let run_file_cmd =
   let params =
     Arg.(value & opt (list int) [ 8 ] & info [ "params" ] ~doc:"Launch parameters.")
   in
-  let run path half technique grid threads params =
+  let run path half technique grid threads params no_ff =
     match Gpu_isa.Parser.parse_file path with
     | exception Gpu_isa.Parser.Parse_error e ->
         Format.eprintf "%s: %a@." path Gpu_isa.Parser.pp_error e;
@@ -195,7 +208,9 @@ let run_file_cmd =
             ~cta_threads:threads ~params:(Array.of_list params) program
         in
         let arch = arch_of half in
-        let run = Regmutex.Runner.execute arch technique kernel in
+        let run =
+          Regmutex.Runner.execute ~fast_forward:(not no_ff) arch technique kernel
+        in
         Format.printf "%a@." Regmutex.Runner.pp run;
         Format.printf "%a@." Gpu_sim.Stats.pp run.Regmutex.Runner.stats;
         (match run.Regmutex.Runner.prepared.Regmutex.Technique.plan with
@@ -203,7 +218,9 @@ let run_file_cmd =
         | None -> ())
   in
   Cmd.v (Cmd.info "run-file" ~doc)
-    Term.(const run $ path $ half_flag $ technique $ grid $ threads $ params)
+    Term.(
+      const run $ path $ half_flag $ technique $ grid $ threads $ params
+      $ no_fast_forward_flag)
 
 (* --- check ----------------------------------------------------------- *)
 
@@ -265,7 +282,7 @@ let sweep_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List experiment names and exit.")
   in
-  let run jobs no_cache quick names list_only =
+  let run jobs no_cache quick names list_only no_ff =
     let module Engine = Experiments.Engine in
     let module Suite = Experiments.Suite in
     if list_only then
@@ -274,6 +291,7 @@ let sweep_cmd =
         Suite.all
     else begin
       Engine.set_jobs jobs;
+      Engine.set_fast_forward (not no_ff);
       Engine.set_cache_dir (if no_cache then None else Some "_results");
       let cfg =
         if quick then Experiments.Exp_config.quick
@@ -296,16 +314,19 @@ let sweep_cmd =
       let t0 = Unix.gettimeofday () in
       Suite.run cfg entries;
       (* Stderr, so stdout stays comparable across job counts and runs. *)
-      Printf.eprintf "sweep: %d simulation(s) in %.1fs (%d worker%s%s)\n"
+      Printf.eprintf "sweep: %d simulation(s) in %.1fs (%d worker%s%s%s)\n"
         (Engine.simulations ())
         (Unix.gettimeofday () -. t0)
         (Engine.jobs ())
         (if Engine.jobs () = 1 then "" else "s")
         (if no_cache then ", no store" else ", store: _results/")
+        (if no_ff then ", brute-force" else "")
     end
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ jobs $ no_cache $ quick $ names $ list_flag)
+    Term.(
+      const run $ jobs $ no_cache $ quick $ names $ list_flag
+      $ no_fast_forward_flag)
 
 (* --- storage -------------------------------------------------------- *)
 

@@ -17,7 +17,7 @@ type run = {
 }
 
 let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
-    ?(max_cycles = 20_000_000) cfg technique kernel =
+    ?(max_cycles = 20_000_000) ?(fast_forward = true) cfg technique kernel =
   let prepared = Technique.prepare ?options cfg technique kernel in
   let config =
     {
@@ -27,6 +27,7 @@ let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
       trace_warp0;
       max_cycles;
       events = None;
+      fast_forward;
     }
   in
   let kernel' = prepared.Technique.kernel in

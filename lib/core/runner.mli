@@ -16,11 +16,17 @@ type run = {
   prepared : Technique.prepared;
 }
 
+(** [execute ?fast_forward cfg technique kernel] prepares and simulates.
+    [fast_forward] (default [true]) selects event-driven cycle skipping in
+    the simulator; it is semantics-preserving, so the resulting [run] (and
+    its {!fingerprint}) is identical either way — [false] exists as the
+    brute-force reference for the equivalence suite and benchmarks. *)
 val execute :
   ?options:Technique.options ->
   ?record_stores:bool ->
   ?trace_warp0:bool ->
   ?max_cycles:int ->
+  ?fast_forward:bool ->
   Gpu_uarch.Arch_config.t ->
   Technique.t ->
   Gpu_sim.Kernel.t ->

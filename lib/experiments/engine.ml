@@ -12,6 +12,15 @@ let set_jobs n = default_jobs := if n <= 0 then auto_jobs () else n
 
 let jobs () = !default_jobs
 
+(* Cycle skipping is semantics-preserving (results and cache entries are
+   identical either way), so it is a process-wide toggle rather than part
+   of the cache key; the bench harness flips it to time both modes. *)
+let ff = ref true
+
+let set_fast_forward b = ff := b
+
+let fast_forward () = !ff
+
 (* --- persistent store configuration ---------------------------------- *)
 
 (* Results are versioned by a schema tag plus the simulator's git-describe:
@@ -140,7 +149,7 @@ let disk_store k run =
 let compute cfg c =
   let options = resolved_options c in
   let kernel = Exp_config.kernel_of cfg c.spec in
-  Runner.execute ~options c.arch c.technique kernel
+  Runner.execute ~options ~fast_forward:!ff c.arch c.technique kernel
 
 let lookup cfg c =
   let k = key_of_cell cfg c in

@@ -73,6 +73,15 @@ val set_jobs : int -> unit
 
 val jobs : unit -> int
 
+(** Event-driven cycle skipping for every simulation the engine launches
+    (default [true]). Semantics-preserving — results, fingerprints and
+    cache keys are identical either way, so flipping it never invalidates
+    the store; [set_fast_forward false] is the brute-force reference mode
+    for the equivalence suite and the bench harness. *)
+val set_fast_forward : bool -> unit
+
+val fast_forward : unit -> bool
+
 (** [Domain.recommended_domain_count () - 1] workers (at least 1), leaving
     one core for the coordinator. *)
 val auto_jobs : unit -> int

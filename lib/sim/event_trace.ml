@@ -13,27 +13,42 @@ type entry = {
   event : event;
 }
 
+(* Entries live in a growable array in emission order, so [entries] and
+   [for_warp] are straight left-to-right reads instead of a [List.rev] of
+   the whole history on every call. *)
 type t = {
   capacity : int;
   keep : event -> bool;
-  mutable entries_rev : entry list;
+  mutable buf : entry array;
   mutable length : int;
   mutable truncated : bool;
 }
 
 let create ?(capacity = 100_000) ?(keep = fun _ -> true) () =
-  { capacity; keep; entries_rev = []; length = 0; truncated = false }
+  { capacity; keep; buf = [||]; length = 0; truncated = false }
 
 let emit t ~cycle event =
   if t.keep event then begin
     if t.length >= t.capacity then t.truncated <- true
     else begin
-      t.entries_rev <- { cycle; event } :: t.entries_rev;
+      if t.length = Array.length t.buf then begin
+        let grown = min t.capacity (max 64 (2 * Array.length t.buf)) in
+        let buf = Array.make grown { cycle; event } in
+        Array.blit t.buf 0 buf 0 t.length;
+        t.buf <- buf
+      end;
+      t.buf.(t.length) <- { cycle; event };
       t.length <- t.length + 1
     end
   end
 
-let entries t = List.rev t.entries_rev
+let entries t = Array.to_list (Array.sub t.buf 0 t.length)
+
+let iter t f =
+  for i = 0 to t.length - 1 do
+    f t.buf.(i)
+  done
+
 let length t = t.length
 let truncated t = t.truncated
 
@@ -47,7 +62,12 @@ let warp_of = function
   | Cta_launched _ | Cta_retired _ | Barrier_released _ -> None
 
 let for_warp t ~cta ~warp =
-  List.filter (fun e -> warp_of e.event = Some (cta, warp)) (entries t)
+  let acc = ref [] in
+  for i = t.length - 1 downto 0 do
+    let e = t.buf.(i) in
+    if warp_of e.event = Some (cta, warp) then acc := e :: !acc
+  done;
+  !acc
 
 let pp_event ppf = function
   | Cta_launched { sm; cta } -> Format.fprintf ppf "sm%d: launch cta %d" sm cta

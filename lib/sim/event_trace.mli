@@ -1,9 +1,15 @@
 (** Structured simulation event log.
 
     An optional sink attached to a run ({!Gpu.run_config}); the SMs emit
-    typed events for CTA lifecycle, SRP traffic and barrier arrival. The
-    buffer is bounded: recording stops silently once [capacity] events are
-    held (the predicate-based {!create} can pre-filter instead).
+    typed events for CTA lifecycle, SRP traffic and barrier arrival.
+    Entries are held in a growable array in emission order, so reading the
+    trace never rebuilds it.
+
+    The buffer is bounded: once [capacity] entries are held, every further
+    event is {e dropped} — not wrapped, not replacing older entries — and
+    {!truncated} flips to [true] so the loss is detectable. The
+    predicate-based {!create} can pre-filter to keep the interesting
+    events within budget instead.
 
     Events power the timeline example and debugging sessions; they are off
     by default and cost nothing when absent. *)
@@ -29,15 +35,23 @@ type t
     [keep] pre-filters events (default: keep everything). *)
 val create : ?capacity:int -> ?keep:(event -> bool) -> unit -> t
 
-(** Used by the SM; respects the filter and the capacity bound. *)
+(** Used by the SM; respects the filter and the capacity bound. Once the
+    buffer holds [capacity] entries the event is dropped and the trace is
+    marked {!truncated}. *)
 val emit : t -> cycle:int -> event -> unit
 
-(** Entries in emission order. *)
+(** Entries in emission order (built fresh on each call; use {!iter} to
+    walk the trace without allocating the list). *)
 val entries : t -> entry list
+
+(** [iter t f] applies [f] to every retained entry in emission order. *)
+val iter : t -> (entry -> unit) -> unit
 
 val length : t -> int
 
-(** Did the buffer fill up (later events were dropped)? *)
+(** Did the buffer fill up? [true] means at least one later event was
+    dropped; the retained prefix is exactly the first [capacity] kept
+    events. *)
 val truncated : t -> bool
 
 (** Entries concerning one (cta, warp). *)

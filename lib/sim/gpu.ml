@@ -5,11 +5,12 @@ type run_config = {
   trace_warp0 : bool;
   max_cycles : int;
   events : Event_trace.t option;
+  fast_forward : bool;
 }
 
 let default_config arch policy =
   { arch; policy; record_stores = false; trace_warp0 = false;
-    max_cycles = 20_000_000; events = None }
+    max_cycles = 20_000_000; events = None; fast_forward = true }
 
 let build_sms config kernel stats memory mem_sys =
   Array.init config.arch.Gpu_uarch.Arch_config.n_sms (fun sm_id ->
@@ -17,7 +18,8 @@ let build_sms config kernel stats memory mem_sys =
         ~kernel ~memory ~mem_sys ~stats ~record_stores:config.record_stores
         ~trace_warp0:(config.trace_warp0 && sm_id = 0))
 
-let run ?(observe = fun ~cycle:_ _ -> ()) config kernel =
+let run ?observe ?(observe_every = 1) config kernel =
+  if observe_every < 1 then invalid_arg "Gpu.run: observe_every must be >= 1";
   let stats = Stats.create () in
   let memory = Memory.create () in
   let arch = config.arch in
@@ -26,9 +28,14 @@ let run ?(observe = fun ~cycle:_ _ -> ()) config kernel =
   if Array.exists (fun sm -> Sm.cta_capacity sm = 0) sms then
     invalid_arg "Gpu.run: kernel exceeds SM resources (zero occupancy)";
   let grid = kernel.Kernel.grid_ctas in
+  let n_sms = Array.length sms in
+  let capacity_per_cycle = arch.Gpu_uarch.Arch_config.max_warps * n_sms in
   let next_cta = ref 0 in
   let cycle = ref 0 in
-  let retired () = Array.fold_left (fun acc sm -> acc + Sm.retired_ctas sm) 0 sms in
+  (* Grid completion reads the retirement counter the SMs maintain (every
+     retire bumps [ctas_retired]) instead of re-folding over the SMs each
+     cycle. *)
+  let retired () = stats.Stats.ctas_retired in
   while retired () < grid && !cycle < config.max_cycles do
     (* CTA dispatch: at most one launch per SM per cycle, round robin over
        SMs so early SMs do not monopolise the grid. *)
@@ -37,14 +44,60 @@ let run ?(observe = fun ~cycle:_ _ -> ()) config kernel =
         if !next_cta < grid && Sm.try_launch sm ~global_cta:!next_cta ~cycle:!cycle
         then incr next_cta)
       sms;
+    let instrs_before = stats.Stats.instructions in
     Array.iter (fun sm -> Sm.step sm ~cycle:!cycle) sms;
-    observe ~cycle:!cycle sms;
+    (match observe with
+    | Some f when !cycle mod observe_every = 0 -> f ~cycle:!cycle sms
+    | Some _ | None -> ());
     let resident = Array.fold_left (fun acc sm -> acc + Sm.resident_warps sm) 0 sms in
     stats.Stats.resident_warp_cycles <- stats.Stats.resident_warp_cycles + resident;
     stats.Stats.warp_capacity_cycles <-
-      stats.Stats.warp_capacity_cycles
-      + (arch.Gpu_uarch.Arch_config.max_warps * Array.length sms);
-    incr cycle
+      stats.Stats.warp_capacity_cycles + capacity_per_cycle;
+    (* Event-driven fast-forward: when no instruction issued anywhere this
+       cycle and no SM could place a CTA next cycle, the machine state is
+       frozen until the earliest wakeup — the next scoreboard or memory-slot
+       completion. Every cycle in between would only repeat this cycle's
+       idle bookkeeping, so the clock jumps straight to the wakeup and the
+       per-cycle statistics (stall attribution, occupancy integrals) are
+       accounted in bulk for the skipped span. Bit-identical to stepping:
+       nothing observable happens in the span, and [observe ~observe_every]
+       bounds the jump so sampled cycles are still visited. *)
+    let next = !cycle + 1 in
+    if
+      config.fast_forward
+      && stats.Stats.instructions = instrs_before
+      && retired () < grid
+      && not (!next_cta < grid && Array.exists Sm.can_launch sms)
+    then begin
+      let wake = ref config.max_cycles in
+      let reasons = Array.make n_sms Stats.Stall_empty in
+      Array.iteri
+        (fun i sm ->
+          if Sm.resident_warps sm > 0 then begin
+            let reason, sm_wake = Sm.idle_summary sm ~cycle:!cycle in
+            reasons.(i) <- reason;
+            if sm_wake < !wake then wake := sm_wake
+          end)
+        sms;
+      let wake =
+        match observe with
+        | Some _ -> min !wake (((!cycle / observe_every) + 1) * observe_every)
+        | None -> !wake
+      in
+      if wake > next then begin
+        let span = wake - next in
+        Array.iteri
+          (fun i sm -> Sm.account_idle_span sm ~reason:reasons.(i) ~span)
+          sms;
+        stats.Stats.resident_warp_cycles <-
+          stats.Stats.resident_warp_cycles + (span * resident);
+        stats.Stats.warp_capacity_cycles <-
+          stats.Stats.warp_capacity_cycles + (span * capacity_per_cycle);
+        cycle := wake
+      end
+      else cycle := next
+    end
+    else cycle := next
   done;
   stats.Stats.cycles <- !cycle;
   stats.Stats.timed_out <- retired () < grid;

@@ -1,5 +1,6 @@
 (** Whole-GPU simulation driver: dispatches the grid's CTAs over the SMs
-    and steps them cycle by cycle until the grid completes. *)
+    and steps them cycle by cycle until the grid completes — fast-forwarding
+    over fully idle spans unless asked not to. *)
 
 type run_config = {
   arch : Gpu_uarch.Arch_config.t;
@@ -8,16 +9,40 @@ type run_config = {
   trace_warp0 : bool;    (** collect the PC trace of CTA 0 / warp 0 *)
   max_cycles : int;      (** watchdog; the run flags [timed_out] past it *)
   events : Event_trace.t option;  (** structured event sink, off by default *)
+  fast_forward : bool;
+      (** Event-driven cycle skipping (default [true]): when no warp on any
+          SM can issue and no CTA can launch, the clock jumps straight to
+          the earliest wakeup (scoreboard or memory-slot completion) and
+          the skipped cycles' statistics are accounted in bulk. Strictly
+          semantics-preserving — statistics and event traces are
+          bit-identical to per-cycle stepping; [false] is the brute-force
+          escape hatch the equivalence suite and benchmarks compare
+          against. *)
 }
 
 val default_config : Gpu_uarch.Arch_config.t -> Policy.t -> run_config
 
 (** Run a kernel to completion; returns the populated statistics.
-    [observe] is called once per cycle after all SMs stepped (e.g. to
-    sample register-allocation timelines).
+
+    [observe] is called after all SMs stepped, on every cycle that is a
+    multiple of [observe_every] (default [1]: every cycle). Under
+    fast-forward the jump is clamped so each sampled cycle is genuinely
+    visited — the observed cycle grid is exactly the multiples of
+    [observe_every] below the run's cycle count, identical in both modes.
+    Passing [observe] with the default interval therefore disables
+    skipping entirely; callers that only need a periodic sample (e.g.
+    occupancy timelines) should pass the coarsest interval they can
+    tolerate. [observe_every] without [observe] has no effect.
+
+    @raise Invalid_argument if [observe_every < 1].
     @raise Sm.Verification_failure in verification mode on unsound
     extended-set accesses. *)
-val run : ?observe:(cycle:int -> Sm.t array -> unit) -> run_config -> Kernel.t -> Stats.t
+val run :
+  ?observe:(cycle:int -> Sm.t array -> unit) ->
+  ?observe_every:int ->
+  run_config ->
+  Kernel.t ->
+  Stats.t
 
 (** Theoretical resident warps per SM under the run's policy (the paper's
     occupancy numerator). *)

@@ -15,8 +15,15 @@ type t
 
 val create : Gpu_uarch.Arch_config.t -> n_sms:int -> t
 
-(** [slot_free t ~sm ~cycle] — can SM [sm] start a global access now? *)
+(** [slot_free t ~sm ~cycle] — can SM [sm] start a global access now?
+    O(1): the free-slot summary is maintained at issue time rather than
+    rescanned per query. *)
 val slot_free : t -> sm:int -> cycle:int -> bool
+
+(** [next_completion t ~sm] — the earliest busy-until cycle over SM [sm]'s
+    slots. When no slot is free this is the cycle the first one frees up;
+    the fast-forward wakeup layer jumps the clock to it. *)
+val next_completion : t -> sm:int -> int
 
 (** [issue_global t ~sm ~cycle] claims a slot and returns the completion
     cycle. @raise Invalid_argument when no slot is free (callers must check

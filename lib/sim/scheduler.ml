@@ -17,21 +17,29 @@ let create kind ~id ~n_schedulers =
 
 let owns t ~slot = slot mod t.n_schedulers = t.id
 
+(* Candidate ordering packed into one int — [(priority, age)] compared
+   lexicographically, with ages far below 2^50 — so the per-cycle scan over
+   every warp slot allocates nothing. Ties keep the first (lowest-slot)
+   candidate, exactly as the tuple comparison did. *)
+let pack_key ~priority ~age = (priority lsl 50) lor age
+
 let scan_best t ~n_slots ~get ~can_issue ~priority =
   let best = ref None in
+  let best_key = ref max_int in
   for slot = 0 to n_slots - 1 do
     if owns t ~slot then
       match get slot with
       | None -> ()
       | Some w ->
           if can_issue w then begin
-            let key = (priority w, w.Warp.age) in
-            match !best with
-            | Some (bk, _) when bk <= key -> ()
-            | Some _ | None -> best := Some (key, w)
+            let key = pack_key ~priority:(priority w) ~age:w.Warp.age in
+            if key < !best_key then begin
+              best_key := key;
+              best := Some w
+            end
           end
   done;
-  match !best with Some (_, w) -> Some w | None -> None
+  !best
 
 let pick_gto t ~n_slots ~get ~can_issue ~priority =
   let greedy =
@@ -75,17 +83,19 @@ let pick_two_level t ~group_size ~n_slots ~get ~can_issue ~priority =
   let n_groups = (n_slots + group_size - 1) / group_size in
   let scan_group g =
     let best = ref None in
+    let best_key = ref max_int in
     for slot = g * group_size to min n_slots ((g + 1) * group_size) - 1 do
       if owns t ~slot then
         match get slot with
         | Some w when can_issue w ->
-            let key = (priority w, w.Warp.age) in
-            (match !best with
-            | Some (bk, _) when bk <= key -> ()
-            | Some _ | None -> best := Some (key, w))
+            let key = pack_key ~priority:(priority w) ~age:w.Warp.age in
+            if key < !best_key then begin
+              best_key := key;
+              best := Some w
+            end
         | Some _ | None -> ()
     done;
-    match !best with Some (_, w) -> Some w | None -> None
+    !best
   in
   let rec rotate tried g =
     if tried >= n_groups then None

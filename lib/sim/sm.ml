@@ -359,7 +359,10 @@ let check_warp ?(probe = false) t (warp : Warp.t) ~cycle =
   | Warp.Ready ->
       let pc = warp.Warp.pc in
       let instr = t.instrs.(pc) in
-      if not (Warp.deps_ready warp instr ~cycle) then Blocked_deps
+      (* [ready_at] is the maintained max over the instruction's registers
+         of [reg_ready] (refreshed at every pc move), so the scoreboard
+         check is one comparison instead of a register-set scan. *)
+      if warp.Warp.ready_at > cycle then Blocked_deps
       else
         let mem_ok =
           match Instr.lat_class instr with
@@ -566,7 +569,8 @@ let issue t (warp : Warp.t) ~cycle =
   | _ :: _ :: _ -> assert false);
   let advance next =
     rfv_move t warp ~next_pc:next;
-    warp.Warp.pc <- next
+    warp.Warp.pc <- next;
+    Warp.refresh_ready_at warp t.instrs.(next)
   in
   match outcome with
   | Exec.Next -> advance (pc + 1)
@@ -638,31 +642,15 @@ let issue t (warp : Warp.t) ~cycle =
 
 (* --- per-cycle step --------------------------------------------------- *)
 
-let classify_idle t ~cycle =
-  (* Attribute an idle scheduler slot to the most specific blockage among
-     the resident warps: resource blockage (registers, SRP sections, memory
-     slots) outranks plain dependency or barrier waits. Classification is
-     an observation, not an issue attempt — warps are probed without side
-     effects, so the number of idle schedulers looking at a stalled warp
-     never changes the acquire statistics or the event trace. *)
-  let rank = function
-    | Blocked_regs -> 5
-    | Blocked_acquire -> 4
-    | Blocked_mem -> 3
-    | Blocked_deps -> 2
-    | Blocked_barrier -> 1
-    | Can_issue | Blocked_done -> 0
-  in
-  let best = ref Blocked_done in
-  Array.iter
-    (fun w ->
-      match w with
-      | Some w when w.Warp.status <> Warp.Done ->
-          let reason = check_warp ~probe:true t w ~cycle in
-          if rank reason > rank !best then best := reason
-      | Some _ | None -> ())
-    t.warps;
-  match !best with
+let rank_block = function
+  | Blocked_regs -> 5
+  | Blocked_acquire -> 4
+  | Blocked_mem -> 3
+  | Blocked_deps -> 2
+  | Blocked_barrier -> 1
+  | Can_issue | Blocked_done -> 0
+
+let stall_reason_of_block = function
   | Can_issue | Blocked_done -> Stats.Stall_empty
   | Blocked_deps -> Stats.Stall_deps
   | Blocked_mem -> Stats.Stall_mem_slot
@@ -670,11 +658,58 @@ let classify_idle t ~cycle =
   | Blocked_regs -> Stats.Stall_regs
   | Blocked_barrier -> Stats.Stall_barrier
 
+(* One scan over the resident warps yields both the idle classification
+   (the most specific blockage, see {!classify_idle}) and the min-wakeup
+   summary: the earliest future cycle at which any warp's [check_warp]
+   answer could change. Scoreboard stalls end at the warp's [ready_at];
+   structural memory stalls end when the SM's earliest slot completes;
+   acquire, RFV-register and barrier stalls only end through another
+   warp's issue, so while the whole GPU is idle they never end — they
+   contribute no wakeup bound. Probing is side-effect free. *)
+let idle_summary t ~cycle =
+  let best = ref Blocked_done in
+  let wake = ref max_int in
+  Array.iter
+    (fun w ->
+      match w with
+      | Some w when w.Warp.status <> Warp.Done ->
+          let reason = check_warp ~probe:true t w ~cycle in
+          if rank_block reason > rank_block !best then best := reason;
+          (match reason with
+          | Blocked_deps -> wake := min !wake w.Warp.ready_at
+          | Blocked_mem ->
+              wake := min !wake (Mem_system.next_completion t.mem_sys ~sm:t.sm_id)
+          | Can_issue -> wake := min !wake (cycle + 1)
+          | Blocked_acquire | Blocked_regs | Blocked_barrier | Blocked_done -> ())
+      | Some _ | None -> ())
+    t.warps;
+  (stall_reason_of_block !best, !wake)
+
+let classify_idle t ~cycle = fst (idle_summary t ~cycle)
+
+let account_idle_span t ~reason ~span =
+  if t.resident_warps > 0 && span > 0 then begin
+    (* Every scheduler of an idle SM bumps the same stall reason once per
+       cycle, so a skipped span of [span] identical cycles contributes
+       [span * n_schedulers] bumps — exactly what stepping them one by one
+       would have recorded. *)
+    let n = span * Array.length t.schedulers in
+    Stats.bump_stall_by t.stats reason n;
+    if reason = Stats.Stall_acquire then
+      t.stats.Stats.acquire_stall_cycles <- t.stats.Stats.acquire_stall_cycles + n
+  end
+
+let can_launch t = free_cta_slot t <> None && rfv_can_admit t
+
 let step t ~cycle =
   let n_slots = Array.length t.warps in
   let priority (w : Warp.t) =
     match t.pstate with Ps_owf -> if w.Warp.owns_ext then 0 else 1 | _ -> 0
   in
+  (* Idle classification is pure and the SM state only changes when a
+     scheduler issues, so consecutive idle schedulers in the same cycle
+     share one classification instead of rescanning the warps. *)
+  let idle_memo = ref None in
   Array.iter
     (fun sched ->
       let can_issue w =
@@ -687,10 +722,19 @@ let step t ~cycle =
       match
         Scheduler.pick sched ~n_slots ~get:(fun s -> t.warps.(s)) ~can_issue ~priority
       with
-      | Some warp -> issue t warp ~cycle
+      | Some warp ->
+          idle_memo := None;
+          issue t warp ~cycle
       | None ->
           if t.resident_warps > 0 then begin
-            let reason = classify_idle t ~cycle in
+            let reason =
+              match !idle_memo with
+              | Some r -> r
+              | None ->
+                  let r = classify_idle t ~cycle in
+                  idle_memo := Some r;
+                  r
+            in
             Stats.bump_stall t.stats reason;
             if reason = Stats.Stall_acquire then
               t.stats.Stats.acquire_stall_cycles <-

@@ -46,6 +46,11 @@ val srp_in_use : t -> int
     attempted by the driver. *)
 val try_launch : t -> global_cta:int -> cycle:int -> bool
 
+(** Can a CTA be placed right now (free slot and, under RFV, admissible
+    register demand)? Pure; the fast-forward driver uses it to decide
+    whether CTA dispatch bounds the clock jump. *)
+val can_launch : t -> bool
+
 (** Advance one cycle: every scheduler issues at most one instruction. *)
 val step : t -> cycle:int -> unit
 
@@ -54,3 +59,18 @@ val step : t -> cycle:int -> unit
     state, statistics, or the event trace, no matter how many idle
     schedulers classify the same cycle. *)
 val classify_idle : t -> cycle:int -> Stats.stall_reason
+
+(** [idle_summary t ~cycle] is {!classify_idle} plus the SM's min-wakeup
+    cycle: the earliest future cycle at which any resident warp's issue
+    eligibility (or classification) could change while no instruction
+    issues anywhere — scoreboard completions ([Warp.ready_at]) and memory
+    slot completions. Stalls that only another warp's issue can end
+    (acquire, RFV registers, barriers) contribute no bound; [max_int]
+    means "asleep until an external event". Pure observation. *)
+val idle_summary : t -> cycle:int -> Stats.stall_reason * int
+
+(** [account_idle_span t ~reason ~span] records [span] fully idle cycles
+    at once: per skipped cycle, every scheduler bumps [reason] (and the
+    acquire-stall counter when applicable) exactly as per-cycle stepping
+    would have. No-op when the SM has no resident warps. *)
+val account_idle_span : t -> reason:Stats.stall_reason -> span:int -> unit

@@ -47,6 +47,10 @@ let create () =
   }
 
 let bump_stall t reason = incr (List.assoc reason t.stall_cycles)
+
+let bump_stall_by t reason n =
+  let c = List.assoc reason t.stall_cycles in
+  c := !c + n
 let stall_count t reason = !(List.assoc reason t.stall_cycles)
 
 let achieved_occupancy t =

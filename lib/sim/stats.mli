@@ -32,6 +32,11 @@ type t = {
 
 val create : unit -> t
 val bump_stall : t -> stall_reason -> unit
+
+(** [bump_stall_by t reason n] — [n] cycles' worth of [bump_stall] at once;
+    the fast-forward driver uses it to account a skipped idle span. *)
+val bump_stall_by : t -> stall_reason -> int -> unit
+
 val stall_count : t -> stall_reason -> int
 
 (** Achieved occupancy: resident-warp integral over capacity integral. *)

@@ -10,6 +10,7 @@ type t = {
   reg_ready : int array;
   mutable pc : int;
   mutable status : status;
+  mutable ready_at : int;
   mutable acquire_stalled : bool;
   mutable owns_ext : bool;
   mutable partner : int;
@@ -28,6 +29,7 @@ let create ~slot ~cta_slot ~global_cta ~warp_in_cta ~age ~n_regs =
     reg_ready = Array.make (max n_regs 1) 0;
     pc = 0;
     status = Ready;
+    ready_at = 0;
     acquire_stalled = false;
     owns_ext = false;
     partner = -1;
@@ -40,3 +42,10 @@ let deps_ready t instr ~cycle =
     not (Gpu_isa.Regset.exists (fun r -> t.reg_ready.(r) > cycle) rs)
   in
   ready (Gpu_isa.Instr.uses instr) && ready (Gpu_isa.Instr.defs instr)
+
+let refresh_ready_at t instr =
+  let wake rs acc =
+    Gpu_isa.Regset.fold (fun r acc -> max acc t.reg_ready.(r)) rs acc
+  in
+  t.ready_at <-
+    wake (Gpu_isa.Instr.defs instr) (wake (Gpu_isa.Instr.uses instr) 0)

@@ -19,6 +19,11 @@ type t = {
   reg_ready : int array;
   mutable pc : int;
   mutable status : status;
+  mutable ready_at : int;
+      (** earliest cycle the current instruction's operands are all ready —
+          the maximum [reg_ready] over the registers it touches, maintained
+          by the SM at every [pc] move ({!refresh_ready_at}). The wakeup
+          layer reads it to fast-forward over scoreboard stalls. *)
   mutable acquire_stalled : bool;
       (** the acquire at the current [pc] already failed once *)
   mutable owns_ext : bool;  (** OWF: holds the pair's shared registers *)
@@ -38,3 +43,9 @@ val create :
 
 (** All source and destination registers ready at [cycle]? *)
 val deps_ready : t -> Gpu_isa.Instr.t -> cycle:int -> bool
+
+(** [refresh_ready_at t instr] recomputes {!field-ready_at} for [instr],
+    the instruction now at [t.pc]. Must be called after every [pc] move
+    (the SM does); [deps_ready t instr ~cycle] is then equivalent to
+    [t.ready_at <= cycle]. *)
+val refresh_ready_at : t -> Gpu_isa.Instr.t -> unit

@@ -1,0 +1,43 @@
+(* PChase: pointer-chase microbenchmark — not part of the paper's Table I.
+   A register-pressure bulge fills the whole register file (62 registers
+   per thread, so one 512-thread CTA per SM on the full register file),
+   then each warp walks a long chain of dependent global loads: every
+   address is the previous load's value, so the chain serializes on the
+   full 400-cycle latency with a single outstanding request per warp.
+   Latency-bound at minimal occupancy — the regime where the simulator's
+   event-driven fast-forward collapses whole memory waits into one jump
+   (see gpu.mli); `bench cycles` uses it as the cycle-skipping stress
+   cell. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid, r1 hop counter, r2 chase cursor, r3 chase
+   partner / bulge accumulator, r4..r61 bulge. *)
+let program =
+  assemble ~name:"pchase"
+    (Shape.global_id ~gid:0
+    @ [ mov 3 (imm 0); mul 2 (r 0) (imm 8) ]
+    @ Shape.bulge ~keep:[ 2 ] ~seed:0 ~acc:3 ~first:4 ~last:61 ~hold:4 ()
+    @ Shape.counted_loop ~ctr:1 ~trips:(param 0) ~name:"hop"
+        (* Loads alternate between the cursor and its partner so each
+           address is the previous load's destination — a pure
+           load-to-load dependency with no ALU in between. *)
+        [ load ~ofs:0 I.Global 3 (r 2);
+          load ~ofs:1 I.Global 2 (r 3);
+          load ~ofs:2 I.Global 3 (r 2);
+          load ~ofs:3 I.Global 2 (r 3) ]
+    @ [ store ~ofs:0x10000000 I.Global (r 0) (r 2); exit_ ])
+
+let spec =
+  {
+    Spec.name = "PChase";
+    description = "pointer chase: latency-bound dependent loads at minimal occupancy";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"pchase" ~grid_ctas:8 ~cta_threads:512
+        ~params:[| 16 |] program;
+    paper_regs = 62;
+    paper_rounded = 64;
+    paper_bs = 8;
+    group = Spec.Occupancy_limited;
+  }

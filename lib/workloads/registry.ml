@@ -8,10 +8,14 @@ let regfile_sensitive =
 
 let all = occupancy_limited @ regfile_sensitive
 
+let latency_bound = [ Pchase.spec ]
+
 let find name =
   let wanted = String.lowercase_ascii name in
   match
-    List.find_opt (fun s -> String.lowercase_ascii s.Spec.name = wanted) all
+    List.find_opt
+      (fun s -> String.lowercase_ascii s.Spec.name = wanted)
+      (all @ latency_bound)
   with
   | Some s -> s
   | None -> raise Not_found

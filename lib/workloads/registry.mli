@@ -11,6 +11,14 @@ val occupancy_limited : Spec.t list
     12(b)). *)
 val regfile_sensitive : Spec.t list
 
+(** Latency-bound stress kernels outside Table I (currently the PChase
+    pointer-chase microbenchmark). Not part of {!all}, so the paper's
+    figures and tables are unchanged; `bench cycles` and the fast-forward
+    equivalence suite add these cells because minimal-occupancy memory
+    waits are where event-driven cycle skipping pays off. {!find} resolves
+    them by name. *)
+val latency_bound : Spec.t list
+
 (** Look up by paper name (case-insensitive).
     @raise Not_found for unknown names. *)
 val find : string -> Spec.t
