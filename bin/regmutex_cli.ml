@@ -328,6 +328,81 @@ let sweep_cmd =
       const run $ jobs $ no_cache $ quick $ names $ list_flag
       $ no_fast_forward_flag)
 
+(* --- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generate random kernels and check every \
+     architectural invariant (technique store-trace equality, fast-forward \
+     bit-identity, SRP conservation, forward progress). Failing seeds are \
+     shrunk and persisted under the corpus directory."
+  in
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc:"Fresh seeds to test.")
+  in
+  let seed0 =
+    Arg.(value & opt int 0 & info [ "seed0" ] ~docv:"S" ~doc:"First fresh seed.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the seed sweep. 0 selects one worker per \
+             available core; results are deterministic for any value.")
+  in
+  let dir =
+    Arg.(
+      value & opt string Fuzz.Corpus.default_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Corpus directory for failing seeds and shrunk counterexamples.")
+  in
+  let no_corpus =
+    Arg.(
+      value & flag
+      & info [ "no-corpus" ]
+          ~doc:"Do not read or write the corpus directory (no artifacts).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Skip delta-debugging of counterexamples.")
+  in
+  let inject =
+    let fault_conv =
+      Arg.conv
+        ( (fun s ->
+            match Fuzz.Oracle.fault_of_string s with
+            | Ok f -> Ok f
+            | Error m -> Error (`Msg m)),
+          fun ppf f -> Format.pp_print_string ppf (Fuzz.Oracle.fault_name f) )
+    in
+    Arg.(
+      value & opt (some fault_conv) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Self-test mode: inject a fault (drop-acquire | early-release | \
+             drop-mov) into each transformed kernel and verify the oracle \
+             catches it on at least one seed. Exit status 0 iff caught.")
+  in
+  let run seeds seed0 jobs dir no_corpus no_shrink inject =
+    let config =
+      {
+        Fuzz.Driver.n_seeds = seeds;
+        seed0;
+        jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
+        dir = (if no_corpus then None else Some dir);
+        inject;
+        do_shrink = not no_shrink;
+      }
+    in
+    let summary = Fuzz.Driver.run Format.std_formatter config in
+    exit (Fuzz.Driver.exit_code config summary)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seeds $ seed0 $ jobs $ dir $ no_corpus $ no_shrink $ inject)
+
 (* --- storage -------------------------------------------------------- *)
 
 let storage_cmd =
@@ -342,4 +417,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; occupancy_cmd; liveness_cmd; transform_cmd; run_cmd;
-            run_file_cmd; check_cmd; sweep_cmd; storage_cmd ]))
+            run_file_cmd; check_cmd; sweep_cmd; fuzz_cmd; storage_cmd ]))

@@ -25,7 +25,7 @@ let transfer instr state =
   | Instr.Release -> Free
   | _ -> state
 
-let check ~bs ~es prog =
+let acquire_states prog =
   let n = Program.length prog in
   let preds = Array.make n [] in
   for i = 0 to n - 1 do
@@ -52,6 +52,21 @@ let check ~bs ~es prog =
       end
     done
   done;
+  (state_in, state_out)
+
+let acquire_spans_barrier prog =
+  let state_in, _ = acquire_states prog in
+  let spans = ref false in
+  for i = 0 to Program.length prog - 1 do
+    match (Program.get prog i, state_in.(i)) with
+    | Instr.Bar, (Held | Top) -> spans := true
+    | _ -> ()
+  done;
+  !spans
+
+let check ~bs ~es prog =
+  let n = Program.length prog in
+  let state_in, state_out = acquire_states prog in
   let liveness = Liveness.analyze ~widen:true prog in
   let violations = ref [] in
   let report pc fmt = Format.kasprintf (fun message -> violations := { pc; message } :: !violations) fmt in
@@ -80,3 +95,61 @@ let check ~bs ~es prog =
   List.rev !violations
 
 let pp_violation ppf v = Format.fprintf ppf "pc %d: %s" v.pc v.message
+
+(* --- dynamic store-trace comparison ---------------------------------- *)
+
+type store_trace = ((int * int) * (Instr.space * int * int) list) list
+
+let space_name = function Instr.Global -> "global" | Instr.Shared -> "shared"
+
+let pp_store (sp, addr, v) =
+  Printf.sprintf "st.%s [0x%x] = %d" (space_name sp) addr v
+
+let diff_store_traces ~expected ~actual =
+  (* Both sides come from [Stats.store_traces], sorted by (CTA, warp);
+     walk them in lockstep and report the first divergence. *)
+  let rec diff_stores (cta, warp) i es as_ =
+    match (es, as_) with
+    | [], [] -> None
+    | e :: es', a :: as' ->
+        if e = a then diff_stores (cta, warp) (i + 1) es' as'
+        else
+          Some
+            (Printf.sprintf "cta %d warp %d store #%d: expected %s, got %s" cta
+               warp i (pp_store e) (pp_store a))
+    | e :: _, [] ->
+        Some
+          (Printf.sprintf
+             "cta %d warp %d: trace ends after %d stores, expected %s next" cta
+             warp i (pp_store e))
+    | [], a :: _ ->
+        Some
+          (Printf.sprintf "cta %d warp %d: %d extra stores starting with %s" cta
+             warp (List.length as_) (pp_store a))
+  in
+  let rec go es as_ =
+    match (es, as_) with
+    | [], [] -> None
+    | (ke, se) :: es', (ka, sa) :: as' ->
+        if ke < ka then
+          Some
+            (Printf.sprintf "cta %d warp %d stored nothing (expected %d stores)"
+               (fst ke) (snd ke) (List.length se))
+        else if ka < ke then
+          Some
+            (Printf.sprintf "cta %d warp %d stored %d times unexpectedly"
+               (fst ka) (snd ka) (List.length sa))
+        else (
+          match diff_stores ke 0 se sa with
+          | None -> go es' as'
+          | Some _ as d -> d)
+    | (ke, se) :: _, [] ->
+        Some
+          (Printf.sprintf "cta %d warp %d stored nothing (expected %d stores)"
+             (fst ke) (snd ke) (List.length se))
+    | [], (ka, sa) :: _ ->
+        Some
+          (Printf.sprintf "cta %d warp %d stored %d times unexpectedly" (fst ka)
+             (snd ka) (List.length sa))
+  in
+  go expected actual

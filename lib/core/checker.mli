@@ -25,3 +25,27 @@ type violation = {
 val check : bs:int -> es:int -> Gpu_isa.Program.t -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
+
+(** [acquire_spans_barrier prog] holds when some [bar.sync] may execute
+    with the extended set held (acquire state Held or Top on entry).
+    Spanning a barrier is sound for storage but restricts forward
+    progress: a warp parked at the barrier keeps its SRP section while
+    the warps it waits for may need one. Under [Srp_paired] — one
+    section per warp pair, both partners executing the same acquire —
+    it is a certain deadlock, so {!Technique.prepare} refuses the
+    paired policy for such programs. *)
+val acquire_spans_barrier : Gpu_isa.Program.t -> bool
+
+(** Per-warp store traces in issue order, keyed and sorted by
+    (CTA, warp) — the shape produced by [Gpu_sim.Stats.store_traces]. *)
+type store_trace = ((int * int) * (Gpu_isa.Instr.space * int * int) list) list
+
+(** [diff_store_traces ~expected ~actual] compares two runs' memory
+    effects and describes the first divergence ([None] = identical).
+    Register-state equality at exit is insufficient for semantic
+    equivalence — a transformed kernel can clobber a register after its
+    last store yet still have written the wrong values — so the
+    differential oracle and the transform tests compare what each warp
+    actually wrote, in order. *)
+val diff_store_traces :
+  expected:store_trace -> actual:store_trace -> string option

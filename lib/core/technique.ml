@@ -52,12 +52,27 @@ let prepare_regmutex ~paired options cfg technique kernel =
       let plan =
         Transform.apply ~options:options.transform ~bs ~es kernel.Kernel.program
       in
-      let kernel = Kernel.with_program kernel plan.Transform.transformed in
-      let policy =
-        if paired then Policy.Srp_paired { bs; es; verify = options.verify }
-        else Policy.Srp { bs; es; verify = options.verify }
+      let warps_per_cta =
+        (kernel.Kernel.cta_threads + cfg.Arch_config.warp_size - 1)
+        / cfg.Arch_config.warp_size
       in
-      { technique; kernel; policy; choice = Some choice; plan = Some plan }
+      if
+        paired && warps_per_cta > 1
+        && Checker.acquire_spans_barrier plan.Transform.transformed
+      then
+        (* Both partners execute the same acquire, but the pair holds a
+           single section: a holder parked at the barrier waits for its
+           partner, which is parked at the acquire — a certain deadlock.
+           Pairing is not viable for this kernel; run it unshared. *)
+        { technique; kernel; policy = static_policy kernel; choice = None;
+          plan = None }
+      else
+        let kernel = Kernel.with_program kernel plan.Transform.transformed in
+        let policy =
+          if paired then Policy.Srp_paired { bs; es; verify = options.verify }
+          else Policy.Srp { bs; es; verify = options.verify }
+        in
+        { technique; kernel; policy; choice = Some choice; plan = Some plan }
 
 let prepare_owf options cfg kernel =
   let fallback () =

@@ -55,6 +55,16 @@ val run :
   Workloads.Spec.t ->
   Regmutex.Runner.run
 
+(** [parallel_map ~jobs tasks f] maps [f] over [tasks] on [jobs] worker
+    domains (the coordinator participates as the last worker): workers
+    claim indices through an atomic counter and write disjoint result
+    slots, and results come back in submission order regardless of the
+    worker count — deterministic fan-out. A task that raises has its
+    exception re-raised on the coordinator. The sweep engine runs its
+    missing cells through this; the fuzz driver reuses it for per-seed
+    oracle runs. *)
+val parallel_map : jobs:int -> 'a array -> ('a -> 'b) -> 'b array
+
 (** [prefetch ?jobs cfg cells] simulates every cell not already cached,
     fanning the unique missing cells out over [jobs] worker domains
     (default {!jobs}; [0] means {!auto_jobs}). On return every cell is a

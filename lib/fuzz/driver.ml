@@ -1,0 +1,119 @@
+module Engine = Experiments.Engine
+
+type config = {
+  n_seeds : int;
+  seed0 : int;
+  jobs : int;
+  dir : string option;
+  inject : Oracle.fault option;
+  do_shrink : bool;
+}
+
+type outcome = {
+  o_seed : int;
+  o_case : Gen.t;
+  o_failures : Oracle.failure list;
+  o_artifact : string option;
+}
+
+type summary = {
+  tested : int;
+  failed : outcome list;
+  injected_cases : int;
+  caught : int;
+}
+
+let seeds_to_test config =
+  let corpus =
+    match config.dir with Some dir -> Corpus.load_seeds ~dir | None -> []
+  in
+  let fresh = List.init config.n_seeds (fun i -> config.seed0 + i) in
+  (* Corpus seeds (prior failures) run first; a fresh sweep overlapping
+     them would test them twice. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen s then false
+      else begin
+        Hashtbl.add seen s ();
+        true
+      end)
+    (corpus @ fresh)
+
+let run ppf config =
+  let seeds = Array.of_list (seeds_to_test config) in
+  let results =
+    Engine.parallel_map ~jobs:config.jobs seeds (fun seed ->
+        Oracle.test_seed ?inject:config.inject seed)
+  in
+  let injected_cases = ref 0 and caught = ref 0 in
+  let failed = ref [] in
+  Array.iteri
+    (fun i (case, report) ->
+      let seed = seeds.(i) in
+      let report : Oracle.report = report in
+      if report.Oracle.injected then begin
+        incr injected_cases;
+        if report.Oracle.failures <> [] then incr caught
+      end;
+      match report.Oracle.failures with
+      | [] -> ()
+      | failures ->
+          Format.fprintf ppf "seed %d (%s, %d instrs): %d failure(s)@." seed
+            (Gen.family_name case.Gen.family)
+            (Gpu_isa.Program.length case.Gen.program)
+            (List.length failures);
+          List.iter
+            (fun f -> Format.fprintf ppf "  %a@." Oracle.pp_failure f)
+            failures;
+          (* Shrinking re-runs the oracle many times; keep it serial on
+             the coordinator rather than nested under the sweep. *)
+          let case =
+            if config.do_shrink then begin
+              let kind = (List.hd failures).Oracle.kind in
+              let shrunk = Shrink.minimize ?inject:config.inject ~kind case in
+              Format.fprintf ppf "  shrunk: %d -> %d instructions@."
+                (Gpu_isa.Program.length case.Gen.program)
+                (Gpu_isa.Program.length shrunk.Gen.program);
+              shrunk
+            end
+            else case
+          in
+          let artifact =
+            match config.dir with
+            | None -> None
+            | Some dir ->
+                let kind = (List.hd failures).Oracle.kind in
+                Corpus.add_seed ~dir ~seed ~kind;
+                let path = Corpus.write_counterexample ~dir case failures in
+                Format.fprintf ppf "  wrote %s@." path;
+                Some path
+          in
+          failed :=
+            { o_seed = seed; o_case = case; o_failures = failures;
+              o_artifact = artifact }
+            :: !failed)
+    results;
+  let summary =
+    {
+      tested = Array.length seeds;
+      failed = List.rev !failed;
+      injected_cases = !injected_cases;
+      caught = !caught;
+    }
+  in
+  (match config.inject with
+  | Some fault ->
+      Format.fprintf ppf
+        "fuzz: %d seeds tested, fault %s applied to %d case(s), caught on %d@."
+        summary.tested (Oracle.fault_name fault) summary.injected_cases
+        summary.caught
+  | None ->
+      Format.fprintf ppf "fuzz: %d seeds tested, %d counterexample(s)@."
+        summary.tested (List.length summary.failed));
+  summary
+
+let exit_code config summary =
+  match config.inject with
+  | None -> if summary.failed = [] then 0 else 1
+  | Some _ -> if summary.caught >= 1 then 0 else 1

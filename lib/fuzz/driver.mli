@@ -1,0 +1,34 @@
+(** Fuzzing campaign driver: corpus replay, parallel seed sweep, shrink
+    and artifact writing, deterministic summary. *)
+
+type config = {
+  n_seeds : int;       (** fresh seeds to test *)
+  seed0 : int;         (** first fresh seed; seeds are [seed0, seed0+n) *)
+  jobs : int;          (** worker domains for the sweep *)
+  dir : string option; (** corpus directory; [None] disables persistence *)
+  inject : Oracle.fault option;  (** fault-injection (self-test) mode *)
+  do_shrink : bool;    (** delta-debug failures before writing them out *)
+}
+
+type outcome = {
+  o_seed : int;
+  o_case : Gen.t;          (** shrunk when [do_shrink] *)
+  o_failures : Oracle.failure list;
+  o_artifact : string option;  (** written [.kern] path *)
+}
+
+type summary = {
+  tested : int;
+  failed : outcome list;   (** seeds with surviving failures, ascending *)
+  injected_cases : int;    (** cases where the requested fault applied *)
+  caught : int;            (** injected cases the oracle flagged *)
+}
+
+(** Run the campaign, printing per-failure diagnostics and a final
+    summary line to [ppf]. Deterministic for a fixed config (modulo
+    corpus contents). *)
+val run : Format.formatter -> config -> summary
+
+(** Exit status for the CLI: normal mode fails on any surviving failure;
+    injection mode fails when {e no} injected case was caught. *)
+val exit_code : config -> summary -> int

@@ -1,0 +1,181 @@
+module B = Gpu_isa.Builder
+module Instr = Gpu_isa.Instr
+module Program = Gpu_isa.Program
+
+type family = Pressure | Barrier
+
+type t = {
+  seed : int;
+  family : family;
+  program : Program.t;
+  grid : int;
+  threads : int;
+  params : int array;
+  salt : int;
+}
+
+let family_name = function Pressure -> "pressure" | Barrier -> "barrier"
+
+(* Address discipline (the determinism contract): loads are masked into
+   [0, 0x1FFF] (+ a small literal offset) and only ever read memory no
+   store can touch — global stores are masked into the disjoint window at
+   [0x10000000, 0x10001FFF], shared stores are pure sinks (never loaded
+   back). Unwritten global reads return a deterministic function of the
+   address, so every warp's values — hence its store trace — depend only
+   on the program, not on scheduling, policy or stepping mode. *)
+let load_mask = 0x1FFF
+let store_base = 0x10000000
+
+let binops =
+  Instr.[| Add; Sub; Mul; Div; Rem; Min; Max; And; Or; Xor; Shl; Shr |]
+
+let unops = Instr.[| Neg; Not; Abs |]
+let cmpops = Instr.[| Eq; Ne; Lt; Le; Gt; Ge |]
+
+let specials =
+  Instr.[| Tid; Ctaid; Ntid; Nctaid; Warp_id |]
+
+let gen_program rng ~family ~seed =
+  let n_regs =
+    match family with
+    | Pressure -> Rng.range rng 8 14
+    | Barrier -> Rng.range rng 5 7
+  in
+  (* The two highest registers are reserved as loop counters (one per
+     nesting level); bodies never touch them, so counted loops always
+     terminate. *)
+  let usable = n_regs - 2 in
+  let label_counter = ref 0 in
+  let fresh () =
+    incr label_counter;
+    Printf.sprintf "L%d" !label_counter
+  in
+  let reg () = Rng.int rng usable in
+  let operand () =
+    match Rng.int rng 8 with
+    | 0 | 1 | 2 | 3 | 4 -> Instr.Reg (reg ())
+    | 5 -> Instr.Imm (Rng.range rng (-64) 1000)
+    | 6 -> Instr.Special (Rng.choose rng specials)
+    | _ -> Instr.Param (Rng.int rng 2)
+  in
+  let alu () =
+    let d = reg () in
+    match Rng.int rng 12 with
+    | 0 -> [ B.un (Rng.choose rng unops) d (operand ()) ]
+    | 1 -> [ B.mad d (operand ()) (operand ()) (operand ()) ]
+    | 2 -> [ B.mov d (operand ()) ]
+    | 3 -> [ B.cmp (Rng.choose rng cmpops) d (operand ()) (operand ()) ]
+    | 4 -> [ B.sel d (operand ()) (operand ()) (operand ()) ]
+    | _ -> [ B.bin (Rng.choose rng binops) d (operand ()) (operand ()) ]
+  in
+  let load () =
+    let t1 = reg () and d = reg () in
+    [ B.and_ t1 (operand ()) (B.imm load_mask);
+      B.load ~ofs:(Rng.int rng 64) Instr.Global d (B.r t1) ]
+  in
+  let store () =
+    if Rng.chance rng ~pct:25 then
+      (* Shared stores are sinks: recorded in the trace, never read. *)
+      [ B.store Instr.Shared (operand ()) (operand ()) ]
+    else
+      let t1 = reg () in
+      [ B.and_ t1 (operand ()) (B.imm load_mask);
+        B.store ~ofs:store_base Instr.Global (B.r t1) (operand ()) ]
+  in
+  let leaf () =
+    match Rng.int rng 10 with
+    | 0 | 1 -> load ()
+    | 2 -> store ()
+    | _ -> alu ()
+  in
+  let leaf_run () =
+    List.concat (List.init (Rng.range rng 2 5) (fun _ -> leaf ()))
+  in
+  (* Pressure bulge: [k] registers defined from one seed operand, all live
+     until a fold consumes them — a liveness window of width [k] that
+     pushes the peak across any Bs boundary below it. *)
+  let bulge () =
+    let k = Rng.range rng (min 3 usable) usable in
+    let seed_op = operand () in
+    let defs = List.init k (fun i -> B.add i seed_op (B.imm ((i * 7) + 1))) in
+    let fold =
+      List.init (k - 1) (fun i ->
+          B.bin
+            (Rng.choose rng Instr.[| Add; Xor; Max; Min |])
+            0 (B.r 0)
+            (B.r (i + 1)))
+    in
+    defs @ fold
+  in
+  let rec segment depth =
+    if depth = 0 then leaf_run ()
+    else
+      match Rng.int rng 7 with
+      | 0 | 1 ->
+          (* if/else diamond *)
+          let c = reg () in
+          let le = fresh () and lj = fresh () in
+          [ B.bz (B.r c) le ]
+          @ block (depth - 1)
+          @ [ B.bra lj; B.label le ]
+          @ block (depth - 1)
+          @ [ B.label lj ]
+      | 2 ->
+          (* counted loop on the reserved counter for this nesting level *)
+          let ctr = n_regs - 1 - (depth - 1) in
+          let trips = Rng.range rng 1 3 in
+          Workloads.Shape.counted_loop ~ctr ~trips:(B.imm trips)
+            ~name:(fresh ())
+            (block (depth - 1))
+      | 3 -> bulge ()
+      | _ -> leaf_run ()
+  and block depth =
+    List.concat (List.init (Rng.range rng 1 3) (fun _ -> segment depth))
+  in
+  let tail () =
+    List.init
+      (Rng.range rng 1 2)
+      (fun _ ->
+        B.store ~ofs:store_base Instr.Global
+          (B.imm (Rng.int rng load_mask))
+          (B.r (reg ())))
+  in
+  let body =
+    match family with
+    | Pressure ->
+        (* Guaranteed bulge between random blocks, so every pressure-family
+           program has a forced-split-worthy peak. *)
+        block 2 @ bulge () @ block 1
+    | Barrier ->
+        (* Barriers only at CTA-uniform points: top level, or the body end
+           of a top-level counted loop with a literal trip count. Never
+           inside a diamond — divergent-arm barriers hang real CTAs too. *)
+        let seg1 = block 1 and seg2 = block 1 in
+        let looped =
+          if Rng.bool rng then
+            Workloads.Shape.counted_loop ~ctr:(n_regs - 2)
+              ~trips:(B.imm (Rng.range rng 1 3))
+              ~name:(fresh ())
+              (leaf_run () @ [ B.bar ])
+          else []
+        in
+        seg1 @ [ B.bar ] @ seg2 @ looped
+  in
+  B.assemble ~name:(Printf.sprintf "fuzz%d" seed) (body @ tail () @ [ B.exit_ ])
+
+let generate ~seed =
+  let rng = Rng.of_seed seed in
+  let family = if Rng.chance rng ~pct:25 then Barrier else Pressure in
+  (* Threads per CTA stay a multiple of 64: the paired/OWF policies need an
+     even warp count per CTA. *)
+  let threads = if Rng.bool rng then 64 else 128 in
+  let grid = Rng.range rng 1 3 in
+  let params = [| Rng.range rng 1 8; Rng.range rng 1 8 |] in
+  let salt = Rng.int rng 1_000_000 in
+  let program = gen_program (Rng.split rng) ~family ~seed in
+  { seed; family; program; grid; threads; params; salt }
+
+let kernel ?program t =
+  let program = Option.value program ~default:t.program in
+  Gpu_sim.Kernel.make ~name:program.Program.name ~grid_ctas:t.grid
+    ~cta_threads:t.threads ~params:t.params program

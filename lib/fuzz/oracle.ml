@@ -1,0 +1,414 @@
+module Instr = Gpu_isa.Instr
+module Program = Gpu_isa.Program
+module Parser = Gpu_isa.Parser
+module Codec = Gpu_isa.Codec
+module Liveness = Gpu_analysis.Liveness
+module Arch_config = Gpu_uarch.Arch_config
+module Gpu = Gpu_sim.Gpu
+module Sm = Gpu_sim.Sm
+module Stats = Gpu_sim.Stats
+module Policy = Gpu_sim.Policy
+module Technique = Regmutex.Technique
+module Transform = Regmutex.Transform
+module Checker = Regmutex.Checker
+module Runner = Regmutex.Runner
+
+type fault = Drop_acquire | Early_release | Drop_mov
+
+let fault_name = function
+  | Drop_acquire -> "drop-acquire"
+  | Early_release -> "early-release"
+  | Drop_mov -> "drop-mov"
+
+let fault_of_string = function
+  | "drop-acquire" -> Ok Drop_acquire
+  | "early-release" -> Ok Early_release
+  | "drop-mov" -> Ok Drop_mov
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown fault %S (expected drop-acquire, early-release or drop-mov)"
+           s)
+
+type kind =
+  | Divergence
+  | Stats_mismatch
+  | Deadlock
+  | Timeout
+  | Verification
+  | Unsound_transform
+  | Conservation
+  | Roundtrip
+  | Crash
+
+let kind_name = function
+  | Divergence -> "divergence"
+  | Stats_mismatch -> "stats-mismatch"
+  | Deadlock -> "deadlock"
+  | Timeout -> "timeout"
+  | Verification -> "verification"
+  | Unsound_transform -> "unsound-transform"
+  | Conservation -> "conservation"
+  | Roundtrip -> "roundtrip"
+  | Crash -> "crash"
+
+type failure = { kind : kind; detail : string }
+
+type report = { failures : failure list; injected : bool }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "[%s] %s" (kind_name f.kind) f.detail
+
+(* One SM keeps runs fast; dram_interval 1.0 keeps memory latencies small
+   relative to the watchdog. *)
+let arch0 = { Arch_config.gtx480 with n_sms = 1; dram_interval = 1.0 }
+let max_cycles = 1_000_000
+
+type sim_result =
+  | Finished of Stats.t
+  | Dead of string
+  | Tripped of string
+
+let simulate ?observe ?observe_every config kernel =
+  match Gpu.run ?observe ?observe_every config kernel with
+  | stats -> Finished stats
+  | exception Gpu.Deadlock d -> Dead (Format.asprintf "%a" Gpu.pp_deadlock d)
+  | exception Sm.Verification_failure m -> Tripped m
+
+(* Everything the fast-forward contract promises to keep bit-identical. *)
+let stats_fields (s : Stats.t) =
+  ( s.Stats.cycles,
+    s.Stats.instructions,
+    s.Stats.acquire_execs,
+    s.Stats.acquire_first_try,
+    s.Stats.acquire_stall_cycles,
+    s.Stats.release_execs,
+    s.Stats.shared_oob,
+    s.Stats.resident_warp_cycles,
+    s.Stats.warp_capacity_cycles,
+    s.Stats.ctas_retired,
+    s.Stats.timed_out )
+
+let diff_stats ~label (ff : Stats.t) (bf : Stats.t) =
+  if stats_fields ff <> stats_fields bf then
+    Some
+      (Printf.sprintf
+         "%s: fast-forward (%d cycles, %d instrs) vs brute-force (%d cycles, \
+          %d instrs) counters differ"
+         label ff.Stats.cycles ff.Stats.instructions bf.Stats.cycles
+         bf.Stats.instructions)
+  else
+    match
+      List.find_opt
+        (fun r -> Stats.stall_count ff r <> Stats.stall_count bf r)
+        Stats.all_reasons
+    with
+    | Some r ->
+        Some
+          (Printf.sprintf "%s: stall[%s] = %d fast-forward vs %d brute-force"
+             label (Stats.reason_name r) (Stats.stall_count ff r)
+             (Stats.stall_count bf r))
+    | None -> (
+        match
+          Checker.diff_store_traces ~expected:(Stats.store_traces bf)
+            ~actual:(Stats.store_traces ff)
+        with
+        | Some d -> Some (Printf.sprintf "%s: store traces differ: %s" label d)
+        | None -> None)
+
+(* --- round-trips ------------------------------------------------------ *)
+
+let roundtrip_failures prog =
+  let failures = ref [] in
+  let fail detail = failures := { kind = Roundtrip; detail } :: !failures in
+  (let printed = Format.asprintf "%a" Program.pp prog in
+   match Parser.parse ~name:prog.Program.name printed with
+   | reparsed ->
+       if not (Program.equal reparsed prog) then
+         fail "parse (print p) <> p: printer/parser asymmetry"
+   | exception Parser.Parse_error e ->
+       fail (Format.asprintf "printed program does not parse: %a" Parser.pp_error e)
+   | exception Program.Invalid m ->
+       fail (Printf.sprintf "printed program re-validates differently: %s" m));
+  (if Codec.encodable prog then
+     match Codec.decode_program ~name:prog.Program.name (Codec.encode_program prog) with
+     | decoded ->
+         if not (Program.equal decoded prog) then
+           fail "decode (encode p) <> p: codec asymmetry"
+     | exception Codec.Unencodable m -> fail (Printf.sprintf "codec round-trip failed: %s" m)
+     | exception Program.Invalid m ->
+         fail (Printf.sprintf "decoded program re-validates differently: %s" m));
+  List.rev !failures
+
+(* --- fault injection -------------------------------------------------- *)
+
+let find_first pred p =
+  let rec go i =
+    if i >= Program.length p then None
+    else if pred (Program.get p i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let replace p idx instr =
+  Program.map_instrs (fun i old -> if i = idx then instr else old) p
+
+let apply_fault fault ~bs p =
+  match fault with
+  | Drop_acquire -> (
+      match find_first (fun i -> i = Instr.Acquire) p with
+      | Some idx -> (replace p idx (Instr.Mov (0, Instr.Reg 0)), true)
+      | None -> (p, false))
+  | Early_release -> (
+      match find_first (fun i -> i = Instr.Acquire) p with
+      | Some idx -> (Program.insert_before p [ (idx + 1, [ Instr.Release ]) ], true)
+      | None -> (p, false))
+  | Drop_mov -> (
+      match
+        find_first
+          (function Instr.Mov (d, Instr.Reg s) -> s >= bs && d < bs | _ -> false)
+          p
+      with
+      | Some idx -> (
+          match Program.get p idx with
+          | Instr.Mov (d, _) -> (replace p idx (Instr.Mov (d, Instr.Reg d)), true)
+          | _ -> assert false)
+      | None -> (p, false))
+
+(* --- baseline reference ----------------------------------------------- *)
+
+let static_config prog =
+  {
+    (Gpu.default_config arch0
+       (Policy.Static { regs_per_thread = prog.Program.n_regs }))
+    with
+    Gpu.record_stores = true;
+    max_cycles;
+  }
+
+(* --- forced Bs/Es split ------------------------------------------------ *)
+
+(* Capacity pinned to exactly two resident CTAs, with exactly [sections]
+   SRP sections left over ([Policy.regs_per_cta] for Srp is unrounded, so
+   the arithmetic is exact) — guaranteeing real acquire contention while
+   [sections >= 1] keeps barrier-free kernels deadlock-free. *)
+let contended_arch ~regs_cta ~es ~sections =
+  {
+    arch0 with
+    Arch_config.max_ctas = 2;
+    regfile_regs = (2 * regs_cta) + (sections * es * 32);
+  }
+
+let forced_split_failures (case : Gen.t) ~expected ~inject =
+  let prog = case.Gen.program in
+  let liveness = Liveness.analyze prog in
+  let peak = Liveness.max_pressure liveness in
+  let bs = max 1 (min (prog.Program.n_regs - 1) (peak - 1)) in
+  let es = prog.Program.n_regs - bs in
+  if case.Gen.family <> Gen.Pressure || es < 1 || prog.Program.n_regs < 3 then
+    ([], false)
+  else
+    match Transform.apply ~bs ~es prog with
+    | exception Transform.Unsound violations ->
+        ( [ {
+              kind = Unsound_transform;
+              detail =
+                Format.asprintf "transform bs=%d es=%d rejected its own output: %a"
+                  bs es
+                  (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+                     Checker.pp_violation)
+                  violations;
+            } ],
+          false )
+    | plan ->
+        let transformed, injected =
+          match inject with
+          | None -> (plan.Transform.transformed, false)
+          | Some f -> apply_fault f ~bs plan.Transform.transformed
+        in
+        let kern = Gen.kernel ~program:transformed case in
+        let policy = Policy.Srp { bs; es; verify = true } in
+        let wpc = case.Gen.threads / 32 in
+        let regs_cta = Policy.regs_per_cta arch0 policy ~warps_per_cta:wpc in
+        let sections = 1 + (case.Gen.salt mod 3) in
+        let arch = contended_arch ~regs_cta ~es ~sections in
+        let config =
+          { (Gpu.default_config arch policy) with Gpu.record_stores = true; max_cycles }
+        in
+        let failures = ref [] in
+        let fail kind detail = failures := { kind; detail } :: !failures in
+        let label =
+          Printf.sprintf "srp bs=%d es=%d sections=%d" bs es sections
+        in
+        (* Brute-force run doubling as the SRP-conservation sampler: the
+           invariant is probed after every cycle, which covers every
+           acquire and release event. *)
+        let conservation = ref None in
+        let observe ~cycle sms =
+          if !conservation = None then
+            Array.iter
+              (fun sm ->
+                match Sm.srp_invariant sm with
+                | Some (Error msg) ->
+                    if !conservation = None then conservation := Some (cycle, msg)
+                | Some (Ok _) | None -> ())
+              sms
+        in
+        (match
+           simulate ~observe { config with Gpu.fast_forward = false } kern
+         with
+        | Dead d -> fail Deadlock (Printf.sprintf "%s: %s" label d)
+        | Tripped m -> fail Verification (Printf.sprintf "%s: %s" label m)
+        | Finished brute -> (
+            (match !conservation with
+            | Some (cycle, msg) ->
+                fail Conservation (Printf.sprintf "%s at cycle %d: %s" label cycle msg)
+            | None -> ());
+            if brute.Stats.timed_out then
+              fail Timeout
+                (Printf.sprintf "%s: exceeded %d cycles" label max_cycles)
+            else begin
+              (match
+                 Checker.diff_store_traces ~expected
+                   ~actual:(Stats.store_traces brute)
+               with
+              | Some d -> fail Divergence (Printf.sprintf "%s: %s" label d)
+              | None -> ());
+              match simulate config kern with
+              | Dead d ->
+                  fail Deadlock
+                    (Printf.sprintf "%s (fast-forward only): %s" label d)
+              | Tripped m ->
+                  fail Verification
+                    (Printf.sprintf "%s (fast-forward only): %s" label m)
+              | Finished ff -> (
+                  match diff_stats ~label ff brute with
+                  | Some d -> fail Stats_mismatch d
+                  | None -> ())
+            end));
+        (* Paired-warps specialization on the same transformed program:
+           ample register file, contention only within a pair. *)
+        let paired_policy = Policy.Srp_paired { bs; es; verify = true } in
+        let paired_config =
+          { (Gpu.default_config arch0 paired_policy) with
+            Gpu.record_stores = true;
+            max_cycles }
+        in
+        (match simulate paired_config kern with
+        | Dead d -> fail Deadlock (Printf.sprintf "paired bs=%d es=%d: %s" bs es d)
+        | Tripped m ->
+            fail Verification (Printf.sprintf "paired bs=%d es=%d: %s" bs es m)
+        | Finished stats ->
+            if stats.Stats.timed_out then
+              fail Timeout (Printf.sprintf "paired bs=%d es=%d timed out" bs es)
+            else (
+              match
+                Checker.diff_store_traces ~expected
+                  ~actual:(Stats.store_traces stats)
+              with
+              | Some d -> fail Divergence (Printf.sprintf "paired bs=%d es=%d: %s" bs es d)
+              | None -> ()));
+        (List.rev !failures, injected)
+
+(* --- technique differential ------------------------------------------- *)
+
+let technique_failures (case : Gen.t) ~expected =
+  let kern = Gen.kernel case in
+  let failures = ref [] in
+  let fail kind detail = failures := { kind; detail } :: !failures in
+  let successes = ref [] in
+  List.iter
+    (fun tech ->
+      let name = Technique.name tech in
+      match Runner.execute ~record_stores:true ~max_cycles arch0 tech kern with
+      | run ->
+          if run.Runner.stats.Stats.timed_out then
+            fail Timeout (Printf.sprintf "%s: exceeded %d cycles" name max_cycles)
+          else (
+            (match
+               Checker.diff_store_traces ~expected
+                 ~actual:(Stats.store_traces run.Runner.stats)
+             with
+            | Some d -> fail Divergence (Printf.sprintf "%s: %s" name d)
+            | None -> ());
+            successes := tech :: !successes)
+      | exception Gpu.Deadlock d ->
+          fail Deadlock (Format.asprintf "%s: %a" name Gpu.pp_deadlock d)
+      | exception Sm.Verification_failure m ->
+          fail Verification (Printf.sprintf "%s: %s" name m)
+      | exception Transform.Unsound violations ->
+          fail Unsound_transform
+            (Format.asprintf "%s: %a" name
+               (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+                  Checker.pp_violation)
+               violations))
+    (List.filter (fun t -> t <> Technique.Baseline) Technique.all);
+  (* Fast-forward equivalence through the heuristic path: baseline (memory
+     and barrier stalls) and RegMutex (acquire stalls on top). *)
+  List.iter
+    (fun tech ->
+      let name = Technique.name tech in
+      if tech = Technique.Baseline || List.mem tech !successes then
+        match
+          ( Runner.execute ~record_stores:true ~max_cycles arch0 tech kern,
+            Runner.execute ~record_stores:true ~max_cycles ~fast_forward:false
+              arch0 tech kern )
+        with
+        | ff, bf -> (
+            match
+              diff_stats ~label:(name ^ " (heuristic)") ff.Runner.stats
+                bf.Runner.stats
+            with
+            | Some d -> fail Stats_mismatch d
+            | None -> ())
+        | exception Gpu.Deadlock d ->
+            fail Deadlock (Format.asprintf "%s brute-force: %a" name Gpu.pp_deadlock d)
+        | exception Sm.Verification_failure m ->
+            fail Verification (Printf.sprintf "%s brute-force: %s" name m))
+    [ Technique.Baseline; Technique.Regmutex ];
+  List.rev !failures
+
+(* --- per-case entry ---------------------------------------------------- *)
+
+let test_case ?inject (case : Gen.t) =
+  try
+    let prog = case.Gen.program in
+    match simulate (static_config prog) (Gen.kernel case) with
+    | Dead d ->
+        { failures = [ { kind = Deadlock; detail = "baseline: " ^ d } ]; injected = false }
+    | Tripped m ->
+        (* Static policy never verifies; this cannot happen. *)
+        { failures = [ { kind = Crash; detail = "baseline verification: " ^ m } ];
+          injected = false }
+    | Finished base ->
+        if base.Stats.timed_out then
+          { failures =
+              [ { kind = Timeout;
+                  detail = Printf.sprintf "baseline: exceeded %d cycles" max_cycles } ];
+            injected = false }
+        else
+          let expected = Stats.store_traces base in
+          let split_failures, injected =
+            forced_split_failures case ~expected ~inject
+          in
+          let failures =
+            match inject with
+            | Some _ ->
+                (* Injection only mutates the forced-split branch; the other
+                   invariants would re-test the unmutated program. *)
+                split_failures
+            | None ->
+                roundtrip_failures prog
+                @ technique_failures case ~expected
+                @ split_failures
+          in
+          { failures; injected }
+  with e ->
+    { failures =
+        [ { kind = Crash;
+            detail = Printf.sprintf "unexpected exception: %s" (Printexc.to_string e) } ];
+      injected = false }
+
+let test_seed ?inject seed =
+  let case = Gen.generate ~seed in
+  (case, test_case ?inject case)

@@ -1,0 +1,61 @@
+(** Differential invariants checked per generated kernel.
+
+    For one {!Gen.t} launch case the oracle runs, in order:
+
+    - printer/parser and codec round-trips of the generated program;
+    - Baseline vs every technique ({!Regmutex.Technique.all}) through the
+      heuristic compile path, comparing per-warp store traces
+      ({!Regmutex.Checker.diff_store_traces});
+    - fast-forward vs brute-force stepping on the baseline and RegMutex
+      runs — every counter, per-reason stall attribution and store trace
+      must be bit-identical;
+    - a forced Bs/Es split (pressure family only) sized from the program's
+      own peak pressure, run under [Srp] on a deliberately contended
+      architecture (capacity 2 CTAs, 1–3 SRP sections) and under
+      [Srp_paired], with dynamic verification on — plus SRP conservation
+      ([in_use + free = sections] and status/bitmask/LUT agreement)
+      sampled every cycle;
+    - the forward-progress watchdog: any {!Gpu_sim.Gpu.Deadlock} is a
+      failure, as is a watchdog timeout.
+
+    Fault injection ([?inject]) mutates the {e transformed} program of the
+    forced-split branch — the oracle must then report at least one
+    failure, which is how the fuzzer's own detection power is tested. *)
+
+type fault =
+  | Drop_acquire   (** neutralise the first [Acquire] *)
+  | Early_release  (** insert a [Release] right after the first [Acquire] *)
+  | Drop_mov       (** disable the first compaction MOV across the boundary *)
+
+val fault_name : fault -> string
+val fault_of_string : string -> (fault, string) result
+
+type kind =
+  | Divergence         (** store traces differ from the baseline *)
+  | Stats_mismatch     (** fast-forward vs brute-force not bit-identical *)
+  | Deadlock           (** {!Gpu_sim.Gpu.Deadlock} raised *)
+  | Timeout            (** watchdog [max_cycles] hit *)
+  | Verification       (** dynamic extended-access verification tripped *)
+  | Unsound_transform  (** {!Regmutex.Transform.Unsound} on a legal kernel *)
+  | Conservation       (** SRP accounting invariant broken *)
+  | Roundtrip          (** parser or codec round-trip diverged *)
+  | Crash              (** unexpected exception *)
+
+val kind_name : kind -> string
+
+type failure = { kind : kind; detail : string }
+
+type report = {
+  failures : failure list;
+  injected : bool;  (** the requested fault actually applied to this case *)
+}
+
+(** Run every applicable invariant for the case. Never raises: unexpected
+    exceptions become [Crash] failures. With [?inject] only the
+    forced-split branch runs (the mutation lives there). *)
+val test_case : ?inject:fault -> Gen.t -> report
+
+(** [test_seed ?inject seed] = generate then {!test_case}. *)
+val test_seed : ?inject:fault -> int -> Gen.t * report
+
+val pp_failure : Format.formatter -> failure -> unit

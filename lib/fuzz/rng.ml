@@ -1,0 +1,37 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, fast, splittable
+   generator with well-understood statistics — the standard choice for
+   reproducible fuzzing seeds. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let of_seed seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+(* Top 62 bits, non-negative as a native int. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+let chance t ~pct = int t 100 < pct
+let choose t arr = arr.(int t (Array.length arr))

@@ -1,0 +1,29 @@
+(** Splittable deterministic pseudo-random numbers (SplitMix64).
+
+    The fuzzer derives every random decision from an integer seed, so a
+    failing kernel is reproduced from its seed alone — no generator state
+    needs persisting. [split] forks an independent stream, letting the
+    generator hand sub-streams to nested structures without the draw
+    order of one affecting another. *)
+
+type t
+
+val of_seed : int -> t
+
+(** Fork an independent stream (advances the parent once). *)
+val split : t -> t
+
+(** [int t bound] draws uniformly from [0 .. bound-1].
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] draws uniformly from [lo .. hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [chance t ~pct] is true with probability [pct]%. *)
+val chance : t -> pct:int -> bool
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,82 @@
+module Instr = Gpu_isa.Instr
+module Program = Gpu_isa.Program
+module Regset = Gpu_isa.Regset
+
+(* Each candidate edit costs up to a full oracle run, so the search is
+   bounded: once the budget is spent the current (already-failing) program
+   is returned as-is. *)
+let eval_budget = 400
+
+(* [delete_range p lo hi] removes instructions [lo, hi) and retargets
+   branches: targets inside the hole land on the first surviving
+   instruction after it. Edits that break validation (removing the only
+   [Exit], leaving a fall-through tail, ...) return [None]. *)
+let delete_range (p : Program.t) lo hi =
+  let remap t = if t < lo then t else if t < hi then lo else t - (hi - lo) in
+  let kept = ref [] in
+  for i = Program.length p - 1 downto 0 do
+    if i < lo || i >= hi then
+      kept := Instr.map_target remap (Program.get p i) :: !kept
+  done;
+  match Program.create ~name:p.Program.name (Array.of_list !kept) with
+  | p' -> Some p'
+  | exception Program.Invalid _ -> None
+
+(* Rename registers to close the gaps deletion leaves (r9 used alone
+   still forces n_regs = 10 otherwise). *)
+let compact_registers (p : Program.t) =
+  let used = ref Regset.empty in
+  for i = 0 to Program.length p - 1 do
+    used := Regset.union !used (Instr.regs (Program.get p i))
+  done;
+  let rank = Array.make p.Program.n_regs 0 in
+  let next = ref 0 in
+  Regset.iter
+    (fun r ->
+      rank.(r) <- !next;
+      incr next)
+    !used;
+  if !next = p.Program.n_regs then None
+  else
+    match
+      Program.map_instrs (fun _ i -> Instr.map_regs (fun r -> rank.(r)) i) p
+    with
+    | p' -> Some p'
+    | exception Program.Invalid _ -> None
+
+let minimize ?inject ~kind (case : Gen.t) =
+  let budget = ref eval_budget in
+  let reproduces prog =
+    !budget > 0
+    && begin
+         decr budget;
+         let report = Oracle.test_case ?inject { case with Gen.program = prog } in
+         List.exists (fun f -> f.Oracle.kind = kind) report.Oracle.failures
+       end
+  in
+  let current = ref case.Gen.program in
+  (* ddmin over instruction ranges: try ever-smaller chunks, restarting a
+     pass whenever a deletion sticks (earlier indices may newly be
+     removable). *)
+  let chunk = ref (max 1 (Program.length !current / 2)) in
+  while !chunk >= 1 && !budget > 0 do
+    let changed = ref true in
+    while !changed && !budget > 0 do
+      changed := false;
+      let lo = ref 0 in
+      while !lo < Program.length !current && !budget > 0 do
+        let hi = min (Program.length !current) (!lo + !chunk) in
+        match delete_range !current !lo hi with
+        | Some candidate when reproduces candidate ->
+            current := candidate;
+            changed := true
+            (* keep [lo]: the next chunk slid into this position *)
+        | _ -> lo := hi
+      done
+    done;
+    chunk := if !chunk = 1 then 0 else !chunk / 2
+  done;
+  (match compact_registers !current with
+  | Some candidate when reproduces candidate -> current := candidate
+  | _ -> ());
+  { case with Gen.program = !current }

@@ -1,0 +1,13 @@
+(** Delta-debugging counterexample shrinker.
+
+    Given a failing case, greedily removes instruction ranges (ddmin-style:
+    halving chunk sizes down to single instructions) and then compacts the
+    register space, re-running the oracle after every candidate edit and
+    keeping the edit only while a failure of the {e same kind} still
+    reproduces. The result is a minimal program that still fails, suitable
+    for writing out as a replayable [.kern] file. *)
+
+(** [minimize ?inject ~kind case] returns the shrunk case (same seed and
+    launch geometry, smaller program). Deterministic; bounded by an
+    internal evaluation budget. *)
+val minimize : ?inject:Oracle.fault -> kind:Oracle.kind -> Gen.t -> Gen.t

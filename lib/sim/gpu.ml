@@ -12,6 +12,45 @@ let default_config arch policy =
   { arch; policy; record_stores = false; trace_warp0 = false;
     max_cycles = 20_000_000; events = None; fast_forward = true }
 
+type sm_diag = {
+  dl_sm : int;
+  dl_srp_in_use : int;
+  dl_srp_sections : int;
+  dl_warps : Sm.warp_diag list;
+}
+
+type deadlock_info = {
+  dl_cycle : int;
+  dl_pending_ctas : int;
+  dl_grid_ctas : int;
+  dl_retired : int;
+  dl_sms : sm_diag list;
+}
+
+exception Deadlock of deadlock_info
+
+let pp_deadlock ppf d =
+  Format.fprintf ppf
+    "@[<v>deadlock at cycle %d: no warp can issue, no wakeup exists, %d/%d \
+     CTAs retired (%d never launched)"
+    d.dl_cycle d.dl_retired d.dl_grid_ctas d.dl_pending_ctas;
+  List.iter
+    (fun sm ->
+      if sm.dl_warps <> [] then begin
+        Format.fprintf ppf "@,  SM %d: %d/%d SRP sections in use" sm.dl_sm
+          sm.dl_srp_in_use sm.dl_srp_sections;
+        List.iter
+          (fun w -> Format.fprintf ppf "@,    %a" Sm.pp_warp_diag w)
+          sm.dl_warps
+      end)
+    d.dl_sms;
+  Format.fprintf ppf "@]"
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock d -> Some (Format.asprintf "Gpu.Deadlock: %a" pp_deadlock d)
+    | _ -> None)
+
 let build_sms config kernel stats memory mem_sys =
   Array.init config.arch.Gpu_uarch.Arch_config.n_sms (fun sm_id ->
       Sm.create ?events:config.events config.arch ~sm_id ~policy:config.policy
@@ -63,13 +102,22 @@ let run ?observe ?(observe_every = 1) config kernel =
        nothing observable happens in the span, and [observe ~observe_every]
        bounds the jump so sampled cycles are still visited. *)
     let next = !cycle + 1 in
-    if
-      config.fast_forward
-      && stats.Stats.instructions = instrs_before
+    (* A cycle is frozen when no instruction issued anywhere and no SM
+       could place a CTA next cycle: the machine state can only change at
+       a future wakeup. Frozen cycles feed two consumers: the fast-forward
+       jump, and the no-progress guard — if no wakeup exists either
+       (every stalled warp waits on another warp's issue, which frozen-ness
+       rules out forever) the run can never terminate, so it raises a
+       structured [Deadlock] instead of spinning (or jumping) to the
+       watchdog. Both modes see the same first frozen cycle, so detection
+       is mode-independent. *)
+    let frozen =
+      stats.Stats.instructions = instrs_before
       && retired () < grid
       && not (!next_cta < grid && Array.exists Sm.can_launch sms)
-    then begin
-      let wake = ref config.max_cycles in
+    in
+    if frozen then begin
+      let wake = ref max_int in
       let reasons = Array.make n_sms Stats.Stall_empty in
       Array.iteri
         (fun i sm ->
@@ -79,21 +127,51 @@ let run ?observe ?(observe_every = 1) config kernel =
             if sm_wake < !wake then wake := sm_wake
           end)
         sms;
-      let wake =
-        match observe with
-        | Some _ -> min !wake (((!cycle / observe_every) + 1) * observe_every)
-        | None -> !wake
-      in
-      if wake > next then begin
-        let span = wake - next in
-        Array.iteri
-          (fun i sm -> Sm.account_idle_span sm ~reason:reasons.(i) ~span)
-          sms;
-        stats.Stats.resident_warp_cycles <-
-          stats.Stats.resident_warp_cycles + (span * resident);
-        stats.Stats.warp_capacity_cycles <-
-          stats.Stats.warp_capacity_cycles + (span * capacity_per_cycle);
-        cycle := wake
+      if !wake = max_int then
+        raise
+          (Deadlock
+             {
+               dl_cycle = !cycle;
+               dl_pending_ctas = grid - !next_cta;
+               dl_grid_ctas = grid;
+               dl_retired = retired ();
+               dl_sms =
+                 Array.to_list
+                   (Array.mapi
+                      (fun i sm ->
+                        let in_use, sections =
+                          match Sm.srp_invariant sm with
+                          | Some (Ok (u, _, total)) -> (u, total)
+                          | Some (Error _) | None ->
+                              (Sm.srp_in_use sm, Sm.srp_sections sm)
+                        in
+                        {
+                          dl_sm = i;
+                          dl_srp_in_use = in_use;
+                          dl_srp_sections = sections;
+                          dl_warps = Sm.diagnose sm ~cycle:!cycle;
+                        })
+                      sms);
+             });
+      if config.fast_forward then begin
+        let wake = min !wake config.max_cycles in
+        let wake =
+          match observe with
+          | Some _ -> min wake (((!cycle / observe_every) + 1) * observe_every)
+          | None -> wake
+        in
+        if wake > next then begin
+          let span = wake - next in
+          Array.iteri
+            (fun i sm -> Sm.account_idle_span sm ~reason:reasons.(i) ~span)
+            sms;
+          stats.Stats.resident_warp_cycles <-
+            stats.Stats.resident_warp_cycles + (span * resident);
+          stats.Stats.warp_capacity_cycles <-
+            stats.Stats.warp_capacity_cycles + (span * capacity_per_cycle);
+          cycle := wake
+        end
+        else cycle := next
       end
       else cycle := next
     end

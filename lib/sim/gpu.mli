@@ -22,6 +22,33 @@ type run_config = {
 
 val default_config : Gpu_uarch.Arch_config.t -> Policy.t -> run_config
 
+(** Per-SM slice of a deadlock diagnostic. *)
+type sm_diag = {
+  dl_sm : int;
+  dl_srp_in_use : int;
+  dl_srp_sections : int;
+  dl_warps : Sm.warp_diag list;
+}
+
+type deadlock_info = {
+  dl_cycle : int;          (** first cycle at which the machine froze *)
+  dl_pending_ctas : int;   (** grid CTAs that never launched *)
+  dl_grid_ctas : int;
+  dl_retired : int;
+  dl_sms : sm_diag list;
+}
+
+(** Raised by {!run} when the machine can never make progress again: no
+    warp on any SM can issue, no CTA can launch, and no future wakeup
+    (scoreboard or memory completion) exists — every stalled warp waits on
+    an issue that can no longer happen (acquire / barrier / RFV-register
+    stalls). Detection is identical under fast-forward and brute-force
+    stepping: both see the same first frozen cycle. The fuzz oracle
+    consumes this as its forward-progress watchdog. *)
+exception Deadlock of deadlock_info
+
+val pp_deadlock : Format.formatter -> deadlock_info -> unit
+
 (** Run a kernel to completion; returns the populated statistics.
 
     [observe] is called after all SMs stepped, on every cycle that is a

@@ -508,6 +508,21 @@ let rfv_move t (warp : Warp.t) ~next_pc =
       warp.Warp.rfv_alloc <- demand
   | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> ()
 
+(* On a successful release the physical extended set goes back to the SRP
+   and may be handed to another warp, so the architected values above [bs]
+   cease to exist for this warp. The functional model keeps a full per-warp
+   register array, which would silently preserve them; clobbering with a
+   poison constant makes any use-after-release (a value the compiler failed
+   to compact below the Bs boundary) visible as a store-trace divergence
+   instead of a lucky pass. Sound for checker-accepted programs: no
+   extended register is live at a release point. *)
+let release_poison = 0xDEAD_BEEF
+
+let poison_ext t (warp : Warp.t) =
+  for r = t.bs to Array.length warp.Warp.regs - 1 do
+    warp.Warp.regs.(r) <- release_poison
+  done
+
 let warp_done t ~cycle (warp : Warp.t) cta =
   warp.Warp.status <- Warp.Done;
   emit t ~cycle
@@ -629,13 +644,15 @@ let issue t (warp : Warp.t) ~cycle =
           match Srp.release srp ~warp:warp.Warp.slot with
           | Srp.Released s ->
               released_event s;
-              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1
+              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
+              poison_ext t warp
           | Srp.Not_held -> ())
       | Ps_paired srp -> (
           match Srp_paired.release srp ~warp:warp.Warp.slot with
           | Srp_paired.Released ->
               released_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
-              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1
+              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
+              poison_ext t warp
           | Srp_paired.Not_held -> ())
       | Ps_static | Ps_owf | Ps_rfv _ -> ());
       advance (pc + 1)
@@ -686,6 +703,84 @@ let idle_summary t ~cycle =
   (stall_reason_of_block !best, !wake)
 
 let classify_idle t ~cycle = fst (idle_summary t ~cycle)
+
+(* --- diagnostics ------------------------------------------------------ *)
+
+type warp_diag = {
+  d_cta : int;
+  d_warp : int;
+  d_pc : int;
+  d_status : Warp.status;
+  d_block : Stats.stall_reason;
+  d_ready_at : int;
+  d_holds_ext : bool;
+}
+
+let diagnose t ~cycle =
+  let acc = ref [] in
+  for s = Array.length t.warps - 1 downto 0 do
+    match t.warps.(s) with
+    | Some w when w.Warp.status <> Warp.Done ->
+        let block = check_warp ~probe:true t w ~cycle in
+        let holds =
+          match t.pstate with
+          | Ps_srp srp -> Srp.holds srp ~warp:w.Warp.slot <> None
+          | Ps_paired srp -> Srp_paired.holds srp ~warp:w.Warp.slot
+          | Ps_owf -> w.Warp.owns_ext
+          | Ps_static | Ps_rfv _ -> false
+        in
+        acc :=
+          {
+            d_cta = w.Warp.global_cta;
+            d_warp = w.Warp.warp_in_cta;
+            d_pc = w.Warp.pc;
+            d_status = w.Warp.status;
+            d_block = stall_reason_of_block block;
+            d_ready_at = w.Warp.ready_at;
+            d_holds_ext = holds;
+          }
+          :: !acc
+    | Some _ | None -> ()
+  done;
+  !acc
+
+let pp_warp_diag ppf d =
+  let status =
+    match d.d_status with
+    | Warp.Ready -> "ready"
+    | Warp.At_barrier -> "at-barrier"
+    | Warp.Done -> "done"
+  in
+  Format.fprintf ppf "cta %d warp %d: pc=%d %s block=%s ready_at=%s%s" d.d_cta
+    d.d_warp d.d_pc status
+    (Stats.reason_name d.d_block)
+    (if d.d_ready_at = max_int then "-" else string_of_int d.d_ready_at)
+    (if d.d_holds_ext then " [holds ext set]" else "")
+
+let srp_invariant t =
+  match t.pstate with
+  | Ps_srp srp ->
+      let in_use = Srp.in_use srp
+      and free = Srp.free_sections srp
+      and sections = Srp.n_sections srp in
+      if in_use + free <> sections then
+        Some
+          (Error
+             (Printf.sprintf "SRP conservation broken: %d in use + %d free <> %d sections"
+                in_use free sections))
+      else if not (Srp.consistent srp) then
+        Some (Error "SRP status/bitmask/LUT bookkeeping out of sync")
+      else Some (Ok (in_use, free, sections))
+  | Ps_paired srp ->
+      let in_use = Srp_paired.in_use srp
+      and pairs = Srp_paired.n_pairs srp in
+      if in_use < 0 || in_use > pairs then
+        Some
+          (Error
+             (Printf.sprintf "paired SRP accounting broken: %d in use of %d pairs"
+                in_use pairs))
+      else Some (Ok (in_use, pairs - in_use, pairs))
+  | Ps_static | Ps_owf | Ps_rfv _ -> None
 
 let account_idle_span t ~reason ~span =
   if t.resident_warps > 0 && span > 0 then begin

@@ -74,3 +74,28 @@ val idle_summary : t -> cycle:int -> Stats.stall_reason * int
     acquire-stall counter when applicable) exactly as per-cycle stepping
     would have. No-op when the SM has no resident warps. *)
 val account_idle_span : t -> reason:Stats.stall_reason -> span:int -> unit
+
+(** Per-warp snapshot for deadlock diagnostics: who is stuck where, on
+    what, and whether it holds an extended set. *)
+type warp_diag = {
+  d_cta : int;            (** global CTA index *)
+  d_warp : int;           (** warp within the CTA *)
+  d_pc : int;
+  d_status : Warp.status;
+  d_block : Stats.stall_reason;  (** why the warp cannot issue right now *)
+  d_ready_at : int;       (** scoreboard bound; [max_int] = no bound *)
+  d_holds_ext : bool;     (** holds an SRP section / pair set / OWF regs *)
+}
+
+(** Snapshot of every non-exited resident warp, in slot order. Pure
+    observation ({!check_warp} probing). *)
+val diagnose : t -> cycle:int -> warp_diag list
+
+val pp_warp_diag : Format.formatter -> warp_diag -> unit
+
+(** SRP conservation cross-check, for the fuzz oracle: [None] for
+    policies without an acquire pool; [Some (Ok (in_use, free, total))]
+    when the accounting is consistent ([in_use + free = total] and, for
+    the full SRP engine, the status/bitmask/LUT structures agree);
+    [Some (Error msg)] otherwise. *)
+val srp_invariant : t -> (int * int * int, string) result option

@@ -30,6 +30,12 @@ type t = {
           when the warp exits (divergent kernels show non-uniform counts) *)
 }
 
+(** All stall reasons, in a fixed order (for exhaustive per-reason
+    comparisons, e.g. the fast-forward equivalence oracle). *)
+val all_reasons : stall_reason list
+
+val reason_name : stall_reason -> string
+
 val create : unit -> t
 val bump_stall : t -> stall_reason -> unit
 

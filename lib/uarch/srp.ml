@@ -51,5 +51,22 @@ let in_use t = Bitmask.popcount t.srp
 let reset_warp t ~warp =
   match release t ~warp with Released s -> Some s | Not_held -> None
 
+(* Independent cross-check of the three redundant structures: every held
+   warp must map (via the lut) to a distinct acquired section, and the two
+   popcounts must agree. Walks the raw bits rather than trusting any of the
+   accessor invariants above. *)
+let consistent t =
+  let n_warps = Bitmask.width t.status in
+  let holders = ref [] in
+  for w = n_warps - 1 downto 0 do
+    if Bitmask.test t.status w then holders := t.lut.(w) :: !holders
+  done;
+  let sections = List.sort_uniq compare !holders in
+  List.length sections = List.length !holders
+  && List.for_all
+       (fun s -> s >= 0 && s < Bitmask.valid t.srp && Bitmask.test t.srp s)
+       sections
+  && Bitmask.popcount t.status = Bitmask.popcount t.srp
+
 let pp ppf t =
   Format.fprintf ppf "srp=%a status=%a" Bitmask.pp t.srp Bitmask.pp t.status

@@ -36,4 +36,11 @@ val in_use : t -> int
     the section when the CTA retires). Returns the freed section, if any. *)
 val reset_warp : t -> warp:int -> int option
 
+(** Independent bookkeeping cross-check, for the fuzz oracle's SRP
+    conservation invariant: every status bit maps through the LUT to a
+    distinct acquired section within range, and the status and SRP
+    popcounts agree (so [in_use + free_sections = n_sections] cannot
+    drift). Walks the raw bitmasks rather than the accessors. *)
+val consistent : t -> bool
+
 val pp : Format.formatter -> t -> unit

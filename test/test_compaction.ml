@@ -150,6 +150,69 @@ let prop_mov_compact_preserves_semantics =
       let s2 = Util.run_with (Util.static_policy prog') prog' in
       Util.traces s1 = Util.traces s2)
 
+let test_release_with_zero_live_ext () =
+  (* Edge case: every extended register dies inside the region, so the
+     release point has nothing live above |Bs| — compaction must insert no
+     MOV, the injector must still close the region with a Release, and the
+     poison the simulator writes on release must be invisible. *)
+  let p =
+    Gpu_isa.Builder.(
+      assemble ~name:"t"
+        [ mov 0 (imm 1);
+          mov 1 (imm 2);
+          mov 2 (imm 3);
+          add 3 (r 0) (r 1);         (* ext for bs=3 *)
+          add 4 (r 3) (r 2);         (* peak: r0..r4 live *)
+          add 0 (r 3) (r 4);         (* both ext registers die here *)
+          store Gpu_isa.Instr.Global (imm 64) (r 0);
+          store Gpu_isa.Instr.Global (imm 65) (r 1);
+          store Gpu_isa.Instr.Global (imm 66) (r 2);
+          exit_ ])
+  in
+  let plan = Transform.apply ~bs:3 ~es:2 p in
+  Alcotest.(check int) "no MOV needed" 0 plan.Transform.n_movs;
+  Alcotest.(check bool) "region closed" true (plan.Transform.n_releases >= 1);
+  let s1 = Util.run_with ~grid:1 ~threads:64 (Util.static_policy p) p in
+  let s2 =
+    Util.run_with ~grid:1 ~threads:64
+      (Gpu_sim.Policy.Srp { bs = 3; es = 2; verify = true })
+      plan.Transform.transformed
+  in
+  Util.check_same_traces "zero-live-ext release" (Util.traces s1) (Util.traces s2)
+
+let test_acquire_region_in_loop_body () =
+  (* Edge case: the extended region sits inside a counted loop whose
+     counter and accumulators occupy every base register, so compaction
+     cannot dissolve the region — each iteration must re-acquire and the
+     result must match the untransformed kernel. *)
+  let trips = 3 in
+  let p =
+    Gpu_isa.Builder.(
+      assemble ~name:"t"
+        ([ mov 1 (imm 0); mov 2 (imm 7) ]
+        @ Workloads.Shape.counted_loop ~ctr:0 ~trips:(imm trips) ~name:"l"
+            [ add 3 (r 1) (r 2);     (* ext for bs=3 *)
+              add 4 (r 3) (r 2);
+              add 1 (r 3) (r 4) ]    (* both die before the latch *)
+        @ [ store Gpu_isa.Instr.Global (imm 64) (r 1);
+            store Gpu_isa.Instr.Global (imm 65) (r 2);
+            exit_ ]))
+  in
+  let plan = Transform.apply ~bs:3 ~es:2 p in
+  Alcotest.(check bool) "region survives compaction" true
+    (plan.Transform.n_acquires >= 1);
+  let s1 = Util.run_with ~grid:1 ~threads:64 (Util.static_policy p) p in
+  let s2 =
+    Util.run_with ~grid:1 ~threads:64
+      (Gpu_sim.Policy.Srp { bs = 3; es = 2; verify = true })
+      plan.Transform.transformed
+  in
+  (* Two warps, [trips] iterations each: the acquire must execute once per
+     iteration, not once per warp. *)
+  Alcotest.(check bool) "re-acquired on every iteration" true
+    (s2.Gpu_sim.Stats.acquire_execs >= 2 * trips);
+  Util.check_same_traces "loop-nested region" (Util.traces s1) (Util.traces s2)
+
 let suite =
   [ Alcotest.test_case "permute identity" `Quick test_permute_identity;
     Alcotest.test_case "permute swap" `Quick test_permute_swap;
@@ -165,4 +228,8 @@ let suite =
       test_mov_compact_no_opportunity;
     Alcotest.test_case "mov compaction: loop-header regression" `Quick
       test_mov_compact_skips_loop_headers;
-    prop_mov_compact_preserves_semantics ]
+    prop_mov_compact_preserves_semantics;
+    Alcotest.test_case "release point with zero live extended registers" `Quick
+      test_release_with_zero_live_ext;
+    Alcotest.test_case "acquire region nested in a loop body" `Quick
+      test_acquire_region_in_loop_body ]

@@ -142,20 +142,11 @@ let static_policy prog =
 let traces stats = Gpu_sim.Stats.store_traces stats
 
 let check_same_traces msg a b =
-  Alcotest.(check int) (msg ^ ": warp count") (List.length a) (List.length b);
-  List.iter2
-    (fun ((cta_a, w_a), tr_a) ((cta_b, w_b), tr_b) ->
-      Alcotest.(check (pair int int)) (msg ^ ": warp key") (cta_a, w_a) (cta_b, w_b);
-      Alcotest.(check int)
-        (Printf.sprintf "%s: warp (%d,%d) store count" msg cta_a w_a)
-        (List.length tr_a) (List.length tr_b);
-      List.iter2
-        (fun (sp_a, ad_a, v_a) (sp_b, ad_b, v_b) ->
-          if not (sp_a = sp_b && ad_a = ad_b && v_a = v_b) then
-            Alcotest.failf "%s: warp (%d,%d) stores diverge: (%d,%d) vs (%d,%d)"
-              msg cta_a w_a ad_a v_a ad_b v_b)
-        tr_a tr_b)
-    a b
+  (* Delegates to the library's own differ so the tests and the fuzz
+     oracle agree on what "same behaviour" means. *)
+  match Regmutex.Checker.diff_store_traces ~expected:a ~actual:b with
+  | None -> ()
+  | Some diff -> Alcotest.failf "%s: %s" msg diff
 
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
