@@ -5,7 +5,9 @@
      regmutex liveness BFS [--no-widen]
      regmutex transform BFS [--bs N] [--es N] [--half-rf]
      regmutex run BFS [--technique regmutex] [--half-rf] [--es N] [--grid N]
-     regmutex sweep [fig7 fig9a ...] [--jobs N] [--no-cache] [--quick]
+     regmutex metrics BFS [--format prom|json] [...run flags]
+     regmutex trace BFS --out run.trace.json [--check] [...run flags]
+     regmutex sweep [fig7 fig9a ...] [--jobs N] [--no-cache] [--quick] [--profile]
      regmutex storage *)
 
 open Cmdliner
@@ -178,6 +180,125 @@ let run_cmd =
       const run $ spec_arg $ half_flag $ technique $ es_opt $ grid
       $ no_fast_forward_flag)
 
+(* --- metrics / trace -------------------------------------------------- *)
+
+let grid_opt =
+  Arg.(value & opt (some int) None & info [ "grid" ] ~doc:"Override grid CTAs.")
+
+let technique_opt =
+  Arg.(
+    value
+    & opt technique_conv Regmutex.Technique.Regmutex
+    & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+
+(* Shared body of the observability commands: one simulation with a
+   telemetry sink attached. *)
+let instrumented_run ?trace_capacity spec half technique es grid no_ff =
+  let arch = arch_of half in
+  let spec =
+    match grid with Some g -> Workloads.Spec.with_grid spec g | None -> spec
+  in
+  let options = { Regmutex.Technique.default_options with es_override = es } in
+  let sink = Telemetry.Sink.create ?trace_capacity () in
+  let run =
+    Regmutex.Runner.execute ~options ~fast_forward:(not no_ff) ~telemetry:sink
+      arch technique spec.Workloads.Spec.kernel
+  in
+  (sink, run)
+
+let metrics_cmd =
+  let doc =
+    "Simulate a workload with the telemetry sink attached and dump the \
+     metric registry (counters, gauges, histograms)."
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,prom) (Prometheus text) or $(b,json).")
+  in
+  let run spec half technique es grid no_ff format =
+    let sink, _run = instrumented_run spec half technique es grid no_ff in
+    match format with
+    | `Prom ->
+        Format.printf "%a@." Telemetry.Metrics.pp_prometheus
+          sink.Telemetry.Sink.metrics
+    | `Json ->
+        Format.printf "%a@." Telemetry.Metrics.pp_json sink.Telemetry.Sink.metrics
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ spec_arg $ half_flag $ technique_opt $ es_opt $ grid_opt
+      $ no_fast_forward_flag $ format)
+
+let trace_cmd =
+  let doc =
+    "Simulate a workload with the trace recorder attached and export a \
+     Chrome trace-event JSON file loadable in Perfetto (ui.perfetto.dev): \
+     one track per warp slot, SRP-hold and stall-episode spans, and \
+     SRP-occupancy / memory-slot counter tracks."
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output path (default: $(i,WORKLOAD).trace.json).")
+  in
+  let capacity =
+    Arg.(
+      value & opt (some int) None
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Trace ring capacity in records (default 1,000,000). When \
+             exceeded, the oldest records are dropped and the export is \
+             the most recent window.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Re-read the written file and validate the trace-event schema.")
+  in
+  let run spec half technique es grid no_ff out capacity check =
+    let sink, _run =
+      instrumented_run ?trace_capacity:capacity spec half technique es grid no_ff
+    in
+    let trace = sink.Telemetry.Sink.trace in
+    let path =
+      match out with
+      | Some p -> p
+      | None -> spec.Workloads.Spec.name ^ ".trace.json"
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Telemetry.Trace.export_chrome ppf trace;
+        Format.pp_print_flush ppf ());
+    Printf.printf "wrote %s: %d records (%d dropped)\n" path
+      (Telemetry.Trace.length trace)
+      (Telemetry.Trace.dropped trace);
+    if check then begin
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Telemetry.Json_check.validate_chrome_trace contents with
+      | Ok n -> Printf.printf "schema ok: %d events\n" n
+      | Error msg ->
+          Printf.eprintf "schema check failed: %s\n" msg;
+          exit 1
+    end
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ spec_arg $ half_flag $ technique_opt $ es_opt $ grid_opt
+      $ no_fast_forward_flag $ out $ capacity $ check)
+
 (* --- run-file --------------------------------------------------------- *)
 
 let run_file_cmd =
@@ -250,6 +371,24 @@ let check_cmd =
 
 (* --- sweep ----------------------------------------------------------- *)
 
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time the host-side phases (prepare, simulate, merge, oracle \
+           stages) and print a report to stderr at exit.")
+
+let with_profile profile f =
+  if not profile then f ()
+  else begin
+    Telemetry.Profile.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Format.eprintf "%a@?" Telemetry.Profile.pp_report ())
+      f
+  end
+
 let sweep_cmd =
   let doc =
     "Run the experiment sweep (tables, figures, ablations) with parallel \
@@ -282,7 +421,7 @@ let sweep_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List experiment names and exit.")
   in
-  let run jobs no_cache quick names list_only no_ff =
+  let run jobs no_cache quick names list_only no_ff profile =
     let module Engine = Experiments.Engine in
     let module Suite = Experiments.Suite in
     if list_only then
@@ -312,7 +451,7 @@ let sweep_cmd =
               names
       in
       let t0 = Unix.gettimeofday () in
-      Suite.run cfg entries;
+      with_profile profile (fun () -> Suite.run cfg entries);
       (* Stderr, so stdout stays comparable across job counts and runs. *)
       Printf.eprintf "sweep: %d simulation(s) in %.1fs (%d worker%s%s%s)\n"
         (Engine.simulations ())
@@ -326,7 +465,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ jobs $ no_cache $ quick $ names $ list_flag
-      $ no_fast_forward_flag)
+      $ no_fast_forward_flag $ profile_flag)
 
 (* --- fuzz ------------------------------------------------------------ *)
 
@@ -385,7 +524,7 @@ let fuzz_cmd =
              drop-mov) into each transformed kernel and verify the oracle \
              catches it on at least one seed. Exit status 0 iff caught.")
   in
-  let run seeds seed0 jobs dir no_corpus no_shrink inject =
+  let run seeds seed0 jobs dir no_corpus no_shrink inject profile =
     let config =
       {
         Fuzz.Driver.n_seeds = seeds;
@@ -396,12 +535,15 @@ let fuzz_cmd =
         do_shrink = not no_shrink;
       }
     in
-    let summary = Fuzz.Driver.run Format.std_formatter config in
+    let summary =
+      with_profile profile (fun () -> Fuzz.Driver.run Format.std_formatter config)
+    in
     exit (Fuzz.Driver.exit_code config summary)
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run $ seeds $ seed0 $ jobs $ dir $ no_corpus $ no_shrink $ inject)
+      const run $ seeds $ seed0 $ jobs $ dir $ no_corpus $ no_shrink $ inject
+      $ profile_flag)
 
 (* --- storage -------------------------------------------------------- *)
 
@@ -417,4 +559,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; occupancy_cmd; liveness_cmd; transform_cmd; run_cmd;
-            run_file_cmd; check_cmd; sweep_cmd; fuzz_cmd; storage_cmd ]))
+            metrics_cmd; trace_cmd; run_file_cmd; check_cmd; sweep_cmd;
+            fuzz_cmd; storage_cmd ]))

@@ -16,9 +16,18 @@ type run = {
   prepared : Technique.prepared;
 }
 
+(* Host-side profiling phases (surfaced by `regmutex sweep --profile`):
+   registered at module init, before the sweep engine spawns domains. *)
+let prepare_phase = Telemetry.Profile.phase "runner.prepare"
+let simulate_phase = Telemetry.Profile.phase "runner.simulate"
+
 let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
-    ?(max_cycles = 20_000_000) ?(fast_forward = true) cfg technique kernel =
-  let prepared = Technique.prepare ?options cfg technique kernel in
+    ?(max_cycles = 20_000_000) ?(fast_forward = true) ?telemetry cfg technique
+    kernel =
+  let prepared =
+    Telemetry.Profile.time prepare_phase (fun () ->
+        Technique.prepare ?options cfg technique kernel)
+  in
   let config =
     {
       Gpu.arch = cfg;
@@ -27,11 +36,14 @@ let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
       trace_warp0;
       max_cycles;
       events = None;
+      telemetry;
       fast_forward;
     }
   in
   let kernel' = prepared.Technique.kernel in
-  let stats = Gpu.run config kernel' in
+  let stats =
+    Telemetry.Profile.time simulate_phase (fun () -> Gpu.run config kernel')
+  in
   let theoretical_warps = Gpu.theoretical_warps config kernel' in
   {
     technique;

@@ -27,6 +27,7 @@ val execute :
   ?trace_warp0:bool ->
   ?max_cycles:int ->
   ?fast_forward:bool ->
+  ?telemetry:Telemetry.Sink.t ->
   Gpu_uarch.Arch_config.t ->
   Technique.t ->
   Gpu_sim.Kernel.t ->

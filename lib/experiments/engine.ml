@@ -146,6 +146,10 @@ let disk_store k run =
 
 (* --- execution -------------------------------------------------------- *)
 
+(* The coordinator's result-merge phase; the per-run prepare/simulate
+   phases live in [Runner]. Registered before any domain spawns. *)
+let merge_phase = Telemetry.Profile.phase "engine.merge"
+
 let compute cfg c =
   let options = resolved_options c in
   let kernel = Exp_config.kernel_of cfg c.spec in
@@ -227,13 +231,14 @@ let prefetch ?jobs:requested cfg cells =
     let runs = parallel_map ~jobs tasks (fun (_, c) -> compute cfg c) in
     (* Merge on the coordinator, in submission order: figure output is
        byte-identical whatever the worker count or completion order. *)
-    Array.iteri
-      (fun i run ->
-        let k, _ = tasks.(i) in
-        Atomic.incr misses;
-        Hashtbl.replace cache k run;
-        disk_store k run)
-      runs
+    Telemetry.Profile.time merge_phase (fun () ->
+        Array.iteri
+          (fun i run ->
+            let k, _ = tasks.(i) in
+            Atomic.incr misses;
+            Hashtbl.replace cache k run;
+            disk_store k run)
+          runs)
   end
 
 let run_batch ?jobs cfg cells =

@@ -1,5 +1,7 @@
 module Engine = Experiments.Engine
 
+let shrink_phase = Telemetry.Profile.phase "fuzz.shrink"
+
 type config = {
   n_seeds : int;
   seed0 : int;
@@ -71,7 +73,10 @@ let run ppf config =
           let case =
             if config.do_shrink then begin
               let kind = (List.hd failures).Oracle.kind in
-              let shrunk = Shrink.minimize ?inject:config.inject ~kind case in
+              let shrunk =
+                Telemetry.Profile.time shrink_phase (fun () ->
+                    Shrink.minimize ?inject:config.inject ~kind case)
+              in
               Format.fprintf ppf "  shrunk: %d -> %d instructions@."
                 (Gpu_isa.Program.length case.Gen.program)
                 (Gpu_isa.Program.length shrunk.Gen.program);

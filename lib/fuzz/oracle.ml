@@ -370,10 +370,21 @@ let technique_failures (case : Gen.t) ~expected =
 
 (* --- per-case entry ---------------------------------------------------- *)
 
+(* Oracle-stage profiling (surfaced by `regmutex fuzz --profile`).
+   Registered at module init, before the driver spawns worker domains;
+   the accumulators are atomic, so concurrent cases time safely. *)
+let baseline_phase = Telemetry.Profile.phase "oracle.baseline"
+let roundtrip_phase = Telemetry.Profile.phase "oracle.roundtrip"
+let techniques_phase = Telemetry.Profile.phase "oracle.techniques"
+let forced_split_phase = Telemetry.Profile.phase "oracle.forced-split"
+
 let test_case ?inject (case : Gen.t) =
   try
     let prog = case.Gen.program in
-    match simulate (static_config prog) (Gen.kernel case) with
+    match
+      Telemetry.Profile.time baseline_phase (fun () ->
+          simulate (static_config prog) (Gen.kernel case))
+    with
     | Dead d ->
         { failures = [ { kind = Deadlock; detail = "baseline: " ^ d } ]; injected = false }
     | Tripped m ->
@@ -389,7 +400,8 @@ let test_case ?inject (case : Gen.t) =
         else
           let expected = Stats.store_traces base in
           let split_failures, injected =
-            forced_split_failures case ~expected ~inject
+            Telemetry.Profile.time forced_split_phase (fun () ->
+                forced_split_failures case ~expected ~inject)
           in
           let failures =
             match inject with
@@ -398,8 +410,10 @@ let test_case ?inject (case : Gen.t) =
                    invariants would re-test the unmutated program. *)
                 split_failures
             | None ->
-                roundtrip_failures prog
-                @ technique_failures case ~expected
+                Telemetry.Profile.time roundtrip_phase (fun () ->
+                    roundtrip_failures prog)
+                @ Telemetry.Profile.time techniques_phase (fun () ->
+                    technique_failures case ~expected)
                 @ split_failures
           in
           { failures; injected }

@@ -22,14 +22,18 @@ type t = {
   mutable buf : entry array;
   mutable length : int;
   mutable truncated : bool;
+  mutable dropped : int;
 }
 
 let create ?(capacity = 100_000) ?(keep = fun _ -> true) () =
-  { capacity; keep; buf = [||]; length = 0; truncated = false }
+  { capacity; keep; buf = [||]; length = 0; truncated = false; dropped = 0 }
 
 let emit t ~cycle event =
   if t.keep event then begin
-    if t.length >= t.capacity then t.truncated <- true
+    if t.length >= t.capacity then begin
+      t.truncated <- true;
+      t.dropped <- t.dropped + 1
+    end
     else begin
       if t.length = Array.length t.buf then begin
         let grown = min t.capacity (max 64 (2 * Array.length t.buf)) in
@@ -51,6 +55,7 @@ let iter t f =
 
 let length t = t.length
 let truncated t = t.truncated
+let dropped t = t.dropped
 
 let warp_of = function
   | Acquire_granted { cta; warp; _ }

@@ -54,6 +54,11 @@ val length : t -> int
     events. *)
 val truncated : t -> bool
 
+(** How many kept events were dropped after the buffer filled. The run
+    driver warns at run end when this is nonzero and mirrors it into the
+    [regmutex_event_trace_dropped_total] telemetry counter. *)
+val dropped : t -> int
+
 (** Entries concerning one (cta, warp). *)
 val for_warp : t -> cta:int -> warp:int -> entry list
 

@@ -5,12 +5,14 @@ type run_config = {
   trace_warp0 : bool;
   max_cycles : int;
   events : Event_trace.t option;
+  telemetry : Telemetry.Sink.t option;
   fast_forward : bool;
 }
 
 let default_config arch policy =
   { arch; policy; record_stores = false; trace_warp0 = false;
-    max_cycles = 20_000_000; events = None; fast_forward = true }
+    max_cycles = 20_000_000; events = None; telemetry = None;
+    fast_forward = true }
 
 type sm_diag = {
   dl_sm : int;
@@ -53,9 +55,72 @@ let () =
 
 let build_sms config kernel stats memory mem_sys =
   Array.init config.arch.Gpu_uarch.Arch_config.n_sms (fun sm_id ->
-      Sm.create ?events:config.events config.arch ~sm_id ~policy:config.policy
-        ~kernel ~memory ~mem_sys ~stats ~record_stores:config.record_stores
+      Sm.create ?events:config.events ?telemetry:config.telemetry config.arch
+        ~sm_id ~policy:config.policy ~kernel ~memory ~mem_sys ~stats
+        ~record_stores:config.record_stores
         ~trace_warp0:(config.trace_warp0 && sm_id = 0))
+
+(* --- end-of-run telemetry ---------------------------------------------- *)
+
+(* Mirror the run's aggregate statistics into the sink's metric registry.
+   Pure reads of [stats] — a sink can never perturb the simulation
+   results, only report them. Counter registration is idempotent, so
+   repeated runs into one registry accumulate (the Prometheus model). *)
+let finalize_metrics (sink : Telemetry.Sink.t) config stats mem_sys =
+  let m = sink.Telemetry.Sink.metrics in
+  let count ?help name v = Telemetry.Metrics.(inc (counter ?help m name) v) in
+  count "regmutex_cycles_total" ~help:"simulated cycles" stats.Stats.cycles;
+  count "regmutex_instructions_total" ~help:"instructions issued"
+    stats.Stats.instructions;
+  count "regmutex_ctas_retired_total" stats.Stats.ctas_retired;
+  count "regmutex_acquires_total" ~help:"SRP acquire executions"
+    stats.Stats.acquire_execs;
+  count "regmutex_acquires_first_try_total" stats.Stats.acquire_first_try;
+  count "regmutex_releases_total" stats.Stats.release_execs;
+  count "regmutex_acquire_stall_cycles_total" stats.Stats.acquire_stall_cycles;
+  count "regmutex_shared_oob_total" stats.Stats.shared_oob;
+  count "regmutex_mem_requests_total" (Mem_system.issued mem_sys);
+  List.iter
+    (fun r ->
+      let reason =
+        String.map (fun c -> if c = '-' then '_' else c) (Stats.reason_name r)
+      in
+      count
+        ("regmutex_stall_" ^ reason ^ "_cycles_total")
+        ~help:"idle scheduler slots attributed to this stall reason"
+        (Stats.stall_count stats r))
+    Stats.all_reasons;
+  (match config.events with
+  | Some tr ->
+      count "regmutex_event_trace_dropped_total"
+        ~help:"structured events lost to the Event_trace capacity bound"
+        (Event_trace.dropped tr)
+  | None -> ());
+  count "regmutex_trace_dropped_total"
+    ~help:"oldest trace records overwritten by the telemetry ring"
+    (Telemetry.Trace.dropped sink.Telemetry.Sink.trace);
+  let set name v = Telemetry.Metrics.(set (gauge m name) v) in
+  set "regmutex_ipc" (Stats.ipc stats);
+  set "regmutex_achieved_occupancy" (Stats.achieved_occupancy stats);
+  set "regmutex_mem_mean_latency_cycles" (Mem_system.mean_latency mem_sys)
+
+(* Satellite of the telemetry work: the structured event log used to drop
+   at capacity silently. Surface the loss once, at run end. *)
+let warn_dropped config =
+  (match config.events with
+  | Some tr when Event_trace.dropped tr > 0 ->
+      Format.eprintf
+        "warning: event trace dropped %d events past its %d-entry capacity@."
+        (Event_trace.dropped tr) (Event_trace.length tr)
+  | Some _ | None -> ());
+  match config.telemetry with
+  | Some sink when Telemetry.Trace.dropped sink.Telemetry.Sink.trace > 0 ->
+      Format.eprintf
+        "warning: telemetry ring dropped %d oldest records (capacity %d); \
+         the exported trace is the most recent window@."
+        (Telemetry.Trace.dropped sink.Telemetry.Sink.trace)
+        (Telemetry.Trace.capacity sink.Telemetry.Sink.trace)
+  | Some _ | None -> ()
 
 let run ?observe ?(observe_every = 1) config kernel =
   if observe_every < 1 then invalid_arg "Gpu.run: observe_every must be >= 1";
@@ -68,6 +133,17 @@ let run ?observe ?(observe_every = 1) config kernel =
     invalid_arg "Gpu.run: kernel exceeds SM resources (zero occupancy)";
   let grid = kernel.Kernel.grid_ctas in
   let n_sms = Array.length sms in
+  (* The GPU driver gets its own trace process above the SMs: fast-forward
+     jump spans land there. *)
+  let ff_name =
+    match config.telemetry with
+    | Some sink ->
+        let tr = sink.Telemetry.Sink.trace in
+        Telemetry.Trace.set_process_name tr ~pid:n_sms "GPU";
+        Telemetry.Trace.set_thread_name tr ~pid:n_sms ~tid:0 "fast-forward";
+        Telemetry.Trace.intern tr "fast-forward"
+    | None -> 0
+  in
   let capacity_per_cycle = arch.Gpu_uarch.Arch_config.max_warps * n_sms in
   let next_cta = ref 0 in
   let cycle = ref 0 in
@@ -163,8 +239,14 @@ let run ?observe ?(observe_every = 1) config kernel =
         if wake > next then begin
           let span = wake - next in
           Array.iteri
-            (fun i sm -> Sm.account_idle_span sm ~reason:reasons.(i) ~span)
+            (fun i sm ->
+              Sm.account_idle_span sm ~from:next ~reason:reasons.(i) ~span)
             sms;
+          (match config.telemetry with
+          | Some sink ->
+              Telemetry.Trace.span sink.Telemetry.Sink.trace ~ts:next ~dur:span
+                ~pid:n_sms ~tid:0 ~name:ff_name ~arg:span
+          | None -> ());
           stats.Stats.resident_warp_cycles <-
             stats.Stats.resident_warp_cycles + (span * resident);
           stats.Stats.warp_capacity_cycles <-
@@ -179,6 +261,12 @@ let run ?observe ?(observe_every = 1) config kernel =
   done;
   stats.Stats.cycles <- !cycle;
   stats.Stats.timed_out <- retired () < grid;
+  (match config.telemetry with
+  | Some sink ->
+      Array.iter (fun sm -> Sm.finalize_probe sm ~cycle:!cycle) sms;
+      finalize_metrics sink config stats mem_sys
+  | None -> ());
+  warn_dropped config;
   stats
 
 let probe config kernel =

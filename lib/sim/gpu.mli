@@ -9,6 +9,14 @@ type run_config = {
   trace_warp0 : bool;    (** collect the PC trace of CTA 0 / warp 0 *)
   max_cycles : int;      (** watchdog; the run flags [timed_out] past it *)
   events : Event_trace.t option;  (** structured event sink, off by default *)
+  telemetry : Telemetry.Sink.t option;
+      (** trace-recorder + metrics sink, off by default. When present, the
+          SMs record warp/CTA lifetimes, SRP holds, stall episodes and
+          occupancy counters into the sink's ring ({!Probe}), and the run
+          mirrors its aggregate statistics into the sink's metric registry
+          at completion. The disabled path is a no-op: statistics, event
+          traces and fast-forward behaviour are bit-identical with and
+          without a sink (the bench suite enforces this). *)
   fast_forward : bool;
       (** Event-driven cycle skipping (default [true]): when no warp on any
           SM can issue and no CTA can launch, the clock jumps straight to

@@ -53,6 +53,9 @@ let issue_global t ~sm ~cycle =
       t.total_latency <- t.total_latency + (completion - cycle);
       completion
 
+let busy_slots t ~sm ~cycle =
+  Array.fold_left (fun acc b -> if b > cycle then acc + 1 else acc) 0 t.slots.(sm)
+
 let issued t = t.issued
 
 let mean_latency t =

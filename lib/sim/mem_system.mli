@@ -30,6 +30,10 @@ val next_completion : t -> sm:int -> int
     {!slot_free} first). *)
 val issue_global : t -> sm:int -> cycle:int -> int
 
+(** [busy_slots t ~sm ~cycle] — how many of SM [sm]'s slots are in flight
+    at [cycle]. O(slots) scan; only the telemetry probe reads it. *)
+val busy_slots : t -> sm:int -> cycle:int -> int
+
 (** Requests issued so far. *)
 val issued : t -> int
 

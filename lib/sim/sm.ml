@@ -51,6 +51,7 @@ type t = {
   record_stores : bool;
   trace_warp0 : bool;
   events : Event_trace.t option;
+  probe : Probe.t option;
   bs : int;  (* base-set size for SRP/paired/OWF policies; max_int otherwise *)
   es : int;
   verify : bool;
@@ -76,7 +77,7 @@ let cta_capacity_for cfg ~policy ~kernel =
   let capacity, _, _ = compute_capacity cfg policy kernel in
   capacity
 
-let create ?events cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
+let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     ~record_stores ~trace_warp0 =
   let cta_capacity, wpc, regs_cta = compute_capacity cfg policy kernel in
   let prog = kernel.Kernel.program in
@@ -173,6 +174,12 @@ let create ?events cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     record_stores;
     trace_warp0;
     events;
+    probe =
+      Option.map
+        (fun sink ->
+          Probe.create sink ~sm_id ~n_slots:(max (cta_capacity * wpc) 1)
+            ~n_cta_slots:(max cta_capacity 1) ~n_mem_slots:cfg.mem_slots)
+        telemetry;
     bs;
     es;
     verify;
@@ -253,11 +260,23 @@ let try_launch t ~global_cta ~cycle =
         t.resident_warps <- t.resident_warps + n_warps;
         t.launched_this_cycle <- cycle;
         emit t ~cycle (Event_trace.Cta_launched { sm = t.sm_id; cta = global_cta });
+        (match t.probe with
+        | Some p ->
+            Probe.cta_launch p ~cycle ~cta_slot:slot ~global_cta;
+            for w = 0 to n_warps - 1 do
+              Probe.warp_start p ~cycle
+                ~slot:((slot * t.warps_per_cta) + w)
+                ~global_cta
+            done
+        | None -> ());
         true
     | Some _ -> false
 
 let retire_cta t ~cycle cta =
   emit t ~cycle (Event_trace.Cta_retired { sm = t.sm_id; cta = cta.global_cta });
+  (match t.probe with
+  | Some p -> Probe.cta_retire p ~cycle ~cta_slot:cta.cta_slot
+  | None -> ());
   for w = 0 to cta.n_warps - 1 do
     t.warps.((cta.cta_slot * t.warps_per_cta) + w) <- None
   done;
@@ -531,14 +550,30 @@ let warp_done t ~cycle (warp : Warp.t) cta =
   Stats.record_warp_done t.stats ~cta:warp.Warp.global_cta
     ~warp:warp.Warp.warp_in_cta ~instructions:warp.Warp.issued;
   cta.running <- cta.running - 1;
+  (match t.probe with
+  | Some p ->
+      Probe.hold_end p ~cycle ~slot:warp.Warp.slot;
+      Probe.warp_close p ~cycle ~slot:warp.Warp.slot
+  | None -> ());
   (match t.pstate with
-  | Ps_srp srp -> ignore (Srp.reset_warp srp ~warp:warp.Warp.slot)
-  | Ps_paired srp -> ignore (Srp_paired.reset_warp srp ~warp:warp.Warp.slot)
+  | Ps_srp srp -> (
+      match Srp.reset_warp srp ~warp:warp.Warp.slot with
+      | Some _ -> (
+          match t.probe with
+          | Some p -> Probe.srp_sample p ~cycle ~in_use:(Srp.in_use srp)
+          | None -> ())
+      | None -> ())
+  | Ps_paired srp ->
+      if Srp_paired.reset_warp srp ~warp:warp.Warp.slot then (
+        match t.probe with
+        | Some p -> Probe.srp_sample p ~cycle ~in_use:(Srp_paired.in_use srp)
+        | None -> ())
   | Ps_owf -> warp.Warp.owns_ext <- false
   | Ps_rfv r ->
       r.used <- r.used - warp.Warp.rfv_alloc;
       warp.Warp.rfv_alloc <- 0
   | Ps_static -> ());
+  warp.Warp.acquired_at <- -1;
   if cta.running = 0 then retire_cta t ~cycle cta else maybe_release_barrier t ~cycle cta
 
 let issue t (warp : Warp.t) ~cycle =
@@ -554,6 +589,12 @@ let issue t (warp : Warp.t) ~cycle =
   (match t.pstate with
   | Ps_owf when t.touches_ext.(pc) && not warp.Warp.owns_ext ->
       warp.Warp.owns_ext <- true;
+      warp.Warp.acquired_at <- cycle;
+      (match t.probe with
+      | Some p ->
+          Probe.hold_begin p ~cycle ~slot:warp.Warp.slot
+            ~section:(warp.Warp.slot / 2)
+      | None -> ());
       t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
       if not warp.Warp.acquire_stalled then
         t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
@@ -566,11 +607,19 @@ let issue t (warp : Warp.t) ~cycle =
   t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
   warp.Warp.issued <- warp.Warp.issued + 1;
   (* Timing: set the destination's ready cycle. *)
+  let mem_sample completion =
+    match t.probe with
+    | Some p -> Probe.mem_issue p ~cycle ~completion
+    | None -> ()
+  in
   (match Instr.defs instr |> Regset.to_list with
   | [ d ] ->
       let ready =
         match Instr.lat_class instr with
-        | Instr.Lat_global -> Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle
+        | Instr.Lat_global ->
+            let completion = Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle in
+            mem_sample completion;
+            completion
         | Instr.Lat_alu | Instr.Lat_complex | Instr.Lat_shared | Instr.Lat_control ->
             cycle + t.latency.(pc)
       in
@@ -579,7 +628,7 @@ let issue t (warp : Warp.t) ~cycle =
       (* Global stores still consume a memory slot. *)
       (match instr with
       | Instr.Store (Instr.Global, _, _, _) ->
-          ignore (Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle)
+          mem_sample (Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle)
       | _ -> ())
   | _ :: _ :: _ -> assert false);
   let advance next =
@@ -606,17 +655,30 @@ let issue t (warp : Warp.t) ~cycle =
              { sm = t.sm_id; cta = warp.Warp.global_cta;
                warp = warp.Warp.warp_in_cta; section })
       in
+      let granted_probe section in_use =
+        warp.Warp.acquired_at <- cycle;
+        match t.probe with
+        | Some p ->
+            Probe.hold_begin p ~cycle ~slot:warp.Warp.slot ~section;
+            Probe.srp_sample p ~cycle ~in_use
+        | None -> ()
+      in
       let grant =
         match t.pstate with
         | Ps_srp srp -> (
             match Srp.acquire srp ~warp:warp.Warp.slot with
-            | Srp.Granted s -> granted_event s; true
+            | Srp.Granted s ->
+                granted_event s;
+                granted_probe s (Srp.in_use srp);
+                true
             | Srp.Already_held _ -> true
             | Srp.Stall -> false)
         | Ps_paired srp -> (
             match Srp_paired.acquire srp ~warp:warp.Warp.slot with
             | Srp_paired.Granted ->
-                granted_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
+                let pair = Srp_paired.pair_of_warp ~warp:warp.Warp.slot in
+                granted_event pair;
+                granted_probe pair (Srp_paired.in_use srp);
                 true
             | Srp_paired.Already_held -> true
             | Srp_paired.Stall -> false)
@@ -639,11 +701,20 @@ let issue t (warp : Warp.t) ~cycle =
               { sm = t.sm_id; cta = warp.Warp.global_cta;
                 warp = warp.Warp.warp_in_cta; section })
        in
+       let released_probe in_use =
+         warp.Warp.acquired_at <- -1;
+         match t.probe with
+         | Some p ->
+             Probe.hold_end p ~cycle ~slot:warp.Warp.slot;
+             Probe.srp_sample p ~cycle ~in_use
+         | None -> ()
+       in
        match t.pstate with
       | Ps_srp srp -> (
           match Srp.release srp ~warp:warp.Warp.slot with
           | Srp.Released s ->
               released_event s;
+              released_probe (Srp.in_use srp);
               t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
               poison_ext t warp
           | Srp.Not_held -> ())
@@ -651,6 +722,7 @@ let issue t (warp : Warp.t) ~cycle =
           match Srp_paired.release srp ~warp:warp.Warp.slot with
           | Srp_paired.Released ->
               released_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
+              released_probe (Srp_paired.in_use srp);
               t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
               poison_ext t warp
           | Srp_paired.Not_held -> ())
@@ -714,6 +786,8 @@ type warp_diag = {
   d_block : Stats.stall_reason;
   d_ready_at : int;
   d_holds_ext : bool;
+  d_held_section : int option;
+  d_held_cycles : int;
 }
 
 let diagnose t ~cycle =
@@ -722,12 +796,15 @@ let diagnose t ~cycle =
     match t.warps.(s) with
     | Some w when w.Warp.status <> Warp.Done ->
         let block = check_warp ~probe:true t w ~cycle in
-        let holds =
+        let held_section =
           match t.pstate with
-          | Ps_srp srp -> Srp.holds srp ~warp:w.Warp.slot <> None
-          | Ps_paired srp -> Srp_paired.holds srp ~warp:w.Warp.slot
-          | Ps_owf -> w.Warp.owns_ext
-          | Ps_static | Ps_rfv _ -> false
+          | Ps_srp srp -> Srp.holds srp ~warp:w.Warp.slot
+          | Ps_paired srp ->
+              if Srp_paired.holds srp ~warp:w.Warp.slot then
+                Some (Srp_paired.pair_of_warp ~warp:w.Warp.slot)
+              else None
+          | Ps_owf -> if w.Warp.owns_ext then Some (w.Warp.slot / 2) else None
+          | Ps_static | Ps_rfv _ -> None
         in
         acc :=
           {
@@ -737,7 +814,12 @@ let diagnose t ~cycle =
             d_status = w.Warp.status;
             d_block = stall_reason_of_block block;
             d_ready_at = w.Warp.ready_at;
-            d_holds_ext = holds;
+            d_holds_ext = held_section <> None;
+            d_held_section = held_section;
+            d_held_cycles =
+              (if held_section <> None && w.Warp.acquired_at >= 0 then
+                 cycle - w.Warp.acquired_at
+               else 0);
           }
           :: !acc
     | Some _ | None -> ()
@@ -751,11 +833,14 @@ let pp_warp_diag ppf d =
     | Warp.At_barrier -> "at-barrier"
     | Warp.Done -> "done"
   in
-  Format.fprintf ppf "cta %d warp %d: pc=%d %s block=%s ready_at=%s%s" d.d_cta
+  Format.fprintf ppf "cta %d warp %d: pc=%d %s block=%s ready_at=%s" d.d_cta
     d.d_warp d.d_pc status
     (Stats.reason_name d.d_block)
-    (if d.d_ready_at = max_int then "-" else string_of_int d.d_ready_at)
-    (if d.d_holds_ext then " [holds ext set]" else "")
+    (if d.d_ready_at = max_int then "-" else string_of_int d.d_ready_at);
+  match d.d_held_section with
+  | Some s ->
+      Format.fprintf ppf " [holds section %d for %d cycles]" s d.d_held_cycles
+  | None -> if d.d_holds_ext then Format.fprintf ppf " [holds ext set]"
 
 let srp_invariant t =
   match t.pstate with
@@ -782,7 +867,7 @@ let srp_invariant t =
       else Some (Ok (in_use, pairs - in_use, pairs))
   | Ps_static | Ps_owf | Ps_rfv _ -> None
 
-let account_idle_span t ~reason ~span =
+let account_idle_span t ~from ~reason ~span =
   if t.resident_warps > 0 && span > 0 then begin
     (* Every scheduler of an idle SM bumps the same stall reason once per
        cycle, so a skipped span of [span] identical cycles contributes
@@ -791,8 +876,14 @@ let account_idle_span t ~reason ~span =
     let n = span * Array.length t.schedulers in
     Stats.bump_stall_by t.stats reason n;
     if reason = Stats.Stall_acquire then
-      t.stats.Stats.acquire_stall_cycles <- t.stats.Stats.acquire_stall_cycles + n
+      t.stats.Stats.acquire_stall_cycles <- t.stats.Stats.acquire_stall_cycles + n;
+    match t.probe with
+    | Some p -> Probe.note_idle_span p ~from ~span ~reason
+    | None -> ()
   end
+
+let finalize_probe t ~cycle =
+  match t.probe with Some p -> Probe.finalize p ~cycle | None -> ()
 
 let can_launch t = free_cta_slot t <> None && rfv_can_admit t
 
@@ -805,6 +896,7 @@ let step t ~cycle =
      scheduler issues, so consecutive idle schedulers in the same cycle
      share one classification instead of rescanning the warps. *)
   let idle_memo = ref None in
+  let issued_any = ref false in
   Array.iter
     (fun sched ->
       let can_issue w =
@@ -819,6 +911,10 @@ let step t ~cycle =
       with
       | Some warp ->
           idle_memo := None;
+          if not !issued_any then begin
+            issued_any := true;
+            match t.probe with Some p -> Probe.flush_idle p | None -> ()
+          end;
           issue t warp ~cycle
       | None ->
           if t.resident_warps > 0 then begin
@@ -835,4 +931,14 @@ let step t ~cycle =
               t.stats.Stats.acquire_stall_cycles <-
                 t.stats.Stats.acquire_stall_cycles + 1
           end)
-    t.schedulers
+    t.schedulers;
+  (* A fully idle cycle (no scheduler issued, warps resident) extends the
+     SM's current stall episode; the probe closes it at the next issue.
+     [idle_memo] is necessarily [Some _] here: the last scheduler found
+     nothing to issue and classified the cycle. *)
+  match t.probe with
+  | Some p when (not !issued_any) && t.resident_warps > 0 -> (
+      match !idle_memo with
+      | Some reason -> Probe.note_idle p ~cycle ~reason
+      | None -> ())
+  | Some _ | None -> ()

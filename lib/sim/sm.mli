@@ -11,6 +11,7 @@ type t
 
 val create :
   ?events:Event_trace.t ->
+  ?telemetry:Telemetry.Sink.t ->
   Gpu_uarch.Arch_config.t ->
   sm_id:int ->
   policy:Policy.t ->
@@ -69,11 +70,19 @@ val classify_idle : t -> cycle:int -> Stats.stall_reason
     means "asleep until an external event". Pure observation. *)
 val idle_summary : t -> cycle:int -> Stats.stall_reason * int
 
-(** [account_idle_span t ~reason ~span] records [span] fully idle cycles
-    at once: per skipped cycle, every scheduler bumps [reason] (and the
-    acquire-stall counter when applicable) exactly as per-cycle stepping
-    would have. No-op when the SM has no resident warps. *)
-val account_idle_span : t -> reason:Stats.stall_reason -> span:int -> unit
+(** [account_idle_span t ~from ~reason ~span] records [span] fully idle
+    cycles starting at [from] at once: per skipped cycle, every scheduler
+    bumps [reason] (and the acquire-stall counter when applicable) exactly
+    as per-cycle stepping would have, and the telemetry probe's open stall
+    episode extends over the span. No-op when the SM has no resident
+    warps. *)
+val account_idle_span :
+  t -> from:int -> reason:Stats.stall_reason -> span:int -> unit
+
+(** Close the telemetry probe's open spans at the run's final cycle (the
+    GPU driver calls this once after the main loop). No-op without a
+    telemetry sink. *)
+val finalize_probe : t -> cycle:int -> unit
 
 (** Per-warp snapshot for deadlock diagnostics: who is stuck where, on
     what, and whether it holds an extended set. *)
@@ -85,6 +94,12 @@ type warp_diag = {
   d_block : Stats.stall_reason;  (** why the warp cannot issue right now *)
   d_ready_at : int;       (** scoreboard bound; [max_int] = no bound *)
   d_holds_ext : bool;     (** holds an SRP section / pair set / OWF regs *)
+  d_held_section : int option;
+      (** which SRP section (or pair index) the warp holds, so deadlock
+          reports name the holder, not just the waiter *)
+  d_held_cycles : int;
+      (** how long the section has been held ([Warp.acquired_at] based);
+          [0] when nothing is held *)
 }
 
 (** Snapshot of every non-exited resident warp, in slot order. Pure

@@ -12,6 +12,7 @@ type t = {
   mutable status : status;
   mutable ready_at : int;
   mutable acquire_stalled : bool;
+  mutable acquired_at : int;
   mutable owns_ext : bool;
   mutable partner : int;
   mutable rfv_alloc : int;
@@ -31,6 +32,7 @@ let create ~slot ~cta_slot ~global_cta ~warp_in_cta ~age ~n_regs =
     status = Ready;
     ready_at = 0;
     acquire_stalled = false;
+    acquired_at = -1;
     owns_ext = false;
     partner = -1;
     rfv_alloc = 0;

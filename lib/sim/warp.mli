@@ -26,6 +26,11 @@ type t = {
           layer reads it to fast-forward over scoreboard stalls. *)
   mutable acquire_stalled : bool;
       (** the acquire at the current [pc] already failed once *)
+  mutable acquired_at : int;
+      (** cycle the currently-held extended set was granted, or [-1] when
+          none is held. Always maintained (not just under telemetry) so
+          deadlock diagnostics can report how long each holder has sat on
+          its section. *)
   mutable owns_ext : bool;  (** OWF: holds the pair's shared registers *)
   mutable partner : int;    (** OWF: partner warp slot, or -1 *)
   mutable rfv_alloc : int;  (** RFV: physical packs currently charged *)

@@ -1,0 +1,63 @@
+type slot = { name : string; total_ns : int Atomic.t; calls : int Atomic.t }
+
+let slots : slot list ref = ref []
+let slots_lock = Mutex.create ()
+let on = Atomic.make false
+
+let phase name =
+  Mutex.lock slots_lock;
+  let s =
+    match List.find_opt (fun s -> s.name = name) !slots with
+    | Some s -> s
+    | None ->
+        let s = { name; total_ns = Atomic.make 0; calls = Atomic.make 0 } in
+        slots := s :: !slots;
+        s
+  in
+  Mutex.unlock slots_lock;
+  s
+
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let record_ns s ns =
+  ignore (Atomic.fetch_and_add s.total_ns ns);
+  ignore (Atomic.fetch_and_add s.calls 1)
+
+let time s f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        record_ns s ns)
+      f
+  end
+
+let report () =
+  List.filter_map
+    (fun s ->
+      let calls = Atomic.get s.calls in
+      if calls = 0 then None else Some (s.name, Atomic.get s.total_ns, calls))
+    (List.rev !slots)
+
+let reset () =
+  List.iter
+    (fun s ->
+      Atomic.set s.total_ns 0;
+      Atomic.set s.calls 0)
+    !slots
+
+let pp_report ppf () =
+  let rows = report () in
+  if rows = [] then Format.fprintf ppf "profile: no timed phases@."
+  else begin
+    Format.fprintf ppf "@[<v>profile (wall-clock, inclusive):@,";
+    List.iter
+      (fun (name, ns, calls) ->
+        Format.fprintf ppf "  %-24s %10.3f ms  %6d calls@," name
+          (float_of_int ns /. 1e6) calls)
+      rows;
+    Format.fprintf ppf "@]"
+  end

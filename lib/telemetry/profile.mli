@@ -1,0 +1,32 @@
+(** Host-side profiling scopes for coarse engine phases.
+
+    Slots are registered once at module-init time ({!phase}) and updated
+    with atomic adds, so concurrent domains (e.g. the sweep engine's
+    worker pool) can time the same phase without coordination. Timing is
+    off by default; {!time} costs one boolean load when disabled. *)
+
+type slot
+
+(** [phase name] registers (or retrieves) the slot for [name].
+    Call at module initialisation, before domains spawn. *)
+val phase : string -> slot
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [time slot f] runs [f ()], adding its wall-clock duration to [slot]
+    when profiling is enabled. Exceptions propagate; the elapsed time is
+    still recorded. *)
+val time : slot -> (unit -> 'a) -> 'a
+
+(** Direct accumulation, for spans that don't fit a closure. *)
+val record_ns : slot -> int -> unit
+
+(** [(name, total_ns, calls)] per slot with at least one call, in
+    registration order. *)
+val report : unit -> (string * int * int) list
+
+(** Zero all accumulators (keeps registrations). *)
+val reset : unit -> unit
+
+val pp_report : Format.formatter -> unit -> unit

@@ -1,0 +1,4 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create ?trace_capacity () =
+  { trace = Trace.create ?capacity:trace_capacity (); metrics = Metrics.create () }

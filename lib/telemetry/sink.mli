@@ -1,0 +1,7 @@
+(** The sink a simulation run records into: a trace ring plus a metrics
+    registry, handed to the simulator as an option — [None] is the
+    disabled path and must cost nothing beyond an option test. *)
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+val create : ?trace_capacity:int -> unit -> t

@@ -87,7 +87,8 @@ let test_capacity () =
     E.emit events ~cycle:i (E.Cta_launched { sm = 0; cta = i })
   done;
   Alcotest.(check int) "bounded" 3 (E.length events);
-  Alcotest.(check bool) "truncation flagged" true (E.truncated events)
+  Alcotest.(check bool) "truncation flagged" true (E.truncated events);
+  Alcotest.(check int) "dropped counted" 2 (E.dropped events)
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
