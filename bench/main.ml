@@ -169,6 +169,182 @@ let cycles_bench ~quick cfg =
   Printf.printf "wrote BENCH_cycle_skip.json (%d cells)\n" (List.length cells);
   if not all_identical then exit 1
 
+(* SoA-core benchmark: every suite cell timed in both stepping modes on
+   the current simulator core, with the run fingerprint recorded per cell.
+   The ff/bf fingerprints must agree (a divergence fails the process).
+   With [--baseline FILE] — a BENCH_soa_core.json produced by an earlier
+   build on the same machine and grid config — each cell also reports its
+   wall-time speedup against the baseline and asserts its fingerprint is
+   bit-identical to the baseline's, so a core rewrite is checked against
+   the seed simulator cell by cell. Cells are classed compute (Table I
+   registry) or latency (the latency-bound registry): the SoA rewrite must
+   lift the compute class without regressing the latency class. Results
+   land in BENCH_soa_core.json for the CI artifact. *)
+let soa_bench ~quick ?baseline cfg =
+  let module Runner = Regmutex.Runner in
+  let module Technique = Regmutex.Technique in
+  let techniques =
+    [ Technique.Baseline; Technique.Regmutex; Technique.Regmutex_paired;
+      Technique.Owf; Technique.Rfv ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let config_name = if quick then "quick" else "full" in
+  (* Baseline: map (workload, technique) -> (fast_s, fingerprint), plus the
+     grid config it was measured under. Fingerprints are only comparable
+     when the configs match; timings are only comparable on one machine. *)
+  let baseline_config, baseline_cells =
+    match baseline with
+    | None -> (None, [])
+    | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        let open Telemetry.Json_check in
+        let json = parse s in
+        let field name = function
+          | Obj kvs -> List.assoc_opt name kvs
+          | _ -> None
+        in
+        let str = function Some (Str s) -> Some s | _ -> None in
+        let num = function Some (Num f) -> Some f | _ -> None in
+        let cfg_name = str (field "config" json) in
+        let cells =
+          match field "cells" json with
+          | Some (List cells) ->
+              List.filter_map
+                (fun c ->
+                  match
+                    ( str (field "workload" c), str (field "technique" c),
+                      num (field "fast_s" c), str (field "fingerprint" c) )
+                  with
+                  | Some w, Some t, Some fast, fp -> Some ((w, t), (fast, fp))
+                  | _ -> None)
+                cells
+          | _ -> []
+        in
+        (cfg_name, cells)
+  in
+  let baseline_comparable = baseline_config = Some config_name in
+  (match (baseline, baseline_config) with
+  | Some path, Some bc when bc <> config_name ->
+      Printf.printf
+        "note: baseline %s was measured under config %S, this run is %S — \
+         timings reported, fingerprints not compared\n"
+        path bc config_name
+  | _ -> ());
+  let latency_names =
+    List.map (fun s -> s.Workloads.Spec.name) Workloads.Registry.latency_bound
+  in
+  Printf.printf "%-16s %-16s %-8s %10s %10s %9s  %s\n" "workload" "technique"
+    "class" "brute (s)" "fast (s)" "vs-seed" "results";
+  let cells =
+    List.concat_map
+      (fun spec ->
+        let arch = Experiments.Exp_config.eval_arch cfg spec in
+        let kernel = Experiments.Exp_config.kernel_of cfg spec in
+        let wname = spec.Workloads.Spec.name in
+        let cls = if List.mem wname latency_names then "latency" else "compute" in
+        List.map
+          (fun technique ->
+            let brute_t, brute =
+              time (fun () ->
+                  Runner.execute ~fast_forward:false arch technique kernel)
+            in
+            let fast_t, fast =
+              time (fun () ->
+                  Runner.execute ~fast_forward:true arch technique kernel)
+            in
+            let fp = Runner.fingerprint fast in
+            let modes_identical = String.equal (Runner.fingerprint brute) fp in
+            let tname = Technique.name technique in
+            let base = List.assoc_opt (wname, tname) baseline_cells in
+            let speedup =
+              Option.map (fun (bfast, _) -> bfast /. Float.max fast_t 1e-9) base
+            in
+            let seed_identical =
+              if not baseline_comparable then None
+              else
+                match base with
+                | Some (_, Some bfp) -> Some (String.equal bfp fp)
+                | Some (_, None) | None -> None
+            in
+            Printf.printf "%-16s %-16s %-8s %10.3f %10.3f %9s  %s%s\n%!" wname
+              tname cls brute_t fast_t
+              (match speedup with
+              | Some s -> Printf.sprintf "%.2fx" s
+              | None -> "-")
+              (if modes_identical then "identical" else "DIFFER")
+              (match seed_identical with
+              | Some true -> ", =seed"
+              | Some false -> ", DIFFERS FROM SEED"
+              | None -> "");
+            (wname, tname, cls, brute_t, fast_t, fp, speedup, modes_identical,
+             seed_identical))
+          techniques)
+      (Workloads.Registry.all @ Workloads.Registry.latency_bound)
+  in
+  let geomean = function
+    | [] -> None
+    | l ->
+        Some
+          (exp
+             (List.fold_left (fun a s -> a +. log s) 0. l
+             /. float_of_int (List.length l)))
+  in
+  let speedups cls =
+    List.filter_map
+      (fun (_, _, c, _, _, _, s, _, _) -> if c = cls then s else None)
+      cells
+  in
+  let gm_compute = geomean (speedups "compute") in
+  let gm_latency = geomean (speedups "latency") in
+  let all_modes = List.for_all (fun (_, _, _, _, _, _, _, ok, _) -> ok) cells in
+  let all_seed =
+    List.for_all
+      (fun (_, _, _, _, _, _, _, _, s) -> s <> Some false)
+      cells
+  in
+  let pp_gm = function Some g -> Printf.sprintf "%.2fx" g | None -> "-" in
+  Printf.printf
+    "geomean vs seed: compute %s, latency %s; modes %s; seed fingerprints %s\n"
+    (pp_gm gm_compute) (pp_gm gm_latency)
+    (if all_modes then "identical" else "DIFFER")
+    (if not baseline_comparable then "not compared"
+     else if all_seed then "identical"
+     else "DIFFER");
+  let oc = open_out "BENCH_soa_core.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"soa_core\",\n  \"config\": %S,\n  \"baseline\": %s,\n  \
+     \"geomean_speedup_compute\": %s,\n  \"geomean_speedup_latency\": %s,\n  \
+     \"all_identical\": %b,\n  \"seed_identical\": %s,\n  \"cells\": [\n"
+    config_name
+    (match baseline with Some p -> Printf.sprintf "%S" p | None -> "null")
+    (match gm_compute with Some g -> Printf.sprintf "%.3f" g | None -> "null")
+    (match gm_latency with Some g -> Printf.sprintf "%.3f" g | None -> "null")
+    all_modes
+    (if baseline_comparable then string_of_bool all_seed else "null");
+  List.iteri
+    (fun i (w, t, cls, bt, ft, fp, speedup, ok, seed) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"technique\": %S, \"class\": %S, \
+         \"brute_s\": %.4f, \"fast_s\": %.4f, \"fingerprint\": %S, \
+         \"speedup_vs_seed\": %s, \"identical\": %b, \"seed_identical\": %s}%s\n"
+        w t cls bt ft fp
+        (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "null")
+        ok
+        (match seed with Some b -> string_of_bool b | None -> "null")
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_soa_core.json (%d cells)\n" (List.length cells);
+  if not (all_modes && all_seed) then exit 1
+
 (* Telemetry overhead benchmark: every suite cell simulated four times —
    sink off, sink on (fast-forward), sink on (brute force), sink off again.
    The interleaved off runs bound timer drift; overhead is the on time
@@ -274,6 +450,12 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
+  let rec split_baseline acc = function
+    | "--baseline" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> split_baseline (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let baseline, args = split_baseline [] args in
   let cfg =
     if quick then Experiments.Exp_config.quick else Experiments.Exp_config.default
   in
@@ -281,6 +463,7 @@ let () =
   | [ "perf" ] -> Perf.run ()
   | [ "sweep" ] -> sweep_bench cfg
   | [ "cycles" ] -> cycles_bench ~quick cfg
+  | [ "soa" ] -> soa_bench ~quick ?baseline cfg
   | [ "telemetry" ] -> telemetry_bench ~quick cfg
   | [] ->
       List.iter (fun (e : Suite.entry) -> run_experiment cfg e.Suite.name) Suite.all

@@ -4,12 +4,14 @@ type ctx = {
   regs : int array;
   params : int array;
   tid : int;
-  ctaid : int;
+  mutable ctaid : int;
   ntid : int;
   nctaid : int;
   warp_id : int;
-  read : Instr.space -> int -> int;
-  write : Instr.space -> int -> int -> unit;
+  mutable shared : int array;
+  memory : Memory.t;
+  stats : Stats.t;
+  record_stores : bool;
 }
 
 type outcome =
@@ -63,6 +65,27 @@ let cmpop op a b =
   in
   if r then 1 else 0
 
+(* Out-of-bounds shared accesses wrap (real hardware would fault or read a
+   neighbour's bank); the wrap is counted so workloads exercising it are
+   visible in the statistics rather than silently absorbed. *)
+let shared_index ctx addr =
+  let words = Array.length ctx.shared in
+  if addr < 0 || addr >= words then
+    ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
+  ((addr mod words) + words) mod words
+
+let read ctx space addr =
+  match space with
+  | Instr.Global -> Memory.read_global ctx.memory addr
+  | Instr.Shared -> ctx.shared.(shared_index ctx addr)
+
+let write ctx space addr v =
+  if ctx.record_stores then
+    Stats.record_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id space addr v;
+  match space with
+  | Instr.Global -> Memory.write_global ctx.memory addr v
+  | Instr.Shared -> ctx.shared.(shared_index ctx addr) <- v
+
 let step ctx instr =
   let v = operand ctx in
   match instr with
@@ -85,10 +108,10 @@ let step ctx instr =
       ctx.regs.(d) <- (if v c <> 0 then v a else v b);
       Next
   | Instr.Load (space, d, addr, ofs) ->
-      ctx.regs.(d) <- ctx.read space (v addr + ofs);
+      ctx.regs.(d) <- read ctx space (v addr + ofs);
       Next
   | Instr.Store (space, addr, value, ofs) ->
-      ctx.write space (v addr + ofs) (v value);
+      write ctx space (v addr + ofs) (v value);
       Next
   | Instr.Jump t -> Goto t
   | Instr.Jump_if (c, t) -> if v c <> 0 then Goto t else Next

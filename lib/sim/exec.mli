@@ -4,18 +4,25 @@
     module only computes values and memory effects, which makes the
     semantics unit-testable in isolation and keeps transforms verifiable:
     a RegMutex-transformed program must produce the same {!outcome}
-    sequence and stores as the original. *)
+    sequence and stores as the original.
+
+    A context is built once per warp slot and reused across launches (the
+    SM rebinds the mutable [ctaid]/[shared] fields when a new CTA lands in
+    the slot), so the per-issue path allocates nothing: memory dispatch is
+    direct on the context fields rather than through per-warp closures. *)
 
 type ctx = {
-  regs : int array;
+  regs : int array;    (** the warp's register-file row (shared with the SM) *)
   params : int array;
-  tid : int;     (** linear thread id of the warp's first lane *)
-  ctaid : int;
-  ntid : int;    (** threads per CTA *)
-  nctaid : int;  (** CTAs in the grid *)
-  warp_id : int; (** warp index within the CTA *)
-  read : Gpu_isa.Instr.space -> int -> int;
-  write : Gpu_isa.Instr.space -> int -> int -> unit;
+  tid : int;           (** linear thread id of the warp's first lane *)
+  mutable ctaid : int; (** rebound at each CTA launch into the slot *)
+  ntid : int;          (** threads per CTA *)
+  nctaid : int;        (** CTAs in the grid *)
+  warp_id : int;       (** warp index within the CTA (fixed per slot) *)
+  mutable shared : int array;  (** the resident CTA's shared memory *)
+  memory : Memory.t;
+  stats : Stats.t;     (** shared-memory wrap counting, store recording *)
+  record_stores : bool;
 }
 
 type outcome =
@@ -30,5 +37,7 @@ val operand : ctx -> Gpu_isa.Instr.operand -> int
 
 (** Evaluate the instruction: performs register writes and memory effects,
     returns the control outcome. Division and remainder by zero yield 0;
-    shift counts are masked to 5 bits (32-bit GPU semantics). *)
+    shift counts are masked to 5 bits (32-bit GPU semantics). Shared
+    accesses outside the CTA's allocation wrap and bump
+    [stats.shared_oob]. *)
 val step : ctx -> Gpu_isa.Instr.t -> outcome

@@ -153,18 +153,25 @@ let run ?observe ?(observe_every = 1) config kernel =
   let retired () = stats.Stats.ctas_retired in
   while retired () < grid && !cycle < config.max_cycles do
     (* CTA dispatch: at most one launch per SM per cycle, round robin over
-       SMs so early SMs do not monopolise the grid. *)
-    Array.iter
-      (fun sm ->
-        if !next_cta < grid && Sm.try_launch sm ~global_cta:!next_cta ~cycle:!cycle
-        then incr next_cta)
-      sms;
+       SMs so early SMs do not monopolise the grid. The per-SM loops are
+       plain [for]s: closures here would be allocated every simulated
+       cycle. *)
+    for i = 0 to n_sms - 1 do
+      if !next_cta < grid && Sm.try_launch sms.(i) ~global_cta:!next_cta ~cycle:!cycle
+      then incr next_cta
+    done;
     let instrs_before = stats.Stats.instructions in
-    Array.iter (fun sm -> Sm.step sm ~cycle:!cycle) sms;
+    for i = 0 to n_sms - 1 do
+      Sm.step sms.(i) ~cycle:!cycle
+    done;
     (match observe with
     | Some f when !cycle mod observe_every = 0 -> f ~cycle:!cycle sms
     | Some _ | None -> ());
-    let resident = Array.fold_left (fun acc sm -> acc + Sm.resident_warps sm) 0 sms in
+    let resident = ref 0 in
+    for i = 0 to n_sms - 1 do
+      resident := !resident + Sm.resident_warps sms.(i)
+    done;
+    let resident = !resident in
     stats.Stats.resident_warp_cycles <- stats.Stats.resident_warp_cycles + resident;
     stats.Stats.warp_capacity_cycles <-
       stats.Stats.warp_capacity_cycles + capacity_per_cycle;

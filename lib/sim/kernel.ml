@@ -7,9 +7,14 @@ type t = {
   params : int array;
 }
 
+let check_program program =
+  if program.Gpu_isa.Program.n_regs < 1 then
+    invalid_arg "Kernel.make: program references no registers (n_regs = 0)"
+
 let make ?(shmem_bytes = 0) ?(params = [||]) ~name ~grid_ctas ~cta_threads program =
   if grid_ctas <= 0 then invalid_arg "Kernel.make: empty grid";
   if cta_threads <= 0 then invalid_arg "Kernel.make: empty CTA";
+  check_program program;
   { name; program; grid_ctas; cta_threads; shmem_bytes; params }
 
 let regs_per_thread t = t.program.Gpu_isa.Program.n_regs
@@ -24,4 +29,6 @@ let demand t =
     cta_threads = t.cta_threads;
   }
 
-let with_program t program = { t with program }
+let with_program t program =
+  check_program program;
+  { t with program }

@@ -9,6 +9,11 @@ type t = {
   params : int array;  (** launch parameters, read via [Param i] operands *)
 }
 
+(** @raise Invalid_argument on an empty grid or CTA, or a program that
+    references no registers ([n_regs = 0] — the simulator sizes per-warp
+    register rows and scoreboards from [n_regs], so a register-less
+    program would silently get a phantom register instead of failing
+    loudly at launch). *)
 val make :
   ?shmem_bytes:int ->
   ?params:int array ->

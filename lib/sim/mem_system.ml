@@ -42,7 +42,7 @@ let next_completion t ~sm = t.slots.(sm).(t.min_slot.(sm))
 
 let issue_global t ~sm ~cycle =
   match find_slot t ~sm ~cycle with
-  | None -> invalid_arg "Mem_system.issue_global: no free slot"
+  | None -> `No_slot
   | Some i ->
       let start = Float.max (float_of_int cycle) t.dram_free in
       let completion = int_of_float (Float.ceil start) + t.lat_global in
@@ -51,7 +51,7 @@ let issue_global t ~sm ~cycle =
       refresh_min_slot t ~sm;
       t.issued <- t.issued + 1;
       t.total_latency <- t.total_latency + (completion - cycle);
-      completion
+      `Completion completion
 
 let busy_slots t ~sm ~cycle =
   Array.fold_left (fun acc b -> if b > cycle then acc + 1 else acc) 0 t.slots.(sm)

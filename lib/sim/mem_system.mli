@@ -25,10 +25,13 @@ val slot_free : t -> sm:int -> cycle:int -> bool
     the fast-forward wakeup layer jumps the clock to it. *)
 val next_completion : t -> sm:int -> int
 
-(** [issue_global t ~sm ~cycle] claims a slot and returns the completion
-    cycle. @raise Invalid_argument when no slot is free (callers must check
-    {!slot_free} first). *)
-val issue_global : t -> sm:int -> cycle:int -> int
+(** [issue_global t ~sm ~cycle] claims a slot and returns its completion
+    cycle, or [`No_slot] when every slot is busy — structured
+    back-pressure the issue stage turns into a re-stall of the warp
+    (rather than a crash), even though schedulers normally consult
+    {!slot_free} first. *)
+val issue_global :
+  t -> sm:int -> cycle:int -> [ `Completion of int | `No_slot ]
 
 (** [busy_slots t ~sm ~cycle] — how many of SM [sm]'s slots are in flight
     at [cycle]. O(slots) scan; only the telemetry probe reads it. *)

@@ -53,13 +53,7 @@ type t = {
 let duration_buckets =
   [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; 65536 |]
 
-let reason_index = function
-  | Stats.Stall_deps -> 0
-  | Stats.Stall_mem_slot -> 1
-  | Stats.Stall_acquire -> 2
-  | Stats.Stall_regs -> 3
-  | Stats.Stall_barrier -> 4
-  | Stats.Stall_empty -> 5
+let reason_index = Stats.reason_index
 
 let create (sink : Telemetry.Sink.t) ~sm_id ~n_slots ~n_cta_slots ~n_mem_slots =
   let trace = sink.Telemetry.Sink.trace in

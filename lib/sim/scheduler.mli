@@ -3,10 +3,18 @@
 
     [Gto] is GPGPU-Sim's default greedy-then-oldest policy: keep issuing
     from the current warp until it stalls, then switch to the runnable warp
-    with the smallest priority (ties broken by age, i.e. launch order).
-    [Lrr] is loose round-robin. [Two_level n] drains a fetch group of [n]
-    consecutive slots before rotating to the next group with runnable
-    warps (Narasiman et al., MICRO 2011). *)
+    with the smallest packed ordering key ([Warp.Soa.key] — policy
+    priority before age, i.e. launch order). [Lrr] is loose round-robin.
+    [Two_level n] drains a fetch group of [n] consecutive slots before
+    rotating to the next group with runnable warps (Narasiman et al.,
+    MICRO 2011).
+
+    Scheduling operates directly over the SM's structure-of-arrays warp
+    state: a candidate slot must be resident, [Ready] and past its
+    scoreboard bound ([ready_at <= cycle]) before the SM-provided residual
+    [can_issue] check (memory slots, register-policy state — the part
+    with acquire-stall side effects) runs. Per-cycle scans allocate
+    nothing. *)
 
 type kind = Gto | Lrr | Two_level of int
 
@@ -16,14 +24,23 @@ val create : kind -> id:int -> n_schedulers:int -> t
 
 val owns : t -> slot:int -> bool
 
-(** [pick t ~n_slots ~get ~can_issue ~priority] returns the warp to issue
-    from this cycle, if any. [priority] orders runnable warps before age
-    (smaller first) — OWF uses it to prefer owner warps; pass
-    [fun _ -> 0] otherwise. *)
+(** Width of the age field inside a packed ordering key; ages at or above
+    [2^age_bits] saturate to {!age_mask} rather than corrupting the
+    priority field. *)
+val age_bits : int
+
+val age_mask : int
+
+(** [pack_key ~priority ~age] packs [(priority, age)] so that integer
+    comparison of keys equals lexicographic comparison of the pairs (for
+    ages within the field width; beyond it, priority still dominates).
+    Smaller keys are scheduled first. *)
+val pack_key : priority:int -> age:int -> int
+
+(** [pick t ~soa ~cycle ~can_issue] returns the warp slot to issue from
+    this cycle, or [-1] when no owned slot can issue. [can_issue] is the
+    SM's residual eligibility check (beyond status/scoreboard, which are
+    read directly from [soa]); it may record acquire stalls, and is called
+    on candidate slots in increasing slot order exactly once per scan. *)
 val pick :
-  t ->
-  n_slots:int ->
-  get:(int -> Warp.t option) ->
-  can_issue:(Warp.t -> bool) ->
-  priority:(Warp.t -> int) ->
-  Warp.t option
+  t -> soa:Warp.Soa.t -> cycle:int -> can_issue:(int -> bool) -> int

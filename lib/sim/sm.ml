@@ -4,6 +4,7 @@ module Regset = Gpu_isa.Regset
 module Arch_config = Gpu_uarch.Arch_config
 module Srp = Gpu_uarch.Srp
 module Srp_paired = Gpu_uarch.Srp_paired
+module Soa = Warp.Soa
 
 exception Verification_failure of string
 
@@ -36,13 +37,32 @@ type t = {
   cta_capacity : int;
   srp_sections : int;
   ctas : cta_state option array;
-  warps : Warp.t option array;
+  (* Hot per-warp state lives structure-of-arrays: the schedulers and the
+     issue stage index packed int arrays by warp slot instead of chasing
+     one boxed record per warp. *)
+  soa : Soa.t;
+  (* One execution context per warp slot, built once and rebound (ctaid,
+     shared memory) at each CTA launch — the issue path allocates no
+     context or closures. *)
+  ctxs : Exec.ctx array;
   schedulers : Scheduler.t array;
   pstate : pstate;
   (* Per-PC precomputation. *)
   latency : int array;           (* result latency for non-global instrs *)
   touches_ext : bool array;      (* any referenced register has index >= bs *)
   rfv_live : int array;          (* RFV: physical packs demanded at each pc *)
+  def_reg : int array;           (* destination register, -1 none, -2 invalid *)
+  pc_regs : int array array;     (* registers read or written, ascending *)
+  is_global : bool array;        (* occupies a global-memory slot at issue *)
+  is_acquire : bool array;
+  max_rank : int;
+      (* highest [rank_block] value the policy can produce; bounds the
+         early exit in [classify_idle] *)
+  mutable state_gen : int;
+      (* bumped on every launch and issue — the only operations that change
+         warp statuses or ages — so derived scans can be memoized *)
+  mutable oldest_gen : int;
+  mutable oldest_cache : int;
   mutable resident_ctas : int;
   mutable resident_warps : int;
   mutable retired : int;
@@ -139,6 +159,42 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     | Policy.Static _ | Policy.Srp _ | Policy.Srp_paired _ | Policy.Owf _ ->
         Array.make n 0
   in
+  let def_reg =
+    Array.map
+      (fun i ->
+        match Regset.to_list (Instr.defs i) with
+        | [] -> -1
+        | [ d ] -> d
+        | _ :: _ :: _ -> -2)
+      instrs
+  in
+  let pc_regs =
+    Array.map (fun i -> Array.of_list (Regset.to_list (Instr.regs i))) instrs
+  in
+  let is_global =
+    Array.map (fun i -> Instr.lat_class i = Instr.Lat_global) instrs
+  in
+  let is_acquire =
+    Array.map (fun i -> match i with Instr.Acquire -> true | _ -> false) instrs
+  in
+  let n_slots = max (cta_capacity * wpc) 1 in
+  let soa = Soa.create ~n_slots ~n_regs:(max prog.Program.n_regs 1) in
+  let ctxs =
+    Array.init n_slots (fun slot ->
+        {
+          Exec.regs = soa.Soa.regs.(slot);
+          params = kernel.Kernel.params;
+          tid = slot mod wpc * cfg.warp_size;
+          ctaid = -1;
+          ntid = kernel.Kernel.cta_threads;
+          nctaid = kernel.Kernel.grid_ctas;
+          warp_id = slot mod wpc;
+          shared = [||];
+          memory;
+          stats;
+          record_stores;
+        })
+  in
   {
     cfg;
     sm_id;
@@ -152,7 +208,8 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     cta_capacity;
     srp_sections;
     ctas = Array.make (max cta_capacity 1) None;
-    warps = Array.make (max (cta_capacity * wpc) 1) None;
+    soa;
+    ctxs;
     schedulers =
       (let kind =
          match cfg.Arch_config.scheduler with
@@ -166,6 +223,18 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     latency;
     touches_ext;
     rfv_live;
+    def_reg;
+    pc_regs;
+    is_global;
+    is_acquire;
+    max_rank =
+      (match pstate with
+      | Ps_rfv _ -> 5 (* Blocked_regs *)
+      | Ps_srp _ | Ps_paired _ | Ps_owf -> 4 (* Blocked_acquire *)
+      | Ps_static -> 3 (* Blocked_mem *));
+    state_gen = 0;
+    oldest_gen = -1;
+    oldest_cache = max_int;
     resident_ctas = 0;
     resident_warps = 0;
     retired = 0;
@@ -177,8 +246,8 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     probe =
       Option.map
         (fun sink ->
-          Probe.create sink ~sm_id ~n_slots:(max (cta_capacity * wpc) 1)
-            ~n_cta_slots:(max cta_capacity 1) ~n_mem_slots:cfg.mem_slots)
+          Probe.create sink ~sm_id ~n_slots ~n_cta_slots:(max cta_capacity 1)
+            ~n_mem_slots:cfg.mem_slots)
         telemetry;
     bs;
     es;
@@ -217,8 +286,19 @@ let rfv_can_admit t =
   | Ps_rfv r -> r.used + (t.warps_per_cta * t.rfv_live.(0)) <= r.capacity
   | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> true
 
+(* OWF owner warps are scheduled before age (priority 0); everything else
+   orders by age alone. Keys are maintained at the three points priority
+   can change — launch, the silent OWF acquire, and warp exit — so the
+   schedulers read them without recomputing. *)
+let launch_priority t =
+  match t.pstate with Ps_owf -> 1 | Ps_static | Ps_srp _ | Ps_paired _ | Ps_rfv _ -> 0
+
 let try_launch t ~global_cta ~cycle =
-  if t.launched_this_cycle = cycle then false
+  (* The slot scan only happens when a slot is known to exist (occupied
+     slots and resident CTAs correspond one to one), so the per-cycle
+     no-room answer is one comparison. *)
+  if t.launched_this_cycle = cycle || t.resident_ctas >= t.cta_capacity then
+    false
   else
     match free_cta_slot t with
     | None -> false
@@ -236,29 +316,33 @@ let try_launch t ~global_cta ~cycle =
           }
         in
         t.ctas.(slot) <- Some cta;
-        let n_regs = t.kernel.Kernel.program.Program.n_regs in
+        let soa = t.soa in
         for w = 0 to n_warps - 1 do
           let wslot = (slot * t.warps_per_cta) + w in
-          let warp =
-            Warp.create ~slot:wslot ~cta_slot:slot ~global_cta ~warp_in_cta:w
-              ~age:t.next_age ~n_regs
-          in
+          let age = t.next_age in
+          Soa.launch soa ~slot:wslot ~cta_slot:slot ~global_cta ~warp_in_cta:w
+            ~age;
           t.next_age <- t.next_age + 1;
           (* OWF: warps pair up within their CTA. *)
-          warp.Warp.partner <-
+          soa.Soa.partner.(wslot) <-
             (if w land 1 = 0 then
                if w + 1 < n_warps then wslot + 1 else -1
              else wslot - 1);
+          soa.Soa.key.(wslot) <-
+            Scheduler.pack_key ~priority:(launch_priority t) ~age;
           (match t.pstate with
           | Ps_rfv r ->
-              warp.Warp.rfv_alloc <- t.rfv_live.(0);
+              soa.Soa.rfv_alloc.(wslot) <- t.rfv_live.(0);
               r.used <- r.used + t.rfv_live.(0)
           | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> ());
-          t.warps.(wslot) <- Some warp
+          let ctx = t.ctxs.(wslot) in
+          ctx.Exec.ctaid <- global_cta;
+          ctx.Exec.shared <- cta.shared
         done;
         t.resident_ctas <- t.resident_ctas + 1;
         t.resident_warps <- t.resident_warps + n_warps;
         t.launched_this_cycle <- cycle;
+        t.state_gen <- t.state_gen + 1;
         emit t ~cycle (Event_trace.Cta_launched { sm = t.sm_id; cta = global_cta });
         (match t.probe with
         | Some p ->
@@ -278,56 +362,13 @@ let retire_cta t ~cycle cta =
   | Some p -> Probe.cta_retire p ~cycle ~cta_slot:cta.cta_slot
   | None -> ());
   for w = 0 to cta.n_warps - 1 do
-    t.warps.((cta.cta_slot * t.warps_per_cta) + w) <- None
+    Soa.retire t.soa ~slot:((cta.cta_slot * t.warps_per_cta) + w)
   done;
   t.ctas.(cta.cta_slot) <- None;
   t.resident_ctas <- t.resident_ctas - 1;
   t.resident_warps <- t.resident_warps - cta.n_warps;
   t.retired <- t.retired + 1;
   t.stats.Stats.ctas_retired <- t.stats.Stats.ctas_retired + 1
-
-(* --- execution context --------------------------------------------- *)
-
-let shared_ref t (warp : Warp.t) =
-  match t.ctas.(warp.Warp.cta_slot) with
-  | Some cta -> cta.shared
-  | None -> invalid_arg "Sm: warp without a CTA"
-
-let make_ctx t (warp : Warp.t) =
-  let shared = shared_ref t warp in
-  let shared_words = Array.length shared in
-  (* Out-of-bounds shared accesses wrap (real hardware would fault or read
-     a neighbour's bank); the wrap is counted so workloads exercising it
-     are visible in the statistics rather than silently absorbed. *)
-  let shared_index addr =
-    if addr < 0 || addr >= shared_words then
-      t.stats.Stats.shared_oob <- t.stats.Stats.shared_oob + 1;
-    ((addr mod shared_words) + shared_words) mod shared_words
-  in
-  let read space addr =
-    match space with
-    | Instr.Global -> Memory.read_global t.memory addr
-    | Instr.Shared -> shared.(shared_index addr)
-  in
-  let write space addr v =
-    if t.record_stores then
-      Stats.record_store t.stats ~cta:warp.Warp.global_cta ~warp:warp.Warp.warp_in_cta
-        space addr v;
-    match space with
-    | Instr.Global -> Memory.write_global t.memory addr v
-    | Instr.Shared -> shared.(shared_index addr) <- v
-  in
-  {
-    Exec.regs = warp.Warp.regs;
-    params = t.kernel.Kernel.params;
-    tid = warp.Warp.warp_in_cta * t.cfg.warp_size;
-    ctaid = warp.Warp.global_cta;
-    ntid = t.kernel.Kernel.cta_threads;
-    nctaid = t.kernel.Kernel.grid_ctas;
-    warp_id = warp.Warp.warp_in_cta;
-    read;
-    write;
-  }
 
 (* --- issue eligibility ---------------------------------------------- *)
 
@@ -342,122 +383,130 @@ type block_reason =
 
 (* RFV: the next instruction's demand, given this instruction's outcome.
    Branch conditions are evaluated without side effects. *)
-let rfv_peek_next t (warp : Warp.t) instr =
-  let pc = warp.Warp.pc in
+let rfv_peek_next t ~slot instr =
+  let pc = t.soa.Soa.pc.(slot) in
   match instr with
   | Instr.Jump tgt -> tgt
   | Instr.Jump_if (c, tgt) ->
-      let ctx = make_ctx t warp in
-      if Exec.operand ctx c <> 0 then tgt else pc + 1
+      if Exec.operand t.ctxs.(slot) c <> 0 then tgt else pc + 1
   | Instr.Jump_ifz (c, tgt) ->
-      let ctx = make_ctx t warp in
-      if Exec.operand ctx c = 0 then tgt else pc + 1
+      if Exec.operand t.ctxs.(slot) c = 0 then tgt else pc + 1
   | Instr.Exit -> pc
   | _ -> pc + 1
 
 (* Forward-progress anchor for RFV: the oldest warp that could actually
    issue (barrier-parked warps are waiting on others and must not anchor
-   the override, or a register-starved CTA deadlocks against it). *)
+   the override, or a register-starved CTA deadlocks against it). The
+   answer depends only on statuses and ages, which change solely at
+   launches and issues, so it is memoized on [state_gen] — a scheduler
+   scan under register pressure probes many candidates per cycle and pays
+   the O(slots) sweep once instead of per candidate. *)
 let oldest_ready_age t =
-  Array.fold_left
-    (fun acc w ->
-      match w with
-      | Some w when w.Warp.status = Warp.Ready -> min acc w.Warp.age
-      | Some _ | None -> acc)
-    max_int t.warps
+  if t.oldest_gen = t.state_gen then t.oldest_cache
+  else begin
+    let soa = t.soa in
+    let acc = ref max_int in
+    for slot = 0 to soa.Soa.n_slots - 1 do
+      if soa.Soa.status.(slot) = Soa.st_ready && soa.Soa.age.(slot) < !acc then
+        acc := soa.Soa.age.(slot)
+    done;
+    t.oldest_gen <- t.state_gen;
+    t.oldest_cache <- !acc;
+    !acc
+  end
 
-(* [check_warp] answers "can this warp issue right now, and if not, why?".
-   With [~probe:true] the answer is computed without side effects. The
-   default (an actual issue attempt by the warp's scheduler) records
-   acquire stalls: the flag feeds the first-try statistic and the
-   [Acquire_stalled] trace event marks the start of a stall episode. *)
-let check_warp ?(probe = false) t (warp : Warp.t) ~cycle =
-  match warp.Warp.status with
-  | Warp.Done -> Blocked_done
-  | Warp.At_barrier -> Blocked_barrier
-  | Warp.Ready ->
-      let pc = warp.Warp.pc in
-      let instr = t.instrs.(pc) in
-      (* [ready_at] is the maintained max over the instruction's registers
-         of [reg_ready] (refreshed at every pc move), so the scoreboard
-         check is one comparison instead of a register-set scan. *)
-      if warp.Warp.ready_at > cycle then Blocked_deps
-      else
-        let mem_ok =
-          match Instr.lat_class instr with
-          | Instr.Lat_global -> Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle
-          | Instr.Lat_alu | Instr.Lat_complex | Instr.Lat_shared | Instr.Lat_control ->
-              true
-        in
-        if not mem_ok then Blocked_mem
+(* A failed acquire attempt marks the start (or continuation) of a stall
+   episode: the flag feeds the first-try statistic, and the transition
+   into it emits the [Acquire_stalled] trace event. *)
+let note_acquire_stall t ~slot ~cycle =
+  let soa = t.soa in
+  if soa.Soa.acquire_stalled.(slot) = 0 then
+    emit t ~cycle
+      (Event_trace.Acquire_stalled
+         { sm = t.sm_id; cta = soa.Soa.global_cta.(slot);
+           warp = soa.Soa.warp_in_cta.(slot) });
+  soa.Soa.acquire_stalled.(slot) <- 1
+
+(* [check_ready] is the issue-eligibility residual for a warp that already
+   passed the slot-local prefix (resident, [Ready], scoreboard clear):
+   structural memory slots, then policy state. With [~probe:true] the
+   answer is computed without side effects; the default (an actual issue
+   attempt by the warp's scheduler) records acquire stalls.
+
+   [mem_free] is [Mem_system.slot_free] evaluated once by the caller: a
+   scheduler scan (or classification sweep) issues nothing, so the answer
+   cannot change between the candidates of one scan — hoisting it turns a
+   per-candidate cross-module call into an argument read. *)
+let check_ready ~probe t ~mem_free ~slot ~cycle =
+  let soa = t.soa in
+  let pc = soa.Soa.pc.(slot) in
+  if t.is_global.(pc) && not mem_free then Blocked_mem
+  else if t.is_acquire.(pc) then begin
+    match t.pstate with
+    | Ps_srp srp ->
+        if Srp.holds srp ~warp:slot <> None || Srp.free_sections srp > 0 then
+          Can_issue
         else begin
-          match instr with
-          | Instr.Acquire -> (
-              match t.pstate with
-              | Ps_srp srp ->
-                  if
-                    Srp.holds srp ~warp:warp.Warp.slot <> None
-                    || Srp.free_sections srp > 0
-                  then Can_issue
-                  else begin
-                    if not probe then begin
-                      if not warp.Warp.acquire_stalled then
-                        emit t ~cycle
-                          (Event_trace.Acquire_stalled
-                             { sm = t.sm_id; cta = warp.Warp.global_cta;
-                               warp = warp.Warp.warp_in_cta });
-                      warp.Warp.acquire_stalled <- true
-                    end;
-                    Blocked_acquire
-                  end
-              | Ps_paired srp ->
-                  if Srp_paired.available srp ~warp:warp.Warp.slot then Can_issue
-                  else begin
-                    if not probe then begin
-                      if not warp.Warp.acquire_stalled then
-                        emit t ~cycle
-                          (Event_trace.Acquire_stalled
-                             { sm = t.sm_id; cta = warp.Warp.global_cta;
-                               warp = warp.Warp.warp_in_cta });
-                      warp.Warp.acquire_stalled <- true
-                    end;
-                    Blocked_acquire
-                  end
-              | Ps_static | Ps_owf | Ps_rfv _ -> Can_issue)
-          | _ -> (
-              match t.pstate with
-              | Ps_owf when t.touches_ext.(pc) && not warp.Warp.owns_ext ->
-                  (* First extended access acquires the pair's registers for
-                     the rest of the warp's life; blocked while the partner
-                     owns them. *)
-                  (* A partner parked at a barrier cannot finish until this
-                     warp arrives too; blocking here would deadlock the CTA,
-                     so ownership is ceded (the one concession the
-                     no-in-kernel-release design needs to run barrier
-                     kernels). *)
-                  let partner_owns =
-                    warp.Warp.partner >= 0
-                    &&
-                    match t.warps.(warp.Warp.partner) with
-                    | Some p -> p.Warp.owns_ext && p.Warp.status = Warp.Ready
-                    | None -> false
-                  in
-                  if partner_owns then begin
-                    if not probe then warp.Warp.acquire_stalled <- true;
-                    Blocked_acquire
-                  end
-                  else Can_issue
-              | Ps_rfv r ->
-                  let next = rfv_peek_next t warp instr in
-                  let delta = t.rfv_live.(next) - warp.Warp.rfv_alloc in
-                  if
-                    delta <= 0
-                    || r.used + delta <= r.capacity
-                    || warp.Warp.age = oldest_ready_age t
-                  then Can_issue
-                  else Blocked_regs
-              | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> Can_issue)
+          if not probe then note_acquire_stall t ~slot ~cycle;
+          Blocked_acquire
         end
+    | Ps_paired srp ->
+        if Srp_paired.available srp ~warp:slot then Can_issue
+        else begin
+          if not probe then note_acquire_stall t ~slot ~cycle;
+          Blocked_acquire
+        end
+    | Ps_static | Ps_owf | Ps_rfv _ -> Can_issue
+  end
+  else begin
+    match t.pstate with
+    | Ps_owf when t.touches_ext.(pc) && soa.Soa.owns_ext.(slot) = 0 ->
+        (* First extended access acquires the pair's registers for the
+           rest of the warp's life; blocked while the partner owns them. *)
+        (* A partner parked at a barrier cannot finish until this warp
+           arrives too; blocking here would deadlock the CTA, so ownership
+           is ceded (the one concession the no-in-kernel-release design
+           needs to run barrier kernels). *)
+        let partner = soa.Soa.partner.(slot) in
+        let partner_owns =
+          partner >= 0
+          && soa.Soa.owns_ext.(partner) = 1
+          && soa.Soa.status.(partner) = Soa.st_ready
+        in
+        if partner_owns then begin
+          if not probe then soa.Soa.acquire_stalled.(slot) <- 1;
+          Blocked_acquire
+        end
+        else Can_issue
+    | Ps_rfv r ->
+        let next = rfv_peek_next t ~slot t.instrs.(pc) in
+        let delta = t.rfv_live.(next) - soa.Soa.rfv_alloc.(slot) in
+        if
+          delta <= 0
+          || r.used + delta <= r.capacity
+          || soa.Soa.age.(slot) = oldest_ready_age t
+        then Can_issue
+        else Blocked_regs
+    | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> Can_issue
+  end
+
+(* [check_warp] answers "can this warp issue right now, and if not, why?"
+   for any resident warp — the status/scoreboard prefix plus
+   {!check_ready}. The issue path never calls this (the schedulers read
+   the prefix straight off the SoA arrays); it serves the idle
+   classification and diagnostics. *)
+let check_warp ?(probe = false) t ~mem_free ~slot ~cycle =
+  let soa = t.soa in
+  let st = soa.Soa.status.(slot) in
+  if st = Soa.st_done || st = Soa.st_absent then Blocked_done
+  else if st = Soa.st_barrier then Blocked_barrier
+  else if
+    (* [ready_at] is the maintained max over the instruction's registers
+       of [reg_ready] (refreshed at every pc move), so the scoreboard
+       check is one comparison instead of a register-set scan. *)
+    soa.Soa.ready_at.(slot) > cycle
+  then Blocked_deps
+  else check_ready ~probe t ~mem_free ~slot ~cycle
 
 (* --- barrier handling ------------------------------------------------ *)
 
@@ -465,17 +514,17 @@ let maybe_release_barrier t ~cycle cta =
   if cta.running > 0 && cta.arrived = cta.running then begin
     cta.arrived <- 0;
     emit t ~cycle (Event_trace.Barrier_released { sm = t.sm_id; cta = cta.global_cta });
+    let soa = t.soa in
     for w = 0 to cta.n_warps - 1 do
-      match t.warps.((cta.cta_slot * t.warps_per_cta) + w) with
-      | Some warp when warp.Warp.status = Warp.At_barrier ->
-          warp.Warp.status <- Warp.Ready
-      | Some _ | None -> ()
+      let slot = (cta.cta_slot * t.warps_per_cta) + w in
+      if soa.Soa.status.(slot) = Soa.st_barrier then
+        soa.Soa.status.(slot) <- Soa.st_ready
     done
   end
 
 (* --- issue ----------------------------------------------------------- *)
 
-let verify_access t (warp : Warp.t) pc =
+let verify_access t ~slot pc =
   if t.verify && t.touches_ext.(pc) then begin
     let rs = Instr.regs t.instrs.(pc) in
     let top = Regset.max_elt rs in
@@ -486,10 +535,10 @@ let verify_access t (warp : Warp.t) pc =
               (t.bs + t.es)));
     let section =
       match t.pstate with
-      | Ps_srp srp -> Srp.holds srp ~warp:warp.Warp.slot
+      | Ps_srp srp -> Srp.holds srp ~warp:slot
       | Ps_paired srp ->
-          if Srp_paired.holds srp ~warp:warp.Warp.slot then
-            Some (Srp_paired.pair_of_warp ~warp:warp.Warp.slot)
+          if Srp_paired.holds srp ~warp:slot then
+            Some (Srp_paired.pair_of_warp ~warp:slot)
           else None
       | Ps_static | Ps_owf | Ps_rfv _ -> Some 0
     in
@@ -502,14 +551,12 @@ let verify_access t (warp : Warp.t) pc =
         es = t.es;
         srp_offset =
           Gpu_uarch.Reg_mapping.srp_offset_for ~bs:t.bs
-            ~resident_warps:(Array.length t.warps);
+            ~resident_warps:t.soa.Soa.n_slots;
       }
     in
     Regset.iter
       (fun x ->
-        match
-          Gpu_uarch.Reg_mapping.regmutex mapping ~widx:warp.Warp.slot ~section ~x
-        with
+        match Gpu_uarch.Reg_mapping.regmutex mapping ~widx:slot ~section ~x with
         | Ok _ -> ()
         | Error e ->
             raise
@@ -519,12 +566,12 @@ let verify_access t (warp : Warp.t) pc =
       rs
   end
 
-let rfv_move t (warp : Warp.t) ~next_pc =
+let rfv_move t ~slot ~next_pc =
   match t.pstate with
   | Ps_rfv r ->
       let demand = t.rfv_live.(next_pc) in
-      r.used <- r.used + demand - warp.Warp.rfv_alloc;
-      warp.Warp.rfv_alloc <- demand
+      r.used <- r.used + demand - t.soa.Soa.rfv_alloc.(slot);
+      t.soa.Soa.rfv_alloc.(slot) <- demand
   | Ps_static | Ps_srp _ | Ps_paired _ | Ps_owf -> ()
 
 (* On a successful release the physical extended set goes back to the SRP
@@ -537,197 +584,240 @@ let rfv_move t (warp : Warp.t) ~next_pc =
    extended register is live at a release point. *)
 let release_poison = 0xDEAD_BEEF
 
-let poison_ext t (warp : Warp.t) =
-  for r = t.bs to Array.length warp.Warp.regs - 1 do
-    warp.Warp.regs.(r) <- release_poison
+let poison_ext t ~slot =
+  let regs = t.soa.Soa.regs.(slot) in
+  for r = t.bs to Array.length regs - 1 do
+    regs.(r) <- release_poison
   done
 
-let warp_done t ~cycle (warp : Warp.t) cta =
-  warp.Warp.status <- Warp.Done;
+let warp_done t ~cycle ~slot cta =
+  let soa = t.soa in
+  soa.Soa.status.(slot) <- Soa.st_done;
   emit t ~cycle
     (Event_trace.Warp_exited
-       { sm = t.sm_id; cta = warp.Warp.global_cta; warp = warp.Warp.warp_in_cta });
-  Stats.record_warp_done t.stats ~cta:warp.Warp.global_cta
-    ~warp:warp.Warp.warp_in_cta ~instructions:warp.Warp.issued;
+       { sm = t.sm_id; cta = soa.Soa.global_cta.(slot);
+         warp = soa.Soa.warp_in_cta.(slot) });
+  Stats.record_warp_done t.stats ~cta:soa.Soa.global_cta.(slot)
+    ~warp:soa.Soa.warp_in_cta.(slot) ~instructions:soa.Soa.issued.(slot);
   cta.running <- cta.running - 1;
   (match t.probe with
   | Some p ->
-      Probe.hold_end p ~cycle ~slot:warp.Warp.slot;
-      Probe.warp_close p ~cycle ~slot:warp.Warp.slot
+      Probe.hold_end p ~cycle ~slot;
+      Probe.warp_close p ~cycle ~slot
   | None -> ());
   (match t.pstate with
   | Ps_srp srp -> (
-      match Srp.reset_warp srp ~warp:warp.Warp.slot with
+      match Srp.reset_warp srp ~warp:slot with
       | Some _ -> (
           match t.probe with
           | Some p -> Probe.srp_sample p ~cycle ~in_use:(Srp.in_use srp)
           | None -> ())
       | None -> ())
   | Ps_paired srp ->
-      if Srp_paired.reset_warp srp ~warp:warp.Warp.slot then (
+      if Srp_paired.reset_warp srp ~warp:slot then (
         match t.probe with
         | Some p -> Probe.srp_sample p ~cycle ~in_use:(Srp_paired.in_use srp)
         | None -> ())
-  | Ps_owf -> warp.Warp.owns_ext <- false
+  | Ps_owf -> soa.Soa.owns_ext.(slot) <- 0
   | Ps_rfv r ->
-      r.used <- r.used - warp.Warp.rfv_alloc;
-      warp.Warp.rfv_alloc <- 0
+      r.used <- r.used - soa.Soa.rfv_alloc.(slot);
+      soa.Soa.rfv_alloc.(slot) <- 0
   | Ps_static -> ());
-  warp.Warp.acquired_at <- -1;
+  soa.Soa.acquired_at.(slot) <- -1;
   if cta.running = 0 then retire_cta t ~cycle cta else maybe_release_barrier t ~cycle cta
 
-let issue t (warp : Warp.t) ~cycle =
-  let pc = warp.Warp.pc in
+let advance t ~slot ~next =
+  rfv_move t ~slot ~next_pc:next;
+  t.soa.Soa.pc.(slot) <- next;
+  Soa.refresh_ready_at t.soa ~slot ~touched:t.pc_regs.(next)
+
+let mem_sample t ~cycle ~completion =
+  match t.probe with
+  | Some p -> Probe.mem_issue p ~cycle ~completion
+  | None -> ()
+
+let granted t ~cycle ~slot ~section ~in_use =
+  emit t ~cycle
+    (Event_trace.Acquire_granted
+       { sm = t.sm_id; cta = t.soa.Soa.global_cta.(slot);
+         warp = t.soa.Soa.warp_in_cta.(slot); section });
+  t.soa.Soa.acquired_at.(slot) <- cycle;
+  match t.probe with
+  | Some p ->
+      Probe.hold_begin p ~cycle ~slot ~section;
+      Probe.srp_sample p ~cycle ~in_use
+  | None -> ()
+
+let released t ~cycle ~slot ~section ~in_use =
+  emit t ~cycle
+    (Event_trace.Release
+       { sm = t.sm_id; cta = t.soa.Soa.global_cta.(slot);
+         warp = t.soa.Soa.warp_in_cta.(slot); section });
+  t.soa.Soa.acquired_at.(slot) <- -1;
+  (match t.probe with
+  | Some p ->
+      Probe.hold_end p ~cycle ~slot;
+      Probe.srp_sample p ~cycle ~in_use
+  | None -> ());
+  t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
+  poison_ext t ~slot
+
+let multi_def_error t ~slot ~pc =
+  let section_state =
+    match t.pstate with
+    | Ps_srp srp ->
+        Printf.sprintf "srp: holds=%s, %d/%d sections in use"
+          (match Srp.holds srp ~warp:slot with
+          | Some s -> string_of_int s
+          | None -> "-")
+          (Srp.in_use srp) (Srp.n_sections srp)
+    | Ps_paired srp ->
+        Printf.sprintf "paired: holds=%b, %d/%d pairs in use"
+          (Srp_paired.holds srp ~warp:slot)
+          (Srp_paired.in_use srp) (Srp_paired.n_pairs srp)
+    | Ps_owf -> Printf.sprintf "owf: owns_ext=%d" t.soa.Soa.owns_ext.(slot)
+    | Ps_rfv r -> Printf.sprintf "rfv: %d/%d packs used" r.used r.capacity
+    | Ps_static -> "static"
+  in
+  invalid_arg
+    (Printf.sprintf
+       "Sm.issue: instruction with multiple destination registers — SM %d, \
+        CTA %d, warp %d (slot %d), pc %d: %s [%s]"
+       t.sm_id t.soa.Soa.global_cta.(slot) t.soa.Soa.warp_in_cta.(slot) slot pc
+       (Instr.to_string t.instrs.(pc))
+       section_state)
+
+(* [issue] executes the warp's current instruction; returns [false] when a
+   global access found every memory slot busy at the claim stage (the warp
+   is re-stalled untouched and retries when a slot frees — structured
+   back-pressure instead of a crash). *)
+let issue t ~slot ~cycle =
+  let soa = t.soa in
+  let pc = soa.Soa.pc.(slot) in
   let instr = t.instrs.(pc) in
   let cta =
-    match t.ctas.(warp.Warp.cta_slot) with
+    match t.ctas.(soa.Soa.cta_slot.(slot)) with
     | Some c -> c
     | None -> invalid_arg "Sm.issue: orphan warp"
   in
-  verify_access t warp pc;
-  (* OWF: silent one-time acquire at the first extended access. *)
-  (match t.pstate with
-  | Ps_owf when t.touches_ext.(pc) && not warp.Warp.owns_ext ->
-      warp.Warp.owns_ext <- true;
-      warp.Warp.acquired_at <- cycle;
-      (match t.probe with
-      | Some p ->
-          Probe.hold_begin p ~cycle ~slot:warp.Warp.slot
-            ~section:(warp.Warp.slot / 2)
-      | None -> ());
-      t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
-      if not warp.Warp.acquire_stalled then
-        t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
-      warp.Warp.acquire_stalled <- false
-  | Ps_owf | Ps_static | Ps_srp _ | Ps_paired _ | Ps_rfv _ -> ());
-  if t.trace_warp0 && warp.Warp.global_cta = 0 && warp.Warp.warp_in_cta = 0 then
-    t.stats.Stats.pc_trace <- pc :: t.stats.Stats.pc_trace;
-  let ctx = make_ctx t warp in
-  let outcome = Exec.step ctx instr in
-  t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
-  warp.Warp.issued <- warp.Warp.issued + 1;
-  (* Timing: set the destination's ready cycle. *)
-  let mem_sample completion =
-    match t.probe with
-    | Some p -> Probe.mem_issue p ~cycle ~completion
-    | None -> ()
+  verify_access t ~slot pc;
+  (* Global accesses claim their memory slot before any architectural
+     state changes, so a [`No_slot] answer leaves nothing to undo. The
+     completion cycle depends only on the clock and DRAM horizon, never on
+     this instruction's execution. *)
+  let completion =
+    if not t.is_global.(pc) then 0
+    else
+      match Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle with
+      | `Completion c -> c
+      | `No_slot -> -1
   in
-  (match Instr.defs instr |> Regset.to_list with
-  | [ d ] ->
+  if completion < 0 then false
+  else begin
+    t.state_gen <- t.state_gen + 1;
+    (* OWF: silent one-time acquire at the first extended access. *)
+    (match t.pstate with
+    | Ps_owf when t.touches_ext.(pc) && soa.Soa.owns_ext.(slot) = 0 ->
+        soa.Soa.owns_ext.(slot) <- 1;
+        soa.Soa.acquired_at.(slot) <- cycle;
+        soa.Soa.key.(slot) <-
+          Scheduler.pack_key ~priority:0 ~age:soa.Soa.age.(slot);
+        (match t.probe with
+        | Some p -> Probe.hold_begin p ~cycle ~slot ~section:(slot / 2)
+        | None -> ());
+        t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
+        if soa.Soa.acquire_stalled.(slot) = 0 then
+          t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
+        soa.Soa.acquire_stalled.(slot) <- 0
+    | Ps_owf | Ps_static | Ps_srp _ | Ps_paired _ | Ps_rfv _ -> ());
+    if
+      t.trace_warp0
+      && soa.Soa.global_cta.(slot) = 0
+      && soa.Soa.warp_in_cta.(slot) = 0
+    then t.stats.Stats.pc_trace <- pc :: t.stats.Stats.pc_trace;
+    let outcome = Exec.step t.ctxs.(slot) instr in
+    t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
+    soa.Soa.issued.(slot) <- soa.Soa.issued.(slot) + 1;
+    (* Timing: set the destination's ready cycle. *)
+    let d = t.def_reg.(pc) in
+    if d >= 0 then begin
       let ready =
-        match Instr.lat_class instr with
-        | Instr.Lat_global ->
-            let completion = Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle in
-            mem_sample completion;
-            completion
-        | Instr.Lat_alu | Instr.Lat_complex | Instr.Lat_shared | Instr.Lat_control ->
-            cycle + t.latency.(pc)
+        if t.is_global.(pc) then begin
+          mem_sample t ~cycle ~completion;
+          completion
+        end
+        else cycle + t.latency.(pc)
       in
-      warp.Warp.reg_ready.(d) <- ready
-  | [] ->
+      soa.Soa.reg_ready.(slot).(d) <- ready
+    end
+    else if d = -1 then begin
       (* Global stores still consume a memory slot. *)
-      (match instr with
-      | Instr.Store (Instr.Global, _, _, _) ->
-          mem_sample (Mem_system.issue_global t.mem_sys ~sm:t.sm_id ~cycle)
-      | _ -> ())
-  | _ :: _ :: _ -> assert false);
-  let advance next =
-    rfv_move t warp ~next_pc:next;
-    warp.Warp.pc <- next;
-    Warp.refresh_ready_at warp t.instrs.(next)
-  in
-  match outcome with
-  | Exec.Next -> advance (pc + 1)
-  | Exec.Goto tgt -> advance tgt
-  | Exec.Stop -> warp_done t ~cycle warp cta
-  | Exec.Sync ->
-      warp.Warp.status <- Warp.At_barrier;
-      advance (pc + 1);
-      cta.arrived <- cta.arrived + 1;
-      emit t ~cycle
-        (Event_trace.Barrier_arrived
-           { sm = t.sm_id; cta = warp.Warp.global_cta; warp = warp.Warp.warp_in_cta });
-      maybe_release_barrier t ~cycle cta
-  | Exec.Acq -> (
-      let granted_event section =
+      if t.is_global.(pc) then mem_sample t ~cycle ~completion
+    end
+    else multi_def_error t ~slot ~pc;
+    (match outcome with
+    | Exec.Next -> advance t ~slot ~next:(pc + 1)
+    | Exec.Goto tgt -> advance t ~slot ~next:tgt
+    | Exec.Stop -> warp_done t ~cycle ~slot cta
+    | Exec.Sync ->
+        soa.Soa.status.(slot) <- Soa.st_barrier;
+        advance t ~slot ~next:(pc + 1);
+        cta.arrived <- cta.arrived + 1;
         emit t ~cycle
-          (Event_trace.Acquire_granted
-             { sm = t.sm_id; cta = warp.Warp.global_cta;
-               warp = warp.Warp.warp_in_cta; section })
-      in
-      let granted_probe section in_use =
-        warp.Warp.acquired_at <- cycle;
-        match t.probe with
-        | Some p ->
-            Probe.hold_begin p ~cycle ~slot:warp.Warp.slot ~section;
-            Probe.srp_sample p ~cycle ~in_use
-        | None -> ()
-      in
-      let grant =
-        match t.pstate with
+          (Event_trace.Barrier_arrived
+             { sm = t.sm_id; cta = soa.Soa.global_cta.(slot);
+               warp = soa.Soa.warp_in_cta.(slot) });
+        maybe_release_barrier t ~cycle cta
+    | Exec.Acq -> (
+        let grant =
+          match t.pstate with
+          | Ps_srp srp -> (
+              match Srp.acquire srp ~warp:slot with
+              | Srp.Granted s ->
+                  granted t ~cycle ~slot ~section:s ~in_use:(Srp.in_use srp);
+                  true
+              | Srp.Already_held _ -> true
+              | Srp.Stall -> false)
+          | Ps_paired srp -> (
+              match Srp_paired.acquire srp ~warp:slot with
+              | Srp_paired.Granted ->
+                  granted t ~cycle ~slot
+                    ~section:(Srp_paired.pair_of_warp ~warp:slot)
+                    ~in_use:(Srp_paired.in_use srp);
+                  true
+              | Srp_paired.Already_held -> true
+              | Srp_paired.Stall -> false)
+          | Ps_static | Ps_owf | Ps_rfv _ -> true
+        in
+        match grant with
+        | true ->
+            t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
+            if soa.Soa.acquire_stalled.(slot) = 0 then
+              t.stats.Stats.acquire_first_try <-
+                t.stats.Stats.acquire_first_try + 1;
+            soa.Soa.acquire_stalled.(slot) <- 0;
+            advance t ~slot ~next:(pc + 1)
+        | false ->
+            (* Lost a same-cycle race for the last section; retry later. *)
+            soa.Soa.acquire_stalled.(slot) <- 1)
+    | Exec.Rel ->
+        (match t.pstate with
         | Ps_srp srp -> (
-            match Srp.acquire srp ~warp:warp.Warp.slot with
-            | Srp.Granted s ->
-                granted_event s;
-                granted_probe s (Srp.in_use srp);
-                true
-            | Srp.Already_held _ -> true
-            | Srp.Stall -> false)
+            match Srp.release srp ~warp:slot with
+            | Srp.Released s ->
+                released t ~cycle ~slot ~section:s ~in_use:(Srp.in_use srp)
+            | Srp.Not_held -> ())
         | Ps_paired srp -> (
-            match Srp_paired.acquire srp ~warp:warp.Warp.slot with
-            | Srp_paired.Granted ->
-                let pair = Srp_paired.pair_of_warp ~warp:warp.Warp.slot in
-                granted_event pair;
-                granted_probe pair (Srp_paired.in_use srp);
-                true
-            | Srp_paired.Already_held -> true
-            | Srp_paired.Stall -> false)
-        | Ps_static | Ps_owf | Ps_rfv _ -> true
-      in
-      match grant with
-      | true ->
-          t.stats.Stats.acquire_execs <- t.stats.Stats.acquire_execs + 1;
-          if not warp.Warp.acquire_stalled then
-            t.stats.Stats.acquire_first_try <- t.stats.Stats.acquire_first_try + 1;
-          warp.Warp.acquire_stalled <- false;
-          advance (pc + 1)
-      | false ->
-          (* Lost a same-cycle race for the last section; retry later. *)
-          warp.Warp.acquire_stalled <- true)
-  | Exec.Rel ->
-      (let released_event section =
-         emit t ~cycle
-           (Event_trace.Release
-              { sm = t.sm_id; cta = warp.Warp.global_cta;
-                warp = warp.Warp.warp_in_cta; section })
-       in
-       let released_probe in_use =
-         warp.Warp.acquired_at <- -1;
-         match t.probe with
-         | Some p ->
-             Probe.hold_end p ~cycle ~slot:warp.Warp.slot;
-             Probe.srp_sample p ~cycle ~in_use
-         | None -> ()
-       in
-       match t.pstate with
-      | Ps_srp srp -> (
-          match Srp.release srp ~warp:warp.Warp.slot with
-          | Srp.Released s ->
-              released_event s;
-              released_probe (Srp.in_use srp);
-              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
-              poison_ext t warp
-          | Srp.Not_held -> ())
-      | Ps_paired srp -> (
-          match Srp_paired.release srp ~warp:warp.Warp.slot with
-          | Srp_paired.Released ->
-              released_event (Srp_paired.pair_of_warp ~warp:warp.Warp.slot);
-              released_probe (Srp_paired.in_use srp);
-              t.stats.Stats.release_execs <- t.stats.Stats.release_execs + 1;
-              poison_ext t warp
-          | Srp_paired.Not_held -> ())
-      | Ps_static | Ps_owf | Ps_rfv _ -> ());
-      advance (pc + 1)
+            match Srp_paired.release srp ~warp:slot with
+            | Srp_paired.Released ->
+                released t ~cycle ~slot
+                  ~section:(Srp_paired.pair_of_warp ~warp:slot)
+                  ~in_use:(Srp_paired.in_use srp)
+            | Srp_paired.Not_held -> ())
+        | Ps_static | Ps_owf | Ps_rfv _ -> ());
+        advance t ~slot ~next:(pc + 1));
+    true
+  end
 
 (* --- per-cycle step --------------------------------------------------- *)
 
@@ -749,32 +839,60 @@ let stall_reason_of_block = function
 
 (* One scan over the resident warps yields both the idle classification
    (the most specific blockage, see {!classify_idle}) and the min-wakeup
-   summary: the earliest future cycle at which any warp's [check_warp]
-   answer could change. Scoreboard stalls end at the warp's [ready_at];
-   structural memory stalls end when the SM's earliest slot completes;
-   acquire, RFV-register and barrier stalls only end through another
-   warp's issue, so while the whole GPU is idle they never end — they
-   contribute no wakeup bound. Probing is side-effect free. *)
+   summary: the earliest future cycle at which any warp's issue
+   eligibility could change. Scoreboard stalls end at the warp's
+   [ready_at]; structural memory stalls end when the SM's earliest slot
+   completes; acquire, RFV-register and barrier stalls only end through
+   another warp's issue, so while the whole GPU is idle they never end —
+   they contribute no wakeup bound. Probing is side-effect free. *)
 let idle_summary t ~cycle =
+  let soa = t.soa in
   let best = ref Blocked_done in
   let wake = ref max_int in
-  Array.iter
-    (fun w ->
-      match w with
-      | Some w when w.Warp.status <> Warp.Done ->
-          let reason = check_warp ~probe:true t w ~cycle in
-          if rank_block reason > rank_block !best then best := reason;
-          (match reason with
-          | Blocked_deps -> wake := min !wake w.Warp.ready_at
-          | Blocked_mem ->
-              wake := min !wake (Mem_system.next_completion t.mem_sys ~sm:t.sm_id)
-          | Can_issue -> wake := min !wake (cycle + 1)
-          | Blocked_acquire | Blocked_regs | Blocked_barrier | Blocked_done -> ())
-      | Some _ | None -> ())
-    t.warps;
+  let mem_free = Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle in
+  for slot = 0 to soa.Soa.n_slots - 1 do
+    if soa.Soa.status.(slot) < Soa.st_done then begin
+      let reason = check_warp ~probe:true t ~mem_free ~slot ~cycle in
+      if rank_block reason > rank_block !best then best := reason;
+      match reason with
+      | Blocked_deps ->
+          if soa.Soa.ready_at.(slot) < !wake then wake := soa.Soa.ready_at.(slot)
+      | Blocked_mem ->
+          let c = Mem_system.next_completion t.mem_sys ~sm:t.sm_id in
+          if c < !wake then wake := c
+      | Can_issue -> if cycle + 1 < !wake then wake := cycle + 1
+      | Blocked_acquire | Blocked_regs | Blocked_barrier | Blocked_done -> ()
+    end
+  done;
   (stall_reason_of_block !best, !wake)
 
-let classify_idle t ~cycle = fst (idle_summary t ~cycle)
+(* Per-cycle idle attribution: only the most specific blockage is needed,
+   not the wakeup bound, and the blockage ranking is bounded by the
+   policy ([Blocked_regs] only under RFV, [Blocked_acquire] only under
+   SRP/paired/OWF) — so the scan stops as soon as the policy's top rank
+   is found instead of visiting every slot. Runs on every cycle where
+   some scheduler finds nothing to issue. *)
+let classify_idle t ~cycle =
+  let soa = t.soa in
+  let status = soa.Soa.status in
+  let best = ref Blocked_done in
+  let best_rank = ref 0 in
+  let n = soa.Soa.n_slots in
+  let mem_free = Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle in
+  let slot = ref 0 in
+  while !slot < n && !best_rank < t.max_rank do
+    let s = !slot in
+    if status.(s) < Soa.st_done then begin
+      let reason = check_warp ~probe:true t ~mem_free ~slot:s ~cycle in
+      let rk = rank_block reason in
+      if rk > !best_rank then begin
+        best_rank := rk;
+        best := reason
+      end
+    end;
+    slot := s + 1
+  done;
+  stall_reason_of_block !best
 
 (* --- diagnostics ------------------------------------------------------ *)
 
@@ -791,38 +909,40 @@ type warp_diag = {
 }
 
 let diagnose t ~cycle =
+  let soa = t.soa in
   let acc = ref [] in
-  for s = Array.length t.warps - 1 downto 0 do
-    match t.warps.(s) with
-    | Some w when w.Warp.status <> Warp.Done ->
-        let block = check_warp ~probe:true t w ~cycle in
-        let held_section =
-          match t.pstate with
-          | Ps_srp srp -> Srp.holds srp ~warp:w.Warp.slot
-          | Ps_paired srp ->
-              if Srp_paired.holds srp ~warp:w.Warp.slot then
-                Some (Srp_paired.pair_of_warp ~warp:w.Warp.slot)
-              else None
-          | Ps_owf -> if w.Warp.owns_ext then Some (w.Warp.slot / 2) else None
-          | Ps_static | Ps_rfv _ -> None
-        in
-        acc :=
-          {
-            d_cta = w.Warp.global_cta;
-            d_warp = w.Warp.warp_in_cta;
-            d_pc = w.Warp.pc;
-            d_status = w.Warp.status;
-            d_block = stall_reason_of_block block;
-            d_ready_at = w.Warp.ready_at;
-            d_holds_ext = held_section <> None;
-            d_held_section = held_section;
-            d_held_cycles =
-              (if held_section <> None && w.Warp.acquired_at >= 0 then
-                 cycle - w.Warp.acquired_at
-               else 0);
-          }
-          :: !acc
-    | Some _ | None -> ()
+  let mem_free = Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle in
+  for slot = soa.Soa.n_slots - 1 downto 0 do
+    if soa.Soa.status.(slot) < Soa.st_done then begin
+      let block = check_warp ~probe:true t ~mem_free ~slot ~cycle in
+      let held_section =
+        match t.pstate with
+        | Ps_srp srp -> Srp.holds srp ~warp:slot
+        | Ps_paired srp ->
+            if Srp_paired.holds srp ~warp:slot then
+              Some (Srp_paired.pair_of_warp ~warp:slot)
+            else None
+        | Ps_owf ->
+            if soa.Soa.owns_ext.(slot) = 1 then Some (slot / 2) else None
+        | Ps_static | Ps_rfv _ -> None
+      in
+      acc :=
+        {
+          d_cta = soa.Soa.global_cta.(slot);
+          d_warp = soa.Soa.warp_in_cta.(slot);
+          d_pc = soa.Soa.pc.(slot);
+          d_status = Soa.status_of soa slot;
+          d_block = stall_reason_of_block block;
+          d_ready_at = soa.Soa.ready_at.(slot);
+          d_holds_ext = held_section <> None;
+          d_held_section = held_section;
+          d_held_cycles =
+            (if held_section <> None && soa.Soa.acquired_at.(slot) >= 0 then
+               cycle - soa.Soa.acquired_at.(slot)
+             else 0);
+        }
+        :: !acc
+    end
   done;
   !acc
 
@@ -885,60 +1005,71 @@ let account_idle_span t ~from ~reason ~span =
 let finalize_probe t ~cycle =
   match t.probe with Some p -> Probe.finalize p ~cycle | None -> ()
 
-let can_launch t = free_cta_slot t <> None && rfv_can_admit t
+let can_launch t = t.resident_ctas < t.cta_capacity && rfv_can_admit t
 
 let step t ~cycle =
-  let n_slots = Array.length t.warps in
-  let priority (w : Warp.t) =
-    match t.pstate with Ps_owf -> if w.Warp.owns_ext then 0 else 1 | _ -> 0
-  in
   (* Idle classification is pure and the SM state only changes when a
      scheduler issues, so consecutive idle schedulers in the same cycle
      share one classification instead of rescanning the warps. *)
-  let idle_memo = ref None in
+  let idle_valid = ref false in
+  let idle_reason = ref Stats.Stall_empty in
   let issued_any = ref false in
-  Array.iter
-    (fun sched ->
-      let can_issue w =
-        match check_warp t w ~cycle with
+  let is_static =
+    match t.pstate with
+    | Ps_static -> true
+    | Ps_srp _ | Ps_paired _ | Ps_owf | Ps_rfv _ -> false
+  in
+  let scheds = t.schedulers in
+  for i = 0 to Array.length scheds - 1 do
+    (* One scheduler's scan issues nothing, so the memory-slot answer is
+       constant across its candidates and is captured per pick (an earlier
+       scheduler's issue this cycle may have consumed the last slot, so it
+       cannot be hoisted above the loop). Under the static policy the
+       eligibility residual is pure and collapses to that one bit. *)
+    let mem_free = Mem_system.slot_free t.mem_sys ~sm:t.sm_id ~cycle in
+    let can_issue =
+      if is_static then fun slot ->
+        mem_free || not t.is_global.(t.soa.Soa.pc.(slot))
+      else fun slot ->
+        match check_ready ~probe:false t ~mem_free ~slot ~cycle with
         | Can_issue -> true
         | Blocked_deps | Blocked_mem | Blocked_acquire | Blocked_regs
         | Blocked_barrier | Blocked_done ->
             false
+    in
+    let slot = Scheduler.pick scheds.(i) ~soa:t.soa ~cycle ~can_issue in
+    if slot >= 0 then begin
+      idle_valid := false;
+      if not !issued_any then begin
+        issued_any := true;
+        match t.probe with Some p -> Probe.flush_idle p | None -> ()
+      end;
+      if not (issue t ~slot ~cycle) then
+        (* The eligibility the scheduler saw evaporated at the memory
+           claim: leave the warp untouched and classify the slot. *)
+        Stats.bump_stall t.stats Stats.Stall_mem_retry
+    end
+    else if t.resident_warps > 0 then begin
+      let reason =
+        if !idle_valid then !idle_reason
+        else begin
+          let r = classify_idle t ~cycle in
+          idle_valid := true;
+          idle_reason := r;
+          r
+        end
       in
-      match
-        Scheduler.pick sched ~n_slots ~get:(fun s -> t.warps.(s)) ~can_issue ~priority
-      with
-      | Some warp ->
-          idle_memo := None;
-          if not !issued_any then begin
-            issued_any := true;
-            match t.probe with Some p -> Probe.flush_idle p | None -> ()
-          end;
-          issue t warp ~cycle
-      | None ->
-          if t.resident_warps > 0 then begin
-            let reason =
-              match !idle_memo with
-              | Some r -> r
-              | None ->
-                  let r = classify_idle t ~cycle in
-                  idle_memo := Some r;
-                  r
-            in
-            Stats.bump_stall t.stats reason;
-            if reason = Stats.Stall_acquire then
-              t.stats.Stats.acquire_stall_cycles <-
-                t.stats.Stats.acquire_stall_cycles + 1
-          end)
-    t.schedulers;
+      Stats.bump_stall t.stats reason;
+      if reason = Stats.Stall_acquire then
+        t.stats.Stats.acquire_stall_cycles <-
+          t.stats.Stats.acquire_stall_cycles + 1
+    end
+  done;
   (* A fully idle cycle (no scheduler issued, warps resident) extends the
      SM's current stall episode; the probe closes it at the next issue.
-     [idle_memo] is necessarily [Some _] here: the last scheduler found
-     nothing to issue and classified the cycle. *)
+     [idle_valid] necessarily holds here: the last scheduler found nothing
+     to issue and classified the cycle. *)
   match t.probe with
-  | Some p when (not !issued_any) && t.resident_warps > 0 -> (
-      match !idle_memo with
-      | Some reason -> Probe.note_idle p ~cycle ~reason
-      | None -> ())
+  | Some p when (not !issued_any) && t.resident_warps > 0 ->
+      if !idle_valid then Probe.note_idle p ~cycle ~reason:!idle_reason
   | Some _ | None -> ()

@@ -5,6 +5,7 @@ type stall_reason =
   | Stall_regs
   | Stall_barrier
   | Stall_empty
+  | Stall_mem_retry
 
 type t = {
   mutable cycles : int;
@@ -16,7 +17,7 @@ type t = {
   mutable acquire_stall_cycles : int;
   mutable release_execs : int;
   mutable shared_oob : int;
-  mutable stall_cycles : (stall_reason * int ref) list;
+  stall_cycles : int array;
   mutable ctas_retired : int;
   mutable timed_out : bool;
   mutable pc_trace : int list;
@@ -25,7 +26,22 @@ type t = {
 }
 
 let all_reasons =
-  [ Stall_deps; Stall_mem_slot; Stall_acquire; Stall_regs; Stall_barrier; Stall_empty ]
+  [ Stall_deps; Stall_mem_slot; Stall_acquire; Stall_regs; Stall_barrier;
+    Stall_empty; Stall_mem_retry ]
+
+(* Dense index for the counter array; bumping a stall counter is on the
+   per-cycle path of every idle scheduler slot, so the lookup must not be
+   an assoc-list walk (polymorphic compares dominated the profile). *)
+let reason_index = function
+  | Stall_deps -> 0
+  | Stall_mem_slot -> 1
+  | Stall_acquire -> 2
+  | Stall_regs -> 3
+  | Stall_barrier -> 4
+  | Stall_empty -> 5
+  | Stall_mem_retry -> 6
+
+let n_reasons = 7
 
 let create () =
   {
@@ -38,7 +54,7 @@ let create () =
     acquire_stall_cycles = 0;
     release_execs = 0;
     shared_oob = 0;
-    stall_cycles = List.map (fun r -> (r, ref 0)) all_reasons;
+    stall_cycles = Array.make n_reasons 0;
     ctas_retired = 0;
     timed_out = false;
     pc_trace = [];
@@ -46,12 +62,15 @@ let create () =
     warp_instructions = Hashtbl.create 64;
   }
 
-let bump_stall t reason = incr (List.assoc reason t.stall_cycles)
+let bump_stall t reason =
+  let i = reason_index reason in
+  t.stall_cycles.(i) <- t.stall_cycles.(i) + 1
 
 let bump_stall_by t reason n =
-  let c = List.assoc reason t.stall_cycles in
-  c := !c + n
-let stall_count t reason = !(List.assoc reason t.stall_cycles)
+  let i = reason_index reason in
+  t.stall_cycles.(i) <- t.stall_cycles.(i) + n
+
+let stall_count t reason = t.stall_cycles.(reason_index reason)
 
 let achieved_occupancy t =
   if t.warp_capacity_cycles = 0 then 0.
@@ -96,6 +115,7 @@ let reason_name = function
   | Stall_regs -> "rfv-regs"
   | Stall_barrier -> "barrier"
   | Stall_empty -> "empty"
+  | Stall_mem_retry -> "mem-retry"
 
 let pp ppf t =
   Format.fprintf ppf
@@ -111,6 +131,8 @@ let pp ppf t =
   if t.shared_oob > 0 then
     Format.fprintf ppf "shared-oob=%d@," t.shared_oob;
   List.iter
-    (fun (r, c) -> if !c > 0 then Format.fprintf ppf "stall[%s]=%d@," (reason_name r) !c)
-    t.stall_cycles;
+    (fun r ->
+      let c = stall_count t r in
+      if c > 0 then Format.fprintf ppf "stall[%s]=%d@," (reason_name r) c)
+    all_reasons;
   Format.fprintf ppf "@]"

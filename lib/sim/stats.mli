@@ -7,6 +7,10 @@ type stall_reason =
   | Stall_regs      (** RFV: no free physical registers *)
   | Stall_barrier
   | Stall_empty     (** no runnable warp at all *)
+  | Stall_mem_retry
+      (** a picked warp's global access found every memory slot busy at
+          the issue stage (the slot vanished after the scheduler's
+          eligibility check) and was re-stalled for retry *)
 
 type t = {
   mutable cycles : int;
@@ -19,7 +23,9 @@ type t = {
   mutable release_execs : int;
   mutable shared_oob : int;
       (** shared-memory accesses outside the CTA's allocation (wrapped) *)
-  mutable stall_cycles : (stall_reason * int ref) list;
+  stall_cycles : int array;
+      (** per-reason idle-slot counters, indexed by {!reason_index}; use
+          {!bump_stall} / {!stall_count} rather than indexing directly *)
   mutable ctas_retired : int;
   mutable timed_out : bool;
   mutable pc_trace : int list;    (** reverse-order PC trace of warp 0 *)
@@ -35,6 +41,9 @@ type t = {
 val all_reasons : stall_reason list
 
 val reason_name : stall_reason -> string
+
+(** Dense index of a reason in {!type-t.stall_cycles} (declaration order). *)
+val reason_index : stall_reason -> int
 
 val create : unit -> t
 val bump_stall : t -> stall_reason -> unit

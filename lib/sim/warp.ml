@@ -1,53 +1,114 @@
 type status = Ready | At_barrier | Done
 
-type t = {
+module Soa = struct
+  let st_ready = 0
+  let st_barrier = 1
+  let st_done = 2
+  let st_absent = 3
+
+  type t = {
+    n_slots : int;
+    n_regs : int;
+    status : int array;
+    pc : int array;
+    ready_at : int array;
+    age : int array;
+    key : int array;
+    acquire_stalled : int array;
+    acquired_at : int array;
+    owns_ext : int array;
+    partner : int array;
+    rfv_alloc : int array;
+    issued : int array;
+    global_cta : int array;
+    warp_in_cta : int array;
+    cta_slot : int array;
+    regs : int array array;
+    reg_ready : int array array;
+  }
+
+  let create ~n_slots ~n_regs =
+    if n_slots < 1 then invalid_arg "Warp.Soa.create: n_slots must be >= 1";
+    if n_regs < 1 then invalid_arg "Warp.Soa.create: n_regs must be >= 1";
+    {
+      n_slots;
+      n_regs;
+      status = Array.make n_slots st_absent;
+      pc = Array.make n_slots 0;
+      ready_at = Array.make n_slots 0;
+      age = Array.make n_slots 0;
+      key = Array.make n_slots max_int;
+      acquire_stalled = Array.make n_slots 0;
+      acquired_at = Array.make n_slots (-1);
+      owns_ext = Array.make n_slots 0;
+      partner = Array.make n_slots (-1);
+      rfv_alloc = Array.make n_slots 0;
+      issued = Array.make n_slots 0;
+      global_cta = Array.make n_slots (-1);
+      warp_in_cta = Array.make n_slots (-1);
+      cta_slot = Array.make n_slots (-1);
+      regs = Array.init n_slots (fun _ -> Array.make n_regs 0);
+      reg_ready = Array.init n_slots (fun _ -> Array.make n_regs 0);
+    }
+
+  let resident t slot = t.status.(slot) <> st_absent
+
+  let status_of t slot =
+    match t.status.(slot) with
+    | 0 -> Ready
+    | 1 -> At_barrier
+    | 2 -> Done
+    | _ -> invalid_arg "Warp.Soa.status_of: no warp resident in slot"
+
+  let launch t ~slot ~cta_slot ~global_cta ~warp_in_cta ~age =
+    t.status.(slot) <- st_ready;
+    t.pc.(slot) <- 0;
+    t.ready_at.(slot) <- 0;
+    t.age.(slot) <- age;
+    t.acquire_stalled.(slot) <- 0;
+    t.acquired_at.(slot) <- -1;
+    t.owns_ext.(slot) <- 0;
+    t.partner.(slot) <- -1;
+    t.rfv_alloc.(slot) <- 0;
+    t.issued.(slot) <- 0;
+    t.global_cta.(slot) <- global_cta;
+    t.warp_in_cta.(slot) <- warp_in_cta;
+    t.cta_slot.(slot) <- cta_slot;
+    Array.fill t.regs.(slot) 0 t.n_regs 0;
+    Array.fill t.reg_ready.(slot) 0 t.n_regs 0
+
+  let retire t ~slot =
+    t.status.(slot) <- st_absent;
+    t.key.(slot) <- max_int
+
+  let deps_ready t ~slot instr ~cycle =
+    let rr = t.reg_ready.(slot) in
+    let ready rs = not (Gpu_isa.Regset.exists (fun r -> rr.(r) > cycle) rs) in
+    ready (Gpu_isa.Instr.uses instr) && ready (Gpu_isa.Instr.defs instr)
+
+  let refresh_ready_at t ~slot ~touched =
+    let rr = t.reg_ready.(slot) in
+    let m = ref 0 in
+    for i = 0 to Array.length touched - 1 do
+      let v = rr.(touched.(i)) in
+      if v > !m then m := v
+    done;
+    t.ready_at.(slot) <- !m
+end
+
+type view = {
   slot : int;
   cta_slot : int;
   global_cta : int;
   warp_in_cta : int;
   age : int;
-  regs : int array;
-  reg_ready : int array;
-  mutable pc : int;
-  mutable status : status;
-  mutable ready_at : int;
-  mutable acquire_stalled : bool;
-  mutable acquired_at : int;
-  mutable owns_ext : bool;
-  mutable partner : int;
-  mutable rfv_alloc : int;
-  mutable issued : int;
 }
 
-let create ~slot ~cta_slot ~global_cta ~warp_in_cta ~age ~n_regs =
+let view (soa : Soa.t) slot =
   {
     slot;
-    cta_slot;
-    global_cta;
-    warp_in_cta;
-    age;
-    regs = Array.make (max n_regs 1) 0;
-    reg_ready = Array.make (max n_regs 1) 0;
-    pc = 0;
-    status = Ready;
-    ready_at = 0;
-    acquire_stalled = false;
-    acquired_at = -1;
-    owns_ext = false;
-    partner = -1;
-    rfv_alloc = 0;
-    issued = 0;
+    cta_slot = soa.Soa.cta_slot.(slot);
+    global_cta = soa.Soa.global_cta.(slot);
+    warp_in_cta = soa.Soa.warp_in_cta.(slot);
+    age = soa.Soa.age.(slot);
   }
-
-let deps_ready t instr ~cycle =
-  let ready rs =
-    not (Gpu_isa.Regset.exists (fun r -> t.reg_ready.(r) > cycle) rs)
-  in
-  ready (Gpu_isa.Instr.uses instr) && ready (Gpu_isa.Instr.defs instr)
-
-let refresh_ready_at t instr =
-  let wake rs acc =
-    Gpu_isa.Regset.fold (fun r acc -> max acc t.reg_ready.(r)) rs acc
-  in
-  t.ready_at <-
-    wake (Gpu_isa.Instr.defs instr) (wake (Gpu_isa.Instr.uses instr) 0)

@@ -1,56 +1,105 @@
-(** Per-warp execution state.
+(** Per-warp execution state, stored structure-of-arrays.
 
-    Registers hold warp-uniform values (see DESIGN.md); [reg_ready.(r)] is
-    the cycle at which the in-flight producer of [r] completes — the
-    scoreboard consulted before issue. *)
+    The simulator hot loop walks every warp slot every cycle, so the hot
+    mutable fields ([pc], [ready_at], [status], the acquire/SRP state,
+    issue counters) live in packed [int array]s indexed by warp slot —
+    one cache-friendly {!Soa.t} per SM — instead of one boxed record per
+    warp. Registers hold warp-uniform values (see DESIGN.md);
+    [reg_ready.(slot).(r)] is the cycle at which the in-flight producer
+    of [r] completes — the scoreboard consulted before issue.
+
+    Cold identity fields are materialised on demand as a thin {!view}
+    record for probe and diagnostic paths. *)
 
 type status =
   | Ready       (** may issue (subject to scoreboard/structural checks) *)
   | At_barrier  (** arrived at a [Bar]; waiting for the CTA *)
   | Done        (** executed [Exit] *)
 
-type t = {
+module Soa : sig
+  (** Status encoding in {!t.status}. [st_absent] doubles as
+      "no warp resident in this slot". *)
+
+  val st_ready : int
+  val st_barrier : int
+  val st_done : int
+  val st_absent : int
+
+  type t = {
+    n_slots : int;
+    n_regs : int;
+    status : int array;           (** st_* code per slot *)
+    pc : int array;
+    ready_at : int array;
+        (** earliest cycle the current instruction's operands are all
+            ready — the maximum [reg_ready] over the registers it
+            touches, maintained by the SM at every [pc] move
+            ({!refresh_ready_at}). The wakeup layer reads it to
+            fast-forward over scoreboard stalls. *)
+    age : int array;              (** global launch sequence number *)
+    key : int array;
+        (** packed scheduler ordering key ([Scheduler.pack_key] of the
+            warp's policy priority and age); [max_int] when absent *)
+    acquire_stalled : int array;
+        (** 0/1: the acquire at the current [pc] already failed once *)
+    acquired_at : int array;
+        (** cycle the currently-held extended set was granted, or [-1]
+            when none is held. Always maintained (not just under
+            telemetry) so deadlock diagnostics can report how long each
+            holder has sat on its section. *)
+    owns_ext : int array;         (** 0/1, OWF: holds the pair's shared regs *)
+    partner : int array;          (** OWF: partner warp slot, or -1 *)
+    rfv_alloc : int array;        (** RFV: physical packs currently charged *)
+    issued : int array;           (** dynamic instructions issued *)
+    global_cta : int array;       (** CTA index within the grid *)
+    warp_in_cta : int array;
+    cta_slot : int array;         (** resident-CTA slot within the SM *)
+    regs : int array array;       (** register file row per slot *)
+    reg_ready : int array array;  (** scoreboard row per slot *)
+  }
+
+  val create : n_slots:int -> n_regs:int -> t
+
+  (** Is a warp resident in [slot]? *)
+  val resident : t -> int -> bool
+
+  (** Decode {!field-status}; raises if the slot is empty. *)
+  val status_of : t -> int -> status
+
+  (** Install a fresh warp in [slot]: resets all hot fields and zeroes
+      the register/scoreboard rows. The caller sets [key] and [partner]
+      afterwards (they depend on the register policy). *)
+  val launch :
+    t ->
+    slot:int ->
+    cta_slot:int ->
+    global_cta:int ->
+    warp_in_cta:int ->
+    age:int ->
+    unit
+
+  (** Free the slot ([status] becomes [st_absent], [key] [max_int]). *)
+  val retire : t -> slot:int -> unit
+
+  (** All source and destination registers of [instr] ready at [cycle]?
+      Equivalent to [ready_at.(slot) <= cycle] once {!refresh_ready_at}
+      ran for the current [pc]; kept for tests and assertions. *)
+  val deps_ready : t -> slot:int -> Gpu_isa.Instr.t -> cycle:int -> bool
+
+  (** [refresh_ready_at t ~slot ~touched] recomputes [ready_at.(slot)]
+      as the max scoreboard entry over [touched], the precomputed list
+      of registers the instruction at the new [pc] reads or writes.
+      Must be called after every [pc] move (the SM does). *)
+  val refresh_ready_at : t -> slot:int -> touched:int array -> unit
+end
+
+(** Thin identity record for probe/diagnostic paths. *)
+type view = {
   slot : int;           (** warp slot within the SM *)
   cta_slot : int;       (** resident-CTA slot within the SM *)
   global_cta : int;     (** CTA index within the grid *)
   warp_in_cta : int;
   age : int;            (** global launch sequence number (GTO "oldest") *)
-  regs : int array;
-  reg_ready : int array;
-  mutable pc : int;
-  mutable status : status;
-  mutable ready_at : int;
-      (** earliest cycle the current instruction's operands are all ready —
-          the maximum [reg_ready] over the registers it touches, maintained
-          by the SM at every [pc] move ({!refresh_ready_at}). The wakeup
-          layer reads it to fast-forward over scoreboard stalls. *)
-  mutable acquire_stalled : bool;
-      (** the acquire at the current [pc] already failed once *)
-  mutable acquired_at : int;
-      (** cycle the currently-held extended set was granted, or [-1] when
-          none is held. Always maintained (not just under telemetry) so
-          deadlock diagnostics can report how long each holder has sat on
-          its section. *)
-  mutable owns_ext : bool;  (** OWF: holds the pair's shared registers *)
-  mutable partner : int;    (** OWF: partner warp slot, or -1 *)
-  mutable rfv_alloc : int;  (** RFV: physical packs currently charged *)
-  mutable issued : int;     (** dynamic instructions issued *)
 }
 
-val create :
-  slot:int ->
-  cta_slot:int ->
-  global_cta:int ->
-  warp_in_cta:int ->
-  age:int ->
-  n_regs:int ->
-  t
-
-(** All source and destination registers ready at [cycle]? *)
-val deps_ready : t -> Gpu_isa.Instr.t -> cycle:int -> bool
-
-(** [refresh_ready_at t instr] recomputes {!field-ready_at} for [instr],
-    the instruction now at [t.pc]. Must be called after every [pc] move
-    (the SM does); [deps_ready t instr ~cycle] is then equivalent to
-    [t.ready_at <= cycle]. *)
-val refresh_ready_at : t -> Gpu_isa.Instr.t -> unit
+val view : Soa.t -> int -> view

@@ -3,7 +3,7 @@ module I = Gpu_isa.Instr
 
 let make_ctx ?(regs = Array.make 8 0) ?(params = [| 10; 20 |]) () =
   let shared = Array.make 16 0 in
-  let global = Hashtbl.create 8 in
+  let memory = Memory.create () in
   ( {
       Exec.regs;
       params;
@@ -12,19 +12,13 @@ let make_ctx ?(regs = Array.make 8 0) ?(params = [| 10; 20 |]) () =
       ntid = 128;
       nctaid = 4;
       warp_id = 1;
-      read =
-        (fun space addr ->
-          match space with
-          | I.Global -> (try Hashtbl.find global addr with Not_found -> addr * 3)
-          | I.Shared -> shared.(addr mod 16));
-      write =
-        (fun space addr v ->
-          match space with
-          | I.Global -> Hashtbl.replace global addr v
-          | I.Shared -> shared.(addr mod 16) <- v);
+      shared;
+      memory;
+      stats = Stats.create ();
+      record_stores = false;
     },
     shared,
-    global )
+    memory )
 
 let step ctx i = Exec.step ctx i
 
@@ -86,15 +80,38 @@ let test_specials_params () =
   Alcotest.(check int) "missing param reads 0" 0 (Exec.operand ctx (I.Param 9))
 
 let test_memory_ops () =
-  let ctx, shared, global = make_ctx () in
+  let ctx, shared, memory = make_ctx () in
   ignore (step ctx (I.Store (I.Shared, I.Imm 3, I.Imm 42, 0)));
   Alcotest.(check int) "shared written" 42 shared.(3);
   ignore (step ctx (I.Load (I.Shared, 0, I.Imm 1, 2)));
   Alcotest.(check int) "shared load with offset" 42 ctx.Exec.regs.(0);
   ignore (step ctx (I.Store (I.Global, I.Imm 100, I.Imm 7, 4)));
-  Alcotest.(check int) "global written at addr+ofs" 7 (Hashtbl.find global 104);
+  Alcotest.(check int) "global written at addr+ofs" 7 (Memory.read_global memory 104);
   ignore (step ctx (I.Load (I.Global, 1, I.Imm 5, 0)));
-  Alcotest.(check int) "global default read" 15 ctx.Exec.regs.(1)
+  Alcotest.(check int) "global default read" (Memory.default_value 5)
+    ctx.Exec.regs.(1)
+
+let test_shared_oob_wraps () =
+  let ctx, shared, _ = make_ctx () in
+  (* Address 19 wraps into the 16-word CTA allocation (19 mod 16 = 3) and
+     the excursion is counted, not crashed on. *)
+  ignore (step ctx (I.Store (I.Shared, I.Imm 19, I.Imm 5, 0)));
+  Alcotest.(check int) "wrapped write" 5 shared.(3);
+  Alcotest.(check int) "oob counted" 1 ctx.Exec.stats.Stats.shared_oob;
+  ignore (step ctx (I.Load (I.Shared, 0, I.Imm (-13), 0)));
+  Alcotest.(check int) "negative address wraps" 5 ctx.Exec.regs.(0);
+  Alcotest.(check int) "second excursion counted" 2 ctx.Exec.stats.Stats.shared_oob
+
+let test_store_recording () =
+  let ctx, _, _ = make_ctx () in
+  let ctx = { ctx with Exec.record_stores = true } in
+  ignore (step ctx (I.Store (I.Shared, I.Imm 2, I.Imm 9, 0)));
+  ignore (step ctx (I.Store (I.Global, I.Imm 50, I.Imm 4, 0)));
+  match Stats.store_traces ctx.Exec.stats with
+  | [ ((cta, warp), trace ) ] ->
+      Alcotest.(check (pair int int)) "keyed by cta/warp" (2, 1) (cta, warp);
+      Alcotest.(check int) "both stores recorded" 2 (List.length trace)
+  | l -> Alcotest.failf "expected one warp's trace, got %d" (List.length l)
 
 let test_outcomes () =
   let ctx, _, _ = make_ctx () in
@@ -114,4 +131,6 @@ let suite =
     Alcotest.test_case "mad / mov" `Quick test_mad_mov;
     Alcotest.test_case "specials and params" `Quick test_specials_params;
     Alcotest.test_case "memory operations" `Quick test_memory_ops;
+    Alcotest.test_case "shared OOB wraps and counts" `Quick test_shared_oob_wraps;
+    Alcotest.test_case "store recording" `Quick test_store_recording;
     Alcotest.test_case "control outcomes" `Quick test_outcomes ]

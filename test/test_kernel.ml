@@ -9,7 +9,23 @@ let test_make_validation () =
       ignore (Kernel.make ~name:"t" ~grid_ctas:0 ~cta_threads:32 Util.straight));
   Alcotest.check_raises "empty CTA" (Invalid_argument "Kernel.make: empty CTA")
     (fun () ->
-      ignore (Kernel.make ~name:"t" ~grid_ctas:1 ~cta_threads:0 Util.straight))
+      ignore (Kernel.make ~name:"t" ~grid_ctas:1 ~cta_threads:0 Util.straight));
+  (* A program referencing no registers used to be silently patched up to
+     one phantom register at warp creation; now it fails at launch. *)
+  let reg_less =
+    Gpu_isa.Builder.(assemble ~name:"regless" [ acquire; release; exit_ ])
+  in
+  Alcotest.(check int) "builder really produced n_regs = 0" 0
+    reg_less.Gpu_isa.Program.n_regs;
+  Alcotest.check_raises "register-less program"
+    (Invalid_argument "Kernel.make: program references no registers (n_regs = 0)")
+    (fun () ->
+      ignore (Kernel.make ~name:"t" ~grid_ctas:1 ~cta_threads:32 reg_less));
+  Alcotest.check_raises "register-less swap"
+    (Invalid_argument "Kernel.make: program references no registers (n_regs = 0)")
+    (fun () ->
+      let k = Kernel.make ~name:"t" ~grid_ctas:1 ~cta_threads:32 Util.straight in
+      ignore (Kernel.with_program k reg_less))
 
 let test_derived_metadata () =
   let k =

@@ -1,118 +1,90 @@
 open Gpu_sim
+module Soa = Warp.Soa
 
-let mk_warp ~slot ~age =
-  Warp.create ~slot ~cta_slot:0 ~global_cta:0 ~warp_in_cta:slot ~age ~n_regs:4
-
-let pool slots_ages =
+(* Build an SoA pool with warps resident at the given (slot, age) pairs;
+   unlisted slots stay absent and must be skipped by every scheduler. *)
+let pool ?(priority = fun _ -> 0) slots_ages =
   let n = 1 + List.fold_left (fun acc (s, _) -> max acc s) 0 slots_ages in
-  let arr = Array.make n None in
-  List.iter (fun (s, a) -> arr.(s) <- Some (mk_warp ~slot:s ~age:a)) slots_ages;
-  arr
+  let soa = Soa.create ~n_slots:n ~n_regs:4 in
+  List.iter
+    (fun (s, a) ->
+      Soa.launch soa ~slot:s ~cta_slot:0 ~global_cta:0 ~warp_in_cta:s ~age:a;
+      soa.Soa.key.(s) <- Scheduler.pack_key ~priority:(priority s) ~age:a)
+    slots_ages;
+  soa
 
-let no_priority (_ : Warp.t) = 0
+let pick ?(cycle = 0) ?(can = fun _ -> true) sched soa =
+  Scheduler.pick sched ~soa ~cycle ~can_issue:can
 
 let test_gto_oldest_first () =
   let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 5); (1, 2); (2, 9) ] in
-  match
-    Scheduler.pick sched ~n_slots:3 ~get:(fun s -> warps.(s))
-      ~can_issue:(fun _ -> true) ~priority:no_priority
-  with
-  | Some w -> Alcotest.(check int) "oldest wins" 1 w.Warp.slot
-  | None -> Alcotest.fail "expected a pick"
+  let soa = pool [ (0, 5); (1, 2); (2, 9) ] in
+  Alcotest.(check int) "oldest wins" 1 (pick sched soa)
 
 let test_gto_greedy () =
   let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 5); (1, 2) ] in
-  let pick can =
-    Scheduler.pick sched ~n_slots:2 ~get:(fun s -> warps.(s)) ~can_issue:can
-      ~priority:no_priority
-  in
-  (match pick (fun _ -> true) with
-  | Some w -> Alcotest.(check int) "first pick oldest" 1 w.Warp.slot
-  | None -> Alcotest.fail "pick");
+  let soa = pool [ (0, 5); (1, 2) ] in
+  Alcotest.(check int) "first pick oldest" 1 (pick sched soa);
   (* Same warp keeps issuing while it can (greedy). *)
-  (match pick (fun _ -> true) with
-  | Some w -> Alcotest.(check int) "greedy sticks" 1 w.Warp.slot
-  | None -> Alcotest.fail "pick");
+  Alcotest.(check int) "greedy sticks" 1 (pick sched soa);
   (* When the current warp stalls, switch to the other one. *)
-  (match pick (fun w -> w.Warp.slot <> 1) with
-  | Some w -> Alcotest.(check int) "switch on stall" 0 w.Warp.slot
-  | None -> Alcotest.fail "pick");
+  Alcotest.(check int) "switch on stall" 0
+    (pick ~can:(fun s -> s <> 1) sched soa);
   (* And stay greedy on the new one. *)
-  match pick (fun _ -> true) with
-  | Some w -> Alcotest.(check int) "greedy on new warp" 0 w.Warp.slot
-  | None -> Alcotest.fail "pick"
+  Alcotest.(check int) "greedy on new warp" 0 (pick sched soa)
 
 let test_ownership () =
   let sched = Scheduler.create Scheduler.Gto ~id:1 ~n_schedulers:2 in
   Alcotest.(check bool) "owns odd slots" true (Scheduler.owns sched ~slot:3);
   Alcotest.(check bool) "not even slots" false (Scheduler.owns sched ~slot:2);
-  let warps = pool [ (0, 0); (1, 10); (2, 1); (3, 11) ] in
-  match
-    Scheduler.pick sched ~n_slots:4 ~get:(fun s -> warps.(s))
-      ~can_issue:(fun _ -> true) ~priority:no_priority
-  with
-  | Some w -> Alcotest.(check int) "only scans own slots" 1 w.Warp.slot
-  | None -> Alcotest.fail "pick"
+  let soa = pool [ (0, 0); (1, 10); (2, 1); (3, 11) ] in
+  Alcotest.(check int) "only scans own slots" 1 (pick sched soa)
 
 let test_priority_beats_age () =
   let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 0); (1, 5) ] in
   (* OWF-style: warp 1 is an owner (priority 0), warp 0 is not. *)
-  let priority (w : Warp.t) = if w.Warp.slot = 1 then 0 else 1 in
-  match
-    Scheduler.pick sched ~n_slots:2 ~get:(fun s -> warps.(s))
-      ~can_issue:(fun _ -> true) ~priority
-  with
-  | Some w -> Alcotest.(check int) "owner first despite age" 1 w.Warp.slot
-  | None -> Alcotest.fail "pick"
+  let soa = pool ~priority:(fun s -> if s = 1 then 0 else 1) [ (0, 0); (1, 5) ] in
+  Alcotest.(check int) "owner first despite age" 1 (pick sched soa)
 
 let test_none_issueable () =
   let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 0) ] in
-  Alcotest.(check bool) "none" true
-    (Scheduler.pick sched ~n_slots:1 ~get:(fun s -> warps.(s))
-       ~can_issue:(fun _ -> false) ~priority:no_priority
-    = None)
+  let soa = pool [ (0, 0) ] in
+  Alcotest.(check int) "none" (-1) (pick ~can:(fun _ -> false) sched soa)
+
+let test_scoreboard_gates_pick () =
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let soa = pool [ (0, 0); (1, 1) ] in
+  (* The oldest warp's operands are in flight until cycle 10: the
+     scheduler must pass it over without consulting [can_issue]. *)
+  soa.Soa.ready_at.(0) <- 10;
+  Alcotest.(check int) "in-flight warp skipped" 1 (pick ~cycle:5 sched soa);
+  (* A fresh scheduler (no greedy hold on slot 1) picks the older warp
+     again once its operands complete. *)
+  let fresh = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  Alcotest.(check int) "eligible again at completion" 0 (pick ~cycle:10 fresh soa)
 
 let test_lrr_rotates () =
   let sched = Scheduler.create Scheduler.Lrr ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 0); (1, 1); (2, 2) ] in
-  let pick () =
-    match
-      Scheduler.pick sched ~n_slots:3 ~get:(fun s -> warps.(s))
-        ~can_issue:(fun _ -> true) ~priority:no_priority
-    with
-    | Some w -> w.Warp.slot
-    | None -> Alcotest.fail "pick"
-  in
-  let first = pick () in
-  let second = pick () in
-  let third = pick () in
+  let soa = pool [ (0, 0); (1, 1); (2, 2) ] in
+  let first = pick sched soa in
+  let second = pick sched soa in
+  let third = pick sched soa in
   Alcotest.(check (list int)) "round robin" [ 0; 1; 2 ]
     (List.sort compare [ first; second; third ]);
   Alcotest.(check bool) "no immediate repeat" true (first <> second && second <> third)
 
 let test_two_level_drains_group () =
   let sched = Scheduler.create (Scheduler.Two_level 2) ~id:0 ~n_schedulers:1 in
-  let warps = pool [ (0, 0); (1, 1); (2, 2); (3, 3) ] in
-  let pick can =
-    match
-      Scheduler.pick sched ~n_slots:4 ~get:(fun s -> warps.(s)) ~can_issue:can
-        ~priority:no_priority
-    with
-    | Some w -> w.Warp.slot
-    | None -> Alcotest.fail "pick"
-  in
+  let soa = pool [ (0, 0); (1, 1); (2, 2); (3, 3) ] in
   (* Group 0 = slots {0,1}. Oldest of the active group wins while the
      group has runnable warps. *)
-  Alcotest.(check int) "active group first" 0 (pick (fun _ -> true));
-  Alcotest.(check int) "stays in group" 1 (pick (fun w -> w.Warp.slot <> 0));
+  Alcotest.(check int) "active group first" 0 (pick sched soa);
+  Alcotest.(check int) "stays in group" 1 (pick ~can:(fun s -> s <> 0) sched soa);
   (* When the whole group stalls, rotate to group 1. *)
-  Alcotest.(check int) "rotates on group stall" 2 (pick (fun w -> w.Warp.slot >= 2));
+  Alcotest.(check int) "rotates on group stall" 2
+    (pick ~can:(fun s -> s >= 2) sched soa);
   (* The rotation is sticky: group 1 is now active. *)
-  Alcotest.(check int) "sticky rotation" 2 (pick (fun _ -> true))
+  Alcotest.(check int) "sticky rotation" 2 (pick sched soa)
 
 let test_two_level_invalid () =
   Alcotest.check_raises "empty group"
@@ -133,16 +105,76 @@ let test_two_level_end_to_end () =
   Util.check_same_traces "gto vs two-level" (Util.traces gto) (Util.traces two)
 
 let test_warp_deps_ready () =
-  let w = mk_warp ~slot:0 ~age:0 in
+  let soa = pool [ (0, 0) ] in
   let instr = Gpu_isa.Instr.Bin (Gpu_isa.Instr.Add, 0, Gpu_isa.Instr.Reg 1, Gpu_isa.Instr.Imm 1) in
-  Alcotest.(check bool) "ready initially" true (Warp.deps_ready w instr ~cycle:0);
-  w.Warp.reg_ready.(1) <- 10;
-  Alcotest.(check bool) "source in flight" false (Warp.deps_ready w instr ~cycle:5);
-  Alcotest.(check bool) "ready at completion" true (Warp.deps_ready w instr ~cycle:10);
-  w.Warp.reg_ready.(1) <- 0;
-  w.Warp.reg_ready.(0) <- 10;
+  Alcotest.(check bool) "ready initially" true
+    (Soa.deps_ready soa ~slot:0 instr ~cycle:0);
+  soa.Soa.reg_ready.(0).(1) <- 10;
+  Alcotest.(check bool) "source in flight" false
+    (Soa.deps_ready soa ~slot:0 instr ~cycle:5);
+  Alcotest.(check bool) "ready at completion" true
+    (Soa.deps_ready soa ~slot:0 instr ~cycle:10);
+  soa.Soa.reg_ready.(0).(1) <- 0;
+  soa.Soa.reg_ready.(0).(0) <- 10;
   Alcotest.(check bool) "destination busy blocks too" false
-    (Warp.deps_ready w instr ~cycle:5)
+    (Soa.deps_ready soa ~slot:0 instr ~cycle:5)
+
+(* Packed ordering keys: integer comparison of [pack_key] must equal
+   lexicographic comparison of (priority, age) across the whole field
+   width, and ages beyond the width must saturate instead of bleeding
+   into the priority bits. *)
+let test_packed_key_order () =
+  let m = Scheduler.age_mask in
+  let ages = [ 0; 1; 2; 1023; m / 2; m - 1; m; m + 1; m * 2; max_int ] in
+  let priorities = [ 0; 1 ] in
+  List.iter
+    (fun p1 ->
+      List.iter
+        (fun a1 ->
+          List.iter
+            (fun p2 ->
+              List.iter
+                (fun a2 ->
+                  let expect = compare (p1, min a1 m) (p2, min a2 m) in
+                  let got =
+                    compare
+                      (Scheduler.pack_key ~priority:p1 ~age:a1)
+                      (Scheduler.pack_key ~priority:p2 ~age:a2)
+                  in
+                  if got <> expect then
+                    Alcotest.failf
+                      "pack_key order mismatch: (%d,%d) vs (%d,%d): got %d, \
+                       want %d"
+                      p1 a1 p2 a2 got expect)
+                ages)
+            priorities)
+        ages)
+    priorities
+
+let test_packed_key_saturation () =
+  let m = Scheduler.age_mask in
+  Alcotest.(check int) "age saturates at the mask"
+    (Scheduler.pack_key ~priority:0 ~age:m)
+    (Scheduler.pack_key ~priority:0 ~age:max_int);
+  Alcotest.(check bool) "priority dominates any age" true
+    (Scheduler.pack_key ~priority:0 ~age:max_int
+    < Scheduler.pack_key ~priority:1 ~age:0);
+  Alcotest.(check bool) "keys stay positive" true
+    (Scheduler.pack_key ~priority:1 ~age:max_int > 0)
+
+let test_pick_near_age_limit () =
+  let m = Scheduler.age_mask in
+  let sched = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  (* Ages one apart just under the field width: order must survive. *)
+  let soa = pool [ (0, m - 1); (1, m - 2) ] in
+  Alcotest.(check int) "older wins near the limit" 1 (pick sched soa);
+  (* A priority-0 owner with a saturated age still beats a young
+     priority-1 warp. *)
+  let sched2 = Scheduler.create Scheduler.Gto ~id:0 ~n_schedulers:1 in
+  let soa2 =
+    pool ~priority:(fun s -> if s = 0 then 0 else 1) [ (0, max_int); (1, 0) ]
+  in
+  Alcotest.(check int) "saturated owner still first" 0 (pick sched2 soa2)
 
 let suite =
   [ Alcotest.test_case "GTO picks oldest" `Quick test_gto_oldest_first;
@@ -150,8 +182,12 @@ let suite =
     Alcotest.test_case "slot ownership" `Quick test_ownership;
     Alcotest.test_case "priority beats age (OWF)" `Quick test_priority_beats_age;
     Alcotest.test_case "nothing issueable" `Quick test_none_issueable;
+    Alcotest.test_case "scoreboard gates the pick" `Quick test_scoreboard_gates_pick;
     Alcotest.test_case "LRR rotation" `Quick test_lrr_rotates;
     Alcotest.test_case "two-level drains and rotates" `Quick test_two_level_drains_group;
     Alcotest.test_case "two-level validation" `Quick test_two_level_invalid;
     Alcotest.test_case "schedulers agree on behaviour" `Quick test_two_level_end_to_end;
-    Alcotest.test_case "warp scoreboard" `Quick test_warp_deps_ready ]
+    Alcotest.test_case "warp scoreboard" `Quick test_warp_deps_ready;
+    Alcotest.test_case "packed key order" `Quick test_packed_key_order;
+    Alcotest.test_case "packed key saturation" `Quick test_packed_key_saturation;
+    Alcotest.test_case "pick near the age limit" `Quick test_pick_near_age_limit ]

@@ -18,7 +18,10 @@ let starved_sm () =
       max_threads = 32;
       reg_alloc_gran = 1 }
   in
-  let prog = B.(assemble ~name:"acq" [ acquire; release; exit_ ]) in
+  (* The mov after the acquire never executes (the acquire is never
+     granted); it is there so the program references a register, which
+     [Kernel.make] requires. *)
+  let prog = B.(assemble ~name:"acq" [ acquire; mov 0 (imm 0); release; exit_ ]) in
   let kernel = Kernel.make ~name:"acq" ~grid_ctas:1 ~cta_threads:32 prog in
   let policy = Policy.Srp { bs = 8; es = 4; verify = false } in
   let stats = Stats.create () in
