@@ -21,30 +21,169 @@ let set_fast_forward b = ff := b
 
 let fast_forward () = !ff
 
+(* --- persistent worker pool ------------------------------------------- *)
+
+(* True on any domain currently executing pool jobs: a nested fan-out
+   (e.g. a suite job on the serve daemon calling [prefetch]) must reuse
+   the pool it runs on rather than resize it out from under itself. *)
+let on_pool_worker = Domain.DLS.new_key (fun () -> false)
+
+module Pool = struct
+  type t = {
+    queue : (unit -> unit) Queue.t;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t list;
+    n_workers : int;
+  }
+
+  (* Workers drain the queue before exiting, so [shutdown] never drops
+     submitted jobs. *)
+  let worker_loop t =
+    Domain.DLS.set on_pool_worker true;
+    let rec go () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if Queue.is_empty t.queue then Mutex.unlock t.mutex
+      else begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        (try job () with _ -> ());
+        go ()
+      end
+    in
+    go ()
+
+  let create ~workers =
+    let workers = max 0 workers in
+    let t =
+      {
+        queue = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        stopping = false;
+        domains = [];
+        n_workers = workers;
+      }
+    in
+    t.domains <-
+      List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let workers t = t.n_workers
+
+  let submit t job =
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Engine.Pool.submit: pool is shut down"
+    end;
+    Queue.push job t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  (* Run one queued job on the calling domain; false when the queue is
+     empty. The submitting domain participates in its own batches, so a
+     0-worker pool is simply the serial engine. *)
+  let try_run_one t =
+    Mutex.lock t.mutex;
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.mutex;
+      false
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      (try job () with _ -> ());
+      true
+    end
+
+  let map t tasks f =
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    if n > 0 then begin
+      let remaining = Atomic.make n in
+      let done_m = Mutex.create () in
+      let done_c = Condition.create () in
+      let run i =
+        results.(i) <- Some (try Ok (f tasks.(i)) with e -> Error e);
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_m;
+          Condition.broadcast done_c;
+          Mutex.unlock done_m
+        end
+      in
+      for i = 0 to n - 1 do
+        submit t (fun () -> run i)
+      done;
+      (* Participate: drain queued jobs (possibly other batches') until
+         empty, then wait for stragglers running on other domains. *)
+      while try_run_one t do () done;
+      Mutex.lock done_m;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_c done_m
+      done;
+      Mutex.unlock done_m
+    end;
+    Array.map
+      (function
+        | Some (Ok r) -> r
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let already = t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not already then begin
+      List.iter Domain.join t.domains;
+      t.domains <- [];
+      (* A 0-worker pool has nobody else to drain residual jobs. *)
+      while try_run_one t do () done
+    end
+end
+
+(* One process-wide pool, sized on demand: repeated [parallel_map] calls
+   reuse the same worker domains instead of paying spawn/join per call. *)
+let pool_lock = Mutex.create ()
+
+let the_pool : Pool.t option ref = ref None
+
+let shared_pool ~workers =
+  Mutex.lock pool_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool_lock)
+    (fun () ->
+      match !the_pool with
+      | Some p
+        when Pool.workers p = workers || Domain.DLS.get on_pool_worker ->
+          (* A nested call from a worker keeps the current pool whatever
+             size was asked for — resizing would join our own domain. *)
+          p
+      | prev ->
+          (match prev with Some p -> Pool.shutdown p | None -> ());
+          let p = Pool.create ~workers in
+          the_pool := Some p;
+          p)
+
+let shutdown_pool () =
+  Mutex.lock pool_lock;
+  let p = !the_pool in
+  the_pool := None;
+  Mutex.unlock pool_lock;
+  match p with Some p -> Pool.shutdown p | None -> ()
+
 (* --- persistent store configuration ---------------------------------- *)
 
-(* Results are versioned by a schema tag plus the simulator's git-describe:
-   a rebuilt simulator writes into a fresh directory, so stale results are
-   never replayed and need no explicit invalidation scan. *)
-let schema_version = 1
+let set_cache_dir dir = Result_store.set_root dir
 
-let simulator_version =
-  lazy
-    (try
-       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
-       let line = try String.trim (input_line ic) with End_of_file -> "" in
-       ignore (Unix.close_process_in ic);
-       if line = "" then "unversioned" else line
-     with _ -> "unversioned")
-
-let version_tag () =
-  Printf.sprintf "v%d-%s" schema_version (Lazy.force simulator_version)
-
-let cache_root = ref None
-
-let set_cache_dir dir = cache_root := dir
-
-let cache_dir () = !cache_root
+let cache_dir () = Result_store.root ()
 
 (* --- cells and keys --------------------------------------------------- *)
 
@@ -93,56 +232,28 @@ let key ?es_override ?options ?variant cfg ~arch technique spec =
 
 (* --- in-memory and on-disk caches ------------------------------------ *)
 
+(* The in-memory table is shared by every domain that runs cells (the
+   serve daemon's suite jobs call [run] from pool workers), so accesses
+   go through one mutex. Computation never happens under the lock. *)
 let cache : (string, Runner.run) Hashtbl.t = Hashtbl.create 64
+
+let cache_lock = Mutex.create ()
+
+let with_cache f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let mem_find k = with_cache (fun () -> Hashtbl.find_opt cache k)
+
+let mem_add k run = with_cache (fun () -> Hashtbl.replace cache k run)
+
+let mem_mem k = with_cache (fun () -> Hashtbl.mem cache k)
 
 let misses = Atomic.make 0
 
 let simulations () = Atomic.get misses
 
-let clear () = Hashtbl.reset cache
-
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let disk_path k =
-  Option.map
-    (fun root ->
-      Filename.concat
-        (Filename.concat root (version_tag ()))
-        (Digest.to_hex (Digest.string k) ^ ".run"))
-    !cache_root
-
-let disk_load k =
-  match disk_path k with
-  | None -> None
-  | Some path when not (Sys.file_exists path) -> None
-  | Some path -> (
-      try
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let stored_key, run = (Marshal.from_channel ic : string * Runner.run) in
-            (* The file name is a digest; storing the key guards against
-               the (unlikely) digest collision. *)
-            if String.equal stored_key k then Some run else None)
-      with _ -> None)
-
-let disk_store k run =
-  match disk_path k with
-  | None -> ()
-  | Some path -> (
-      try
-        mkdir_p (Filename.dirname path);
-        let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
-        let oc = open_out_bin tmp in
-        Marshal.to_channel oc (k, run) [];
-        close_out oc;
-        Sys.rename tmp path
-      with Sys_error _ | Unix.Unix_error _ -> ())
+let clear () = with_cache (fun () -> Hashtbl.reset cache)
 
 (* --- execution -------------------------------------------------------- *)
 
@@ -155,51 +266,51 @@ let compute cfg c =
   let kernel = Exp_config.kernel_of cfg c.spec in
   Runner.execute ~options ~fast_forward:!ff c.arch c.technique kernel
 
+let cached cfg c =
+  let k = key_of_cell cfg c in
+  match mem_find k with
+  | Some run -> Some run
+  | None -> (
+      match Result_store.load k with
+      | Some run ->
+          mem_add k run;
+          Some run
+      | None -> None)
+
+let insert cfg c run =
+  let k = key_of_cell cfg c in
+  Atomic.incr misses;
+  mem_add k run;
+  Result_store.store k run
+
 let lookup cfg c =
   let k = key_of_cell cfg c in
-  match Hashtbl.find_opt cache k with
+  match mem_find k with
   | Some run -> run
   | None -> (
-      match disk_load k with
+      match Result_store.load k with
       | Some run ->
-          Hashtbl.replace cache k run;
+          mem_add k run;
           run
       | None ->
           Atomic.incr misses;
           let run = compute cfg c in
-          Hashtbl.replace cache k run;
-          disk_store k run;
+          mem_add k run;
+          Result_store.store k run;
           run)
 
 let run ?es_override ?options ?variant cfg ~arch technique spec =
   lookup cfg (cell ?es_override ?options ?variant ~arch technique spec)
 
-(* Work-queue fan-out: worker domains claim task indices through an atomic
-   counter and write into disjoint slots of the result array, so the only
-   shared mutable state is the counter itself. Each task is a full
-   self-contained simulation (kernel, memory system, statistics are all
-   per-run state). The coordinator participates as the last worker. *)
+(* Work-queue fan-out on the shared persistent pool: jobs claim indices
+   and write into disjoint slots of the result array, so results come
+   back in submission order whatever the worker count. Each task is a
+   full self-contained simulation (kernel, memory system, statistics are
+   all per-run state). [jobs = 1] is a 0-worker pool: the coordinator
+   runs everything itself, exactly the serial engine. *)
 let parallel_map ~jobs tasks f =
-  let n = Array.length tasks in
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec go () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (try Ok (f tasks.(i)) with e -> Error e);
-        go ()
-      end
-    in
-    go ()
-  in
-  let d = max 1 (min jobs n) in
-  let helpers = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  Array.iter Domain.join helpers;
-  Array.map
-    (function Some (Ok r) -> r | Some (Error e) -> raise e | None -> assert false)
-    results
+  let workers = max 0 (min jobs (Array.length tasks) - 1) in
+  Pool.map (shared_pool ~workers) tasks f
 
 let prefetch ?jobs:requested cfg cells =
   let jobs =
@@ -215,11 +326,11 @@ let prefetch ?jobs:requested cfg cells =
     List.filter_map
       (fun c ->
         let k = key_of_cell cfg c in
-        if Hashtbl.mem cache k || Hashtbl.mem queued k then None
+        if mem_mem k || Hashtbl.mem queued k then None
         else
-          match disk_load k with
+          match Result_store.load k with
           | Some run ->
-              Hashtbl.replace cache k run;
+              mem_add k run;
               None
           | None ->
               Hashtbl.replace queued k ();
@@ -236,8 +347,8 @@ let prefetch ?jobs:requested cfg cells =
           (fun i run ->
             let k, _ = tasks.(i) in
             Atomic.incr misses;
-            Hashtbl.replace cache k run;
-            disk_store k run)
+            mem_add k run;
+            Result_store.store k run)
           runs)
   end
 

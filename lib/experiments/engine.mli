@@ -55,14 +55,56 @@ val run :
   Workloads.Spec.t ->
   Regmutex.Runner.run
 
-(** [parallel_map ~jobs tasks f] maps [f] over [tasks] on [jobs] worker
-    domains (the coordinator participates as the last worker): workers
-    claim indices through an atomic counter and write disjoint result
-    slots, and results come back in submission order regardless of the
-    worker count — deterministic fan-out. A task that raises has its
-    exception re-raised on the coordinator. The sweep engine runs its
-    missing cells through this; the fuzz driver reuses it for per-seed
-    oracle runs. *)
+(** Persistent worker pool: domains are spawned once at {!Pool.create}
+    and reused across every {!Pool.map} / {!Pool.submit} until
+    {!Pool.shutdown}, replacing the old spawn/join-per-call fan-out.
+    {!parallel_map} (and through it {!prefetch} and the fuzz driver) runs
+    on one process-wide shared pool ({!shared_pool}); the serve daemon
+    feeds its job queue into the same pool. *)
+module Pool : sig
+  type t
+
+  (** [create ~workers] spawns [workers] (>= 0) domains. A 0-worker pool
+      is valid: jobs only run when the submitting domain participates
+      through {!map}. *)
+  val create : workers:int -> t
+
+  val workers : t -> int
+
+  (** Enqueue one asynchronous job; it runs on some worker (exceptions
+      are swallowed — jobs that can fail must capture their own result).
+      @raise Invalid_argument after {!shutdown}. *)
+  val submit : t -> (unit -> unit) -> unit
+
+  (** [map t tasks f] — blocking batch: the caller submits one job per
+      task, participates in draining the queue, and waits for the batch.
+      Results come back in submission order regardless of worker count —
+      deterministic fan-out. A task that raises has its exception
+      re-raised on the caller. *)
+  val map : t -> 'a array -> ('a -> 'b) -> 'b array
+
+  (** Stop accepting jobs, drain everything already queued, and join the
+      worker domains. Idempotent. *)
+  val shutdown : t -> unit
+end
+
+(** The process-wide pool, (re)sized to [workers] worker domains. An
+    existing pool of another size is drained and replaced — except when
+    called from a pool worker (a nested fan-out), which always reuses
+    the pool it is running on. *)
+val shared_pool : workers:int -> Pool.t
+
+(** Drain and join the shared pool (no-op when none exists). *)
+val shutdown_pool : unit -> unit
+
+(** [parallel_map ~jobs tasks f] maps [f] over [tasks] with [jobs]-way
+    parallelism on the shared persistent pool ([jobs - 1] workers plus
+    the participating caller, so [jobs = 1] is serial on the caller).
+    Results come back in submission order regardless of the worker
+    count — deterministic fan-out. A task that raises has its exception
+    re-raised on the coordinator. The sweep engine runs its missing
+    cells through this; the fuzz driver reuses it for per-seed oracle
+    runs. *)
 val parallel_map : jobs:int -> 'a array -> ('a -> 'b) -> 'b array
 
 (** [prefetch ?jobs cfg cells] simulates every cell not already cached,
@@ -105,6 +147,27 @@ val cache_dir : unit -> string option
 (** Drop all in-memory cached runs (tests use this to control sharing).
     The on-disk store, if enabled, is untouched. *)
 val clear : unit -> unit
+
+(** {2 Daemon-facing primitives}
+
+    The serve daemon separates the three steps [lookup] fuses, so cache
+    probes and inserts stay on its coordinator thread while computes run
+    on pool workers. *)
+
+(** Full cache key of a cell (same as {!key}). *)
+val key_of_cell : Exp_config.t -> cell -> string
+
+(** Probe both cache layers (promoting a disk hit to memory); never
+    simulates, never counts a miss. *)
+val cached : Exp_config.t -> cell -> Regmutex.Runner.run option
+
+(** Simulate unconditionally, bypassing both cache layers. Safe on any
+    domain. *)
+val compute : Exp_config.t -> cell -> Regmutex.Runner.run
+
+(** Record an externally-computed run in both cache layers, counting one
+    simulation. *)
+val insert : Exp_config.t -> cell -> Regmutex.Runner.run -> unit
 
 (** Number of simulations actually executed by this process (misses in
     both cache layers). *)

@@ -1,0 +1,60 @@
+(** Managed on-disk result store under [<root>/<version-tag>/].
+
+    One marshalled [(key, run)] file per cache key, as before, plus an
+    [INDEX] file recording size and last-use order so the store can be
+    size-bounded: when {!set_limit_bytes} is exceeded, least-recently-used
+    entries are evicted. Entries {!pin}ned by the caller (the serve
+    daemon pins every key it is currently computing or answering) are
+    never evicted. {!compact} drops whole version directories left behind
+    by older schemas or simulator builds.
+
+    All operations are serialized by an internal mutex, so the store may
+    be touched from any domain. *)
+
+type stats = {
+  entries : int;        (** files tracked in the current version dir *)
+  bytes : int;          (** their total size *)
+  limit_bytes : int option;
+  evictions : int;      (** LRU evictions performed by this process *)
+  version : string;     (** current version tag, e.g. ["v1-abc1234"] *)
+}
+
+(** Enable ([Some dir], conventionally ["_results"]) or disable ([None])
+    the store. Changing the root resets the in-memory index; the
+    directory's [INDEX] file is reloaded lazily on first use (files
+    present on disk but missing from the index are adopted with
+    last-use 0, i.e. first in line for eviction). *)
+val set_root : string option -> unit
+
+val root : unit -> string option
+
+(** Size bound in bytes ([None], the default, is unbounded). Takes
+    effect on the next {!store}. *)
+val set_limit_bytes : int option -> unit
+
+val limit_bytes : unit -> int option
+
+(** [v<schema>-<git-describe>] — the version directory name. *)
+val version_tag : unit -> string
+
+(** [load key] reads the entry back (and marks it most recently used),
+    [None] when disabled, absent, or unreadable. *)
+val load : string -> Regmutex.Runner.run option
+
+(** [store key run] writes atomically (tmp + rename), updates the index,
+    then evicts LRU entries until the store fits the limit. *)
+val store : string -> Regmutex.Runner.run -> unit
+
+(** Pins are counted: [pin] twice needs [unpin] twice. Pinning is by
+    key and is meaningful even before the entry exists (the daemon pins
+    at enqueue time, before the compute finishes). *)
+val pin : string -> unit
+
+val unpin : string -> unit
+
+(** [compact ()] removes every version directory under the root except
+    the current one, returning [(files_removed, bytes_removed)].
+    [(0, 0)] when the store is disabled. *)
+val compact : unit -> int * int
+
+val stats : unit -> stats

@@ -1,0 +1,76 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  (* Responses read while waiting for a different id (one connection may
+     interleave requests). *)
+  pending : (int, P.response) Hashtbl.t;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1;
+    pending = Hashtbl.create 4;
+  }
+
+let connect_retry ?(attempts = 50) ?(delay = 0.1) path =
+  let rec go n =
+    match connect path with
+    | t -> t
+    | exception (Unix.Unix_error _ | Sys_error _) when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+    | exception _ ->
+        failwith (Printf.sprintf "cannot connect to daemon at %s" path)
+  in
+  go (max 1 attempts)
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  output_string t.oc (P.encode_request id req);
+  output_char t.oc '\n';
+  flush t.oc;
+  let rec await () =
+    match Hashtbl.find_opt t.pending id with
+    | Some resp ->
+        Hashtbl.remove t.pending id;
+        resp
+    | None -> (
+        match input_line t.ic with
+        | exception End_of_file -> failwith "daemon closed the connection"
+        | line -> (
+            match P.decode_response line with
+            | Result.Error msg -> failwith ("bad response frame: " ^ msg)
+            | Ok (rid, resp) ->
+                if rid = id then resp
+                else begin
+                  Hashtbl.replace t.pending rid resp;
+                  await ()
+                end))
+  in
+  await ()
+
+let request_retry ?(attempts = 200) ?(delay = 0.05) t req =
+  let rec go n =
+    match request t req with
+    | P.Busy when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+    | resp -> resp
+  in
+  go (max 1 attempts)

@@ -1,0 +1,26 @@
+(** Blocking client of the [regmutex serve] daemon — the CLI's
+    [--daemon] mode and the bench/test harnesses speak through this. *)
+
+type t
+
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nothing listens there. *)
+val connect : string -> t
+
+(** [connect_retry ?attempts ?delay path] — retry [connect] (default 50
+    attempts, 0.1s apart) while the daemon starts up.
+    @raise Failure when every attempt fails. *)
+val connect_retry : ?attempts:int -> ?delay:float -> string -> t
+
+(** Send one request and block for its response (requests are matched by
+    id, so coalesced/queued responses arriving out of order are handled).
+    @raise Failure on a closed connection or an undecodable frame. *)
+val request : t -> Protocol.request -> Protocol.response
+
+(** {!request}, retrying (0.05s apart) while the daemon answers [busy].
+    Default 200 attempts; the last [Busy] is returned if it never
+    clears. *)
+val request_retry : ?attempts:int -> ?delay:float -> t -> Protocol.request
+  -> Protocol.response
+
+val close : t -> unit

@@ -1,0 +1,309 @@
+module J = Telemetry.Json_check
+
+type run_request = {
+  workload : string;
+  technique : string;
+  half : bool;
+  es_override : int option;
+  variant : string;
+  quick : bool;
+  grid_scale : float option;
+}
+
+type request =
+  | Ping
+  | Run of run_request
+  | Trace of run_request
+  | Suite of { entries : string list; quick : bool }
+  | Fuzz of {
+      n_seeds : int;
+      seed0 : int;
+      inject : string option;
+      do_shrink : bool;
+    }
+  | Metrics
+  | Stats
+  | Compact
+  | Shutdown
+
+type run_payload = {
+  key : string;
+  fingerprint : string;
+  cycles : int;
+  instructions : int;
+  theoretical_occupancy : float;
+  achieved_occupancy : float;
+  warm : bool;
+}
+
+type response =
+  | Ok_ping
+  | Ok_run of run_payload
+  | Ok_trace of { events : int; trace : string }
+  | Ok_suite of { output : string }
+  | Ok_fuzz of {
+      tested : int;
+      failures : int;
+      injected : int;
+      caught : int;
+      output : string;
+    }
+  | Ok_metrics of string
+  | Ok_stats of (string * float) list
+  | Ok_compact of { files : int; bytes : int }
+  | Ok_shutdown
+  | Busy
+  | Error of { code : string; message : string }
+
+let run_request ?(half = false) ?es_override ?(variant = "") ?(quick = false)
+    ?grid_scale ~workload ~technique () =
+  { workload; technique; half; es_override; variant; quick; grid_scale }
+
+let request_type = function
+  | Ping -> "ping"
+  | Run _ -> "run"
+  | Trace _ -> "trace"
+  | Suite _ -> "suite"
+  | Fuzz _ -> "fuzz"
+  | Metrics -> "metrics"
+  | Stats -> "stats"
+  | Compact -> "compact"
+  | Shutdown -> "shutdown"
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let num_i i = J.Num (float_of_int i)
+
+let opt_field name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let run_request_fields r =
+  [ ("workload", J.Str r.workload); ("technique", J.Str r.technique);
+    ("half", J.Bool r.half) ]
+  @ opt_field "es" num_i r.es_override
+  @ (if r.variant = "" then [] else [ ("variant", J.Str r.variant) ])
+  @ [ ("quick", J.Bool r.quick) ]
+  @ opt_field "grid_scale" (fun s -> J.Num s) r.grid_scale
+
+let encode_request id req =
+  let typed fields = ("type", J.Str (request_type req)) :: fields in
+  let fields =
+    match req with
+    | Ping | Metrics | Stats | Compact | Shutdown -> typed []
+    | Run r | Trace r -> typed (run_request_fields r)
+    | Suite { entries; quick } ->
+        typed
+          [ ("entries", J.List (List.map (fun e -> J.Str e) entries));
+            ("quick", J.Bool quick) ]
+    | Fuzz { n_seeds; seed0; inject; do_shrink } ->
+        typed
+          ([ ("seeds", num_i n_seeds); ("seed0", num_i seed0) ]
+          @ opt_field "inject" (fun f -> J.Str f) inject
+          @ [ ("shrink", J.Bool do_shrink) ])
+  in
+  J.to_string (J.Obj (("id", num_i id) :: fields))
+
+let encode_response id resp =
+  let ok fields = ("status", J.Str "ok") :: fields in
+  let fields =
+    match resp with
+    | Ok_ping -> ok [ ("type", J.Str "ping") ]
+    | Ok_run p ->
+        ok
+          [ ("type", J.Str "run"); ("key", J.Str p.key);
+            ("fingerprint", J.Str p.fingerprint); ("cycles", num_i p.cycles);
+            ("instructions", num_i p.instructions);
+            ("theoretical_occupancy", J.Num p.theoretical_occupancy);
+            ("achieved_occupancy", J.Num p.achieved_occupancy);
+            ("warm", J.Bool p.warm) ]
+    | Ok_trace { events; trace } ->
+        ok [ ("type", J.Str "trace"); ("events", num_i events);
+             ("trace", J.Str trace) ]
+    | Ok_suite { output } ->
+        ok [ ("type", J.Str "suite"); ("output", J.Str output) ]
+    | Ok_fuzz { tested; failures; injected; caught; output } ->
+        ok
+          [ ("type", J.Str "fuzz"); ("tested", num_i tested);
+            ("failures", num_i failures); ("injected", num_i injected);
+            ("caught", num_i caught); ("output", J.Str output) ]
+    | Ok_metrics text -> ok [ ("type", J.Str "metrics"); ("text", J.Str text) ]
+    | Ok_stats kvs ->
+        ok
+          [ ("type", J.Str "stats");
+            ("stats", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) kvs)) ]
+    | Ok_compact { files; bytes } ->
+        ok [ ("type", J.Str "compact"); ("files", num_i files);
+             ("bytes", num_i bytes) ]
+    | Ok_shutdown -> ok [ ("type", J.Str "shutdown") ]
+    | Busy -> [ ("status", J.Str "busy") ]
+    | Error { code; message } ->
+        [ ("status", J.Str "error"); ("code", J.Str code);
+          ("message", J.Str message) ]
+  in
+  J.to_string (J.Obj (("id", num_i id) :: fields))
+
+(* --- decoding ---------------------------------------------------------- *)
+
+let field name = function J.Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+let str_field name j =
+  match field name j with Some (J.Str s) -> Some s | _ -> None
+
+let num_field name j =
+  match field name j with Some (J.Num f) -> Some f | _ -> None
+
+let int_field name j = Option.map int_of_float (num_field name j)
+
+let bool_field ~default name j =
+  match field name j with Some (J.Bool b) -> b | _ -> default
+
+let decode_run_request j =
+  match (str_field "workload" j, str_field "technique" j) with
+  | Some workload, Some technique ->
+      Ok
+        {
+          workload;
+          technique;
+          half = bool_field ~default:false "half" j;
+          es_override = int_field "es" j;
+          variant = Option.value ~default:"" (str_field "variant" j);
+          quick = bool_field ~default:false "quick" j;
+          grid_scale = num_field "grid_scale" j;
+        }
+  | _ -> Result.Error "missing workload or technique"
+
+let decode_frame line =
+  match J.parse_opt line with
+  | Result.Error msg -> Result.Error msg
+  | Ok j -> (
+      match int_field "id" j with
+      | None -> Result.Error "missing id"
+      | Some id -> Ok (id, j))
+
+let decode_request line =
+  Result.bind (decode_frame line) (fun (id, j) ->
+      let with_id r = Result.map (fun req -> (id, req)) r in
+      match str_field "type" j with
+      | Some "ping" -> Ok (id, Ping)
+      | Some "run" -> with_id (Result.map (fun r -> Run r) (decode_run_request j))
+      | Some "trace" ->
+          with_id (Result.map (fun r -> Trace r) (decode_run_request j))
+      | Some "suite" ->
+          let entries =
+            match field "entries" j with
+            | Some (J.List l) ->
+                List.filter_map (function J.Str s -> Some s | _ -> None) l
+            | _ -> []
+          in
+          Ok (id, Suite { entries; quick = bool_field ~default:false "quick" j })
+      | Some "fuzz" ->
+          Ok
+            ( id,
+              Fuzz
+                {
+                  n_seeds = Option.value ~default:100 (int_field "seeds" j);
+                  seed0 = Option.value ~default:0 (int_field "seed0" j);
+                  inject = str_field "inject" j;
+                  do_shrink = bool_field ~default:false "shrink" j;
+                } )
+      | Some "metrics" -> Ok (id, Metrics)
+      | Some "stats" -> Ok (id, Stats)
+      | Some "compact" -> Ok (id, Compact)
+      | Some "shutdown" -> Ok (id, Shutdown)
+      | Some t -> Result.Error (Printf.sprintf "unknown request type %S" t)
+      | None -> Result.Error "missing type")
+
+let require name = function
+  | Some v -> Ok v
+  | None -> Result.Error ("missing " ^ name)
+
+let decode_response line =
+  Result.bind (decode_frame line) (fun (id, j) ->
+      let ( let* ) = Result.bind in
+      match str_field "status" j with
+      | Some "busy" -> Ok (id, Busy)
+      | Some "error" ->
+          Ok
+            ( id,
+              Error
+                {
+                  code = Option.value ~default:"unknown" (str_field "code" j);
+                  message = Option.value ~default:"" (str_field "message" j);
+                } )
+      | Some "ok" -> (
+          match str_field "type" j with
+          | Some "ping" -> Ok (id, Ok_ping)
+          | Some "run" ->
+              let* key = require "key" (str_field "key" j) in
+              let* fingerprint =
+                require "fingerprint" (str_field "fingerprint" j)
+              in
+              let* cycles = require "cycles" (int_field "cycles" j) in
+              let* instructions =
+                require "instructions" (int_field "instructions" j)
+              in
+              Ok
+                ( id,
+                  Ok_run
+                    {
+                      key;
+                      fingerprint;
+                      cycles;
+                      instructions;
+                      theoretical_occupancy =
+                        Option.value ~default:0.
+                          (num_field "theoretical_occupancy" j);
+                      achieved_occupancy =
+                        Option.value ~default:0.
+                          (num_field "achieved_occupancy" j);
+                      warm = bool_field ~default:false "warm" j;
+                    } )
+          | Some "trace" ->
+              let* trace = require "trace" (str_field "trace" j) in
+              Ok
+                ( id,
+                  Ok_trace
+                    { events = Option.value ~default:0 (int_field "events" j);
+                      trace } )
+          | Some "suite" ->
+              let* output = require "output" (str_field "output" j) in
+              Ok (id, Ok_suite { output })
+          | Some "fuzz" ->
+              let* output = require "output" (str_field "output" j) in
+              let get name = Option.value ~default:0 (int_field name j) in
+              Ok
+                ( id,
+                  Ok_fuzz
+                    {
+                      tested = get "tested";
+                      failures = get "failures";
+                      injected = get "injected";
+                      caught = get "caught";
+                      output;
+                    } )
+          | Some "metrics" ->
+              let* text = require "text" (str_field "text" j) in
+              Ok (id, Ok_metrics text)
+          | Some "stats" -> (
+              match field "stats" j with
+              | Some (J.Obj kvs) ->
+                  Ok
+                    ( id,
+                      Ok_stats
+                        (List.filter_map
+                           (function
+                             | k, J.Num v -> Some (k, v) | _ -> None)
+                           kvs) )
+              | _ -> Result.Error "missing stats")
+          | Some "compact" ->
+              Ok
+                ( id,
+                  Ok_compact
+                    {
+                      files = Option.value ~default:0 (int_field "files" j);
+                      bytes = Option.value ~default:0 (int_field "bytes" j);
+                    } )
+          | Some "shutdown" -> Ok (id, Ok_shutdown)
+          | Some t -> Result.Error (Printf.sprintf "unknown response type %S" t)
+          | None -> Result.Error "missing type")
+      | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
+      | None -> Result.Error "missing status")

@@ -1,0 +1,109 @@
+(** Line-delimited JSON protocol of the [regmutex serve] daemon.
+
+    One request per line, one response line per request, both rendered
+    with {!Telemetry.Json_check.to_string} (no interior newlines) and
+    parsed with [Json_check.parse] — no external JSON dependency. Each
+    request carries a client-chosen [id] echoed on its response, so one
+    connection can pipeline requests; responses to jobs that compute
+    arrive in completion order.
+
+    Request object: [{"id": N, "type": T, ...}] with [T] one of [ping],
+    [run], [trace], [suite], [fuzz], [metrics], [stats], [compact],
+    [shutdown]. Response object: [{"id": N, "status": S, ...}] with [S]
+    one of [ok], [busy] (back-pressure: the job queue is full — retry),
+    or [error] (with [code] and [message]).
+
+    Error codes: [bad-request] (malformed frame or field),
+    [unknown-workload], [unknown-technique], [unknown-experiment],
+    [unknown-fault], [compute-failed] (the simulation raised), and
+    [shutting-down] (request arrived after [shutdown] was accepted).
+
+    See EXPERIMENTS.md "Sweep as a service" for the field-by-field
+    schema. *)
+
+(** One experiment cell, mirroring {!Experiments.Engine.cell}: workload
+    by registry name, technique by CLI name, full or halved register
+    file, optional |Es| override and grid scale, free-form variant
+    label, quick or default grids. *)
+type run_request = {
+  workload : string;
+  technique : string;
+  half : bool;
+  es_override : int option;
+  variant : string;
+  quick : bool;
+  grid_scale : float option;
+}
+
+type request =
+  | Ping
+  | Run of run_request  (** simulate (or recall) one cell *)
+  | Trace of run_request
+      (** simulate with the telemetry sink attached and stream back the
+          Chrome trace-event JSON *)
+  | Suite of { entries : string list; quick : bool }
+      (** render whole experiments (empty [entries] = all) exactly as
+          [regmutex sweep] would print them *)
+  | Fuzz of {
+      n_seeds : int;
+      seed0 : int;
+      inject : string option;
+      do_shrink : bool;
+    }  (** a fuzzing batch (no corpus persistence on the daemon) *)
+  | Metrics  (** Prometheus text of the daemon's own registry *)
+  | Stats  (** server counters as JSON *)
+  | Compact  (** drop stale-version result-store directories *)
+  | Shutdown  (** stop accepting work, drain, exit *)
+
+type run_payload = {
+  key : string;  (** engine cache key *)
+  fingerprint : string;  (** {!Regmutex.Runner.fingerprint} *)
+  cycles : int;
+  instructions : int;
+  theoretical_occupancy : float;
+  achieved_occupancy : float;
+  warm : bool;  (** answered from cache without touching a worker *)
+}
+
+type response =
+  | Ok_ping
+  | Ok_run of run_payload
+  | Ok_trace of { events : int; trace : string }
+  | Ok_suite of { output : string }
+  | Ok_fuzz of {
+      tested : int;
+      failures : int;
+      injected : int;
+      caught : int;
+      output : string;
+    }
+  | Ok_metrics of string
+  | Ok_stats of (string * float) list
+  | Ok_compact of { files : int; bytes : int }
+  | Ok_shutdown
+  | Busy
+  | Error of { code : string; message : string }
+
+val run_request :
+  ?half:bool ->
+  ?es_override:int ->
+  ?variant:string ->
+  ?quick:bool ->
+  ?grid_scale:float ->
+  workload:string ->
+  technique:string ->
+  unit ->
+  run_request
+
+(** Rendered frames are single lines without the trailing newline. *)
+val encode_request : int -> request -> string
+
+val decode_request : string -> (int * request, string) result
+
+val encode_response : int -> response -> string
+
+val decode_response : string -> (int * response, string) result
+
+(** Human-readable request-type name ([run], [suite], ...) — the
+    daemon's per-type metric label. *)
+val request_type : request -> string

@@ -1,0 +1,652 @@
+module Engine = Experiments.Engine
+module Result_store = Experiments.Result_store
+module Exp_config = Experiments.Exp_config
+module Suite = Experiments.Suite
+module Metrics = Telemetry.Metrics
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  max_queue : int;
+  cache_dir : string option;
+  store_limit_bytes : int option;
+  verbose : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Engine.auto_jobs ();
+    max_queue = 64;
+    cache_dir = Some "_results";
+    store_limit_bytes = None;
+    verbose = false;
+  }
+
+(* --- daemon metrics ---------------------------------------------------- *)
+
+let request_types =
+  [ "ping"; "run"; "trace"; "suite"; "fuzz"; "metrics"; "stats"; "compact";
+    "shutdown" ]
+
+type daemon_metrics = {
+  registry : Metrics.t;
+  by_type : (string * Metrics.counter) list;
+  requests : Metrics.counter;
+  warm_hits : Metrics.counter;
+  computes : Metrics.counter;
+  coalesced : Metrics.counter;
+  busy : Metrics.counter;
+  errors : Metrics.counter;
+  inflight : Metrics.gauge;
+  clients : Metrics.gauge;
+  latency : Metrics.histogram;
+}
+
+let make_metrics () =
+  let registry = Metrics.create () in
+  let counter name help = Metrics.counter ~help registry name in
+  {
+    registry;
+    by_type =
+      List.map
+        (fun t ->
+          ( t,
+            counter
+              (Printf.sprintf "regmutex_serve_requests_%s_total" t)
+              (Printf.sprintf "Requests of type %s" t) ))
+        request_types;
+    requests = counter "regmutex_serve_requests_total" "All requests received";
+    warm_hits =
+      counter "regmutex_serve_cache_hits_total"
+        "Run requests answered from a cache layer without a worker";
+    computes =
+      counter "regmutex_serve_computations_total"
+        "Jobs actually enqueued on the worker pool";
+    coalesced =
+      counter "regmutex_serve_coalesced_total"
+        "Requests that joined an identical in-flight job (single-flight)";
+    busy =
+      counter "regmutex_serve_busy_total"
+        "Requests refused because the job queue was full";
+    errors = counter "regmutex_serve_errors_total" "Error responses sent";
+    inflight =
+      Metrics.gauge ~help:"Distinct jobs currently queued or running" registry
+        "regmutex_serve_inflight_jobs";
+    clients =
+      Metrics.gauge ~help:"Connected clients" registry
+        "regmutex_serve_clients";
+    latency =
+      Metrics.histogram
+        ~help:"Request latency, receipt to response enqueue, microseconds"
+        ~buckets:[| 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
+        registry "regmutex_serve_request_us";
+  }
+
+(* --- stdout capture (suite jobs render through Printf/Format) ---------- *)
+
+(* fd 1 is process-global, so captures are serialized; the simulator
+   itself never prints, so only concurrent suite jobs contend here. *)
+let capture_lock = Mutex.create ()
+
+let capture_stdout f =
+  Mutex.lock capture_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock capture_lock)
+    (fun () ->
+      Format.print_flush ();
+      flush stdout;
+      let tmp = Filename.temp_file "regmutex-serve" ".out" in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let saved = Unix.dup Unix.stdout in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      let restore () =
+        Format.print_flush ();
+        flush stdout;
+        Unix.dup2 saved Unix.stdout;
+        Unix.close saved
+      in
+      let result =
+        match f () with
+        | r -> Ok r
+        | exception e ->
+            restore ();
+            (try Sys.remove tmp with Sys_error _ -> ());
+            raise e
+      in
+      restore ();
+      let ic = open_in_bin tmp in
+      let out =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      match result with Ok r -> (r, out) | Error _ -> assert false)
+
+(* --- request resolution ------------------------------------------------ *)
+
+let technique_of_string = function
+  | "baseline" -> Some Regmutex.Technique.Baseline
+  | "regmutex" -> Some Regmutex.Technique.Regmutex
+  | "paired" | "regmutex-paired" -> Some Regmutex.Technique.Regmutex_paired
+  | "owf" -> Some Regmutex.Technique.Owf
+  | "rfv" -> Some Regmutex.Technique.Rfv
+  | _ -> None
+
+(* Everything a handler might need from a run request: the abstract
+   engine cell for the cache machinery, plus its ingredients for paths
+   that simulate outside the engine (trace recording). *)
+type resolved = {
+  r_cfg : Exp_config.t;
+  r_cell : Engine.cell;
+  r_arch : Gpu_uarch.Arch_config.t;
+  r_technique : Regmutex.Technique.t;
+  r_spec : Workloads.Spec.t;
+  r_es : int option;
+}
+
+let resolve_run (r : P.run_request) =
+  match Workloads.Registry.find r.P.workload with
+  | exception Not_found ->
+      Result.Error
+        ( "unknown-workload",
+          Printf.sprintf "unknown workload %S (try: %s)" r.P.workload
+            (String.concat ", " Workloads.Registry.names) )
+  | spec -> (
+      match technique_of_string r.P.technique with
+      | None ->
+          Result.Error
+            ( "unknown-technique",
+              Printf.sprintf
+                "unknown technique %S (baseline | regmutex | paired | owf | \
+                 rfv)"
+                r.P.technique )
+      | Some technique ->
+          let base = if r.P.quick then Exp_config.quick else Exp_config.default in
+          let cfg =
+            match r.P.grid_scale with
+            | None -> base
+            | Some s -> { base with Exp_config.grid_scale = s }
+          in
+          let arch =
+            if r.P.half then cfg.Exp_config.half_arch else cfg.Exp_config.arch
+          in
+          Ok
+            {
+              r_cfg = cfg;
+              r_cell =
+                Engine.cell ?es_override:r.P.es_override ~variant:r.P.variant
+                  ~arch technique spec;
+              r_arch = arch;
+              r_technique = technique;
+              r_spec = spec;
+              r_es = r.P.es_override;
+            })
+
+let payload_of_run ~key ~warm (run : Regmutex.Runner.run) =
+  {
+    P.key;
+    fingerprint = Regmutex.Runner.fingerprint run;
+    cycles = run.Regmutex.Runner.cycles;
+    instructions = run.Regmutex.Runner.instructions;
+    theoretical_occupancy = run.Regmutex.Runner.theoretical_occupancy;
+    achieved_occupancy = run.Regmutex.Runner.achieved_occupancy;
+    warm;
+  }
+
+(* --- server state ------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  inbuf : Buffer.t;
+  mutable outbuf : string;
+  mutable alive : bool;
+}
+
+type waiter = { w_cid : int; w_id : int; w_t0 : float }
+
+type job = {
+  j_key : string;  (** single-flight identity *)
+  mutable j_waiters : waiter list;  (** newest first *)
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  pool : Engine.Pool.t;
+  m : daemon_metrics;
+  conns : (int, conn) Hashtbl.t;
+  jobs : (string, job) Hashtbl.t;
+  completions : (string * P.response) Queue.t;
+  comp_lock : Mutex.t;
+  mutable next_cid : int;
+  mutable stopping : bool;
+  started_at : float;
+}
+
+let log t fmt =
+  if t.config.verbose then
+    Printf.eprintf ("[serve] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let counter_for t ty =
+  match List.assoc_opt ty t.m.by_type with
+  | Some c -> c
+  | None -> t.m.requests
+
+(* --- writing ----------------------------------------------------------- *)
+
+let flush_out conn =
+  if conn.alive && String.length conn.outbuf > 0 then begin
+    let b = Bytes.unsafe_of_string conn.outbuf in
+    match Unix.write conn.fd b 0 (Bytes.length b) with
+    | n ->
+        conn.outbuf <-
+          String.sub conn.outbuf n (String.length conn.outbuf - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> conn.alive <- false
+  end
+
+let send t conn id resp =
+  (match resp with
+  | P.Error _ -> Metrics.inc t.m.errors 1
+  | P.Busy -> Metrics.inc t.m.busy 1
+  | _ -> ());
+  conn.outbuf <- conn.outbuf ^ P.encode_response id resp ^ "\n";
+  flush_out conn
+
+let observe_latency t t0 =
+  Metrics.observe t.m.latency
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+
+(* --- job lifecycle ----------------------------------------------------- *)
+
+let set_inflight t = Metrics.set t.m.inflight (float_of_int (Hashtbl.length t.jobs))
+
+let complete t key resp =
+  Mutex.lock t.comp_lock;
+  Queue.push (key, resp) t.completions;
+  Mutex.unlock t.comp_lock;
+  (* Wake the coordinator's select. *)
+  ignore (try Unix.write t.pipe_w (Bytes.make 1 '!') 0 1 with Unix.Unix_error _ -> 0)
+
+(* Enqueue [work] (runs on a pool worker, must not raise) under
+   single-flight [key]; identical concurrent requests join the waiter
+   list of the job already in flight. *)
+let enqueue t conn id key work =
+  match Hashtbl.find_opt t.jobs key with
+  | Some job ->
+      Metrics.inc t.m.coalesced 1;
+      job.j_waiters <-
+        { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday () }
+        :: job.j_waiters
+  | None ->
+      if Hashtbl.length t.jobs >= t.config.max_queue then
+        send t conn id P.Busy
+      else begin
+        let job =
+          {
+            j_key = key;
+            j_waiters =
+              [ { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday () } ];
+          }
+        in
+        Hashtbl.replace t.jobs key job;
+        set_inflight t;
+        Metrics.inc t.m.computes 1;
+        Engine.Pool.submit t.pool (fun () ->
+            let resp =
+              try work ()
+              with e ->
+                P.Error
+                  { code = "compute-failed"; message = Printexc.to_string e }
+            in
+            complete t key resp)
+      end
+
+let drain_completions t =
+  let pending = ref [] in
+  Mutex.lock t.comp_lock;
+  Queue.iter (fun c -> pending := c :: !pending) t.completions;
+  Queue.clear t.completions;
+  Mutex.unlock t.comp_lock;
+  List.iter
+    (fun (key, resp) ->
+      match Hashtbl.find_opt t.jobs key with
+      | None -> ()
+      | Some job ->
+          Hashtbl.remove t.jobs key;
+          set_inflight t;
+          List.iter
+            (fun w ->
+              match Hashtbl.find_opt t.conns w.w_cid with
+              | Some conn when conn.alive ->
+                  observe_latency t w.w_t0;
+                  send t conn w.w_id resp
+              | _ -> () (* client went away; drop its share *))
+            (List.rev job.j_waiters))
+    (List.rev !pending)
+
+(* --- request handlers -------------------------------------------------- *)
+
+let stats_payload t =
+  let c = Metrics.counter_value in
+  let store = Result_store.stats () in
+  P.Ok_stats
+    [ ("uptime_s", Unix.gettimeofday () -. t.started_at);
+      ("requests", float_of_int (c t.m.requests));
+      ("cache_hits", float_of_int (c t.m.warm_hits));
+      ("computations", float_of_int (c t.m.computes));
+      ("coalesced", float_of_int (c t.m.coalesced));
+      ("busy", float_of_int (c t.m.busy));
+      ("errors", float_of_int (c t.m.errors));
+      ("inflight", float_of_int (Hashtbl.length t.jobs));
+      ("clients", float_of_int (Hashtbl.length t.conns));
+      ("pool_workers", float_of_int (Engine.Pool.workers t.pool));
+      ("store_entries", float_of_int store.Result_store.entries);
+      ("store_bytes", float_of_int store.Result_store.bytes);
+      ("store_evictions", float_of_int store.Result_store.evictions) ]
+
+let handle_run t conn id (r : P.run_request) =
+  match resolve_run r with
+  | Result.Error (code, message) -> send t conn id (P.Error { code; message })
+  | Ok { r_cfg = cfg; r_cell = cell; _ } -> (
+      let key = Engine.key_of_cell cfg cell in
+      match Engine.cached cfg cell with
+      | Some run ->
+          (* Warm path: answered inline on the coordinator, no worker. *)
+          Metrics.inc t.m.warm_hits 1;
+          send t conn id (P.Ok_run (payload_of_run ~key ~warm:true run))
+      | None ->
+          let jkey = "run:" ^ key in
+          (* Pin for the whole flight so the LRU can never evict the
+             entry between its store and the last waiter's response. *)
+          if not (Hashtbl.mem t.jobs jkey) then Result_store.pin key;
+          enqueue t conn id jkey (fun () ->
+              match Engine.compute cfg cell with
+              | run ->
+                  Engine.insert cfg cell run;
+                  Result_store.unpin key;
+                  P.Ok_run (payload_of_run ~key ~warm:false run)
+              | exception e ->
+                  Result_store.unpin key;
+                  P.Error
+                    { code = "compute-failed"; message = Printexc.to_string e }))
+
+let handle_trace t conn id (r : P.run_request) =
+  match resolve_run r with
+  | Result.Error (code, message) -> send t conn id (P.Error { code; message })
+  | Ok res ->
+      let key = Engine.key_of_cell res.r_cfg res.r_cell in
+      enqueue t conn id ("trace:" ^ key) (fun () ->
+          let options =
+            { Regmutex.Technique.default_options with es_override = res.r_es }
+          in
+          let kernel = Exp_config.kernel_of res.r_cfg res.r_spec in
+          let sink = Telemetry.Sink.create () in
+          let _run =
+            Regmutex.Runner.execute ~options ~telemetry:sink res.r_arch
+              res.r_technique kernel
+          in
+          let trace = sink.Telemetry.Sink.trace in
+          P.Ok_trace
+            {
+              events = Telemetry.Trace.length trace;
+              trace = Format.asprintf "%a" Telemetry.Trace.export_chrome trace;
+            })
+
+let handle_suite t conn id ~entries ~quick =
+  let cfg = if quick then Exp_config.quick else Exp_config.default in
+  let resolved =
+    match entries with
+    | [] -> Ok Suite.all
+    | names ->
+        List.fold_right
+          (fun n acc ->
+            Result.bind acc (fun es ->
+                match Suite.find n with
+                | Some e -> Ok (e :: es)
+                | None ->
+                    Result.Error
+                      (Printf.sprintf "unknown experiment %S (available: %s)" n
+                         (String.concat ", " Suite.names))))
+          names (Ok [])
+  in
+  match resolved with
+  | Result.Error message ->
+      send t conn id (P.Error { code = "unknown-experiment"; message })
+  | Ok entries ->
+      let jkey =
+        Printf.sprintf "suite:%b:%s" quick
+          (String.concat "," (List.map (fun e -> e.Suite.name) entries))
+      in
+      enqueue t conn id jkey (fun () ->
+          let (), output = capture_stdout (fun () -> Suite.run cfg entries) in
+          P.Ok_suite { output })
+
+let handle_fuzz t conn id ~n_seeds ~seed0 ~inject ~do_shrink =
+  let fault =
+    match inject with
+    | None -> Ok None
+    | Some s -> (
+        match Fuzz.Oracle.fault_of_string s with
+        | Ok f -> Ok (Some f)
+        | Result.Error m -> Result.Error m)
+  in
+  match fault with
+  | Result.Error message ->
+      send t conn id (P.Error { code = "unknown-fault"; message })
+  | Ok inject ->
+      let jkey =
+        Printf.sprintf "fuzz:%d:%d:%s:%b" n_seeds seed0
+          (match inject with
+          | Some f -> Fuzz.Oracle.fault_name f
+          | None -> "-")
+          do_shrink
+      in
+      let jobs = max 1 t.config.jobs in
+      enqueue t conn id jkey (fun () ->
+          let buf = Buffer.create 1024 in
+          let ppf = Format.formatter_of_buffer buf in
+          let config =
+            { Fuzz.Driver.n_seeds; seed0; jobs; dir = None; inject;
+              do_shrink }
+          in
+          let summary = Fuzz.Driver.run ppf config in
+          Format.pp_print_flush ppf ();
+          P.Ok_fuzz
+            {
+              tested = summary.Fuzz.Driver.tested;
+              failures = List.length summary.Fuzz.Driver.failed;
+              injected = summary.Fuzz.Driver.injected_cases;
+              caught = summary.Fuzz.Driver.caught;
+              output = Buffer.contents buf;
+            })
+
+let handle_request t conn id req =
+  Metrics.inc t.m.requests 1;
+  Metrics.inc (counter_for t (P.request_type req)) 1;
+  log t "c%d #%d %s" conn.cid id (P.request_type req);
+  let t0 = Unix.gettimeofday () in
+  let inline resp =
+    observe_latency t t0;
+    send t conn id resp
+  in
+  if t.stopping && req <> P.Ping && req <> P.Metrics && req <> P.Stats then
+    inline
+      (P.Error { code = "shutting-down"; message = "daemon is shutting down" })
+  else
+    match req with
+    | P.Ping -> inline P.Ok_ping
+    | P.Metrics ->
+        inline
+          (P.Ok_metrics (Format.asprintf "%a" Metrics.pp_prometheus t.m.registry))
+    | P.Stats -> inline (stats_payload t)
+    | P.Compact ->
+        let files, bytes = Result_store.compact () in
+        inline (P.Ok_compact { files; bytes })
+    | P.Shutdown ->
+        t.stopping <- true;
+        inline P.Ok_shutdown
+    | P.Run r -> handle_run t conn id r
+    | P.Trace r -> handle_trace t conn id r
+    | P.Suite { entries; quick } -> handle_suite t conn id ~entries ~quick
+    | P.Fuzz { n_seeds; seed0; inject; do_shrink } ->
+        handle_fuzz t conn id ~n_seeds ~seed0 ~inject ~do_shrink
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line <> "" then
+    match P.decode_request line with
+    | Ok (id, req) -> handle_request t conn id req
+    | Result.Error msg ->
+        Metrics.inc t.m.requests 1;
+        Metrics.inc t.m.errors 1;
+        send t conn 0 (P.Error { code = "bad-request"; message = msg })
+
+(* --- connection I/O ---------------------------------------------------- *)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.conns conn.cid;
+    Metrics.set t.m.clients (float_of_int (Hashtbl.length t.conns));
+    log t "c%d disconnected" conn.cid
+  end
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t conn
+  | n ->
+      Buffer.add_subbytes conn.inbuf buf 0 n;
+      (* Split complete lines out of the buffer. *)
+      let data = Buffer.contents conn.inbuf in
+      let rec go start =
+        match String.index_from_opt data start '\n' with
+        | Some i ->
+            handle_line t conn (String.sub data start (i - start));
+            go (i + 1)
+        | None ->
+            Buffer.clear conn.inbuf;
+            Buffer.add_substring conn.inbuf data start
+              (String.length data - start)
+      in
+      go 0
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        Unix.set_nonblock fd;
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        Hashtbl.replace t.conns cid
+          { fd; cid; inbuf = Buffer.create 256; outbuf = ""; alive = true };
+        Metrics.set t.m.clients (float_of_int (Hashtbl.length t.conns));
+        log t "c%d connected" cid
+      end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+
+(* --- main loop --------------------------------------------------------- *)
+
+let run config =
+  Engine.set_cache_dir config.cache_dir;
+  Result_store.set_limit_bytes config.store_limit_bytes;
+  let workers = max 1 config.jobs in
+  let pool = Engine.shared_pool ~workers in
+  (if Sys.file_exists config.socket_path then
+     try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  let t =
+    {
+      config;
+      listen_fd;
+      pipe_r;
+      pipe_w;
+      pool;
+      m = make_metrics ();
+      conns = Hashtbl.create 16;
+      jobs = Hashtbl.create 16;
+      completions = Queue.create ();
+      comp_lock = Mutex.create ();
+      next_cid = 1;
+      stopping = false;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  log t "listening on %s (%d worker%s, queue depth %d, store %s)"
+    config.socket_path workers
+    (if workers = 1 then "" else "s")
+    config.max_queue
+    (match config.cache_dir with Some d -> d | None -> "off");
+  let finished () = t.stopping && Hashtbl.length t.jobs = 0 in
+  while not (finished ()) do
+    let writers =
+      Hashtbl.fold
+        (fun _ c acc -> if c.outbuf <> "" then c.fd :: acc else acc)
+        t.conns []
+    in
+    let readers =
+      t.listen_fd :: t.pipe_r
+      :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns []
+    in
+    match Unix.select readers writers [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | rs, ws, _ ->
+        if List.mem t.pipe_r rs then begin
+          let b = Bytes.create 512 in
+          (try ignore (Unix.read t.pipe_r b 0 512)
+           with Unix.Unix_error _ -> ())
+        end;
+        (* Completions may be pending even without a pipe byte (the
+           write can fail when the pipe is full); always drain. *)
+        drain_completions t;
+        if List.mem t.listen_fd rs then accept_conn t;
+        Hashtbl.iter
+          (fun _ c -> if List.mem c.fd ws then flush_out c)
+          (Hashtbl.copy t.conns);
+        Hashtbl.iter
+          (fun _ c -> if List.mem c.fd rs then read_conn t c)
+          (Hashtbl.copy t.conns);
+        (* Reap connections whose write side failed. *)
+        Hashtbl.iter
+          (fun _ c -> if not c.alive then close_conn t c)
+          (Hashtbl.copy t.conns)
+  done;
+  (* Drained: flush remaining output, close everything, remove socket. *)
+  Hashtbl.iter
+    (fun _ c ->
+      let deadline = Unix.gettimeofday () +. 1.0 in
+      while c.outbuf <> "" && c.alive && Unix.gettimeofday () < deadline do
+        (match Unix.select [] [ c.fd ] [] 0.1 with
+        | _, [ _ ], _ -> flush_out c
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ()))
+    t.conns;
+  Hashtbl.reset t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  log t "shut down"

@@ -1,0 +1,45 @@
+(** The [regmutex serve] daemon: a resident process listening on a
+    Unix-domain socket, speaking the line-delimited JSON protocol of
+    {!Protocol}.
+
+    Architecture: one coordinator thread owns the socket, every
+    connection, and all cache probes — warm hits are answered inline in
+    microseconds without touching a worker. Cold work is enqueued as
+    jobs on the engine's persistent {!Experiments.Engine.Pool} (the same
+    pool the batch paths use; workers are spawned once at startup and
+    reused). Identical concurrent requests are coalesced single-flight:
+    one computation runs, every waiter gets the shared result, and the
+    result-store key is pinned for the duration so LRU eviction can
+    never remove an entry that is in flight. Past [max_queue] distinct
+    in-flight jobs the daemon answers [busy] instead of queueing —
+    explicit back-pressure, never an unbounded queue.
+
+    The daemon observes itself: a {!Telemetry.Metrics} registry with
+    request counters by type, warm-hit/compute/coalesced/busy counters,
+    an in-flight-jobs gauge and a request-latency histogram, served as
+    Prometheus text by the [metrics] request.
+
+    On [shutdown]: the listener closes, in-flight jobs drain (their
+    waiters still get their responses), the pool is joined, and the
+    socket file is removed. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool worker domains, clamped to >= 1 *)
+  max_queue : int;
+      (** distinct in-flight jobs beyond which requests get [busy] *)
+  cache_dir : string option;
+      (** result store root (conventionally ["_results"]); [None]
+          disables persistence *)
+  store_limit_bytes : int option;  (** LRU bound for the result store *)
+  verbose : bool;  (** log requests to stderr *)
+}
+
+(** [jobs = auto], [max_queue = 64], store under ["_results"] with no
+    size bound, quiet. *)
+val default_config : socket_path:string -> config
+
+(** Run the daemon. Blocks until a [shutdown] request has been accepted
+    and drained. The socket path must be free or stale (a leftover
+    socket file is replaced). *)
+val run : config -> unit

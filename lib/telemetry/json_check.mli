@@ -15,6 +15,14 @@ val parse : string -> json
 
 val parse_opt : string -> (json, string) result
 
+(** Single-line rendering (no interior newlines, so a printed value is a
+    valid frame of a line-delimited protocol). [parse (to_string j)]
+    recovers [j] up to float formatting: integral [Num]s print without a
+    fraction, others with enough digits to round-trip. *)
+val to_string : json -> string
+
+val pp : Format.formatter -> json -> unit
+
 (** [validate_chrome_trace s] parses [s] and checks the Chrome
     trace-event schema: a top-level object with a ["traceEvents"] array
     whose every element has a one-char ["ph"] in [{X, i, C, M, B, E}], a

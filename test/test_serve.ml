@@ -1,0 +1,365 @@
+(* The serve stack: the persistent Engine.Pool, the LRU result store,
+   the wire protocol, and end-to-end daemon behaviour (single-flight
+   coalescing, back-pressure, drain-on-shutdown) over a real socket. *)
+
+module E = Experiments
+module Pool = Experiments.Engine.Pool
+module Store = Experiments.Result_store
+module P = Serve.Protocol
+
+(* --- worker pool ------------------------------------------------------- *)
+
+let test_pool_map_order () =
+  let pool = Pool.create ~workers:2 in
+  Alcotest.(check int) "workers" 2 (Pool.workers pool);
+  let tasks = Array.init 32 Fun.id in
+  let out =
+    Pool.map pool tasks (fun i ->
+        (* Uneven task durations shuffle completion order; results must
+           still come back in submission order. *)
+        if i mod 5 = 0 then Unix.sleepf 0.002;
+        i * i)
+  in
+  Alcotest.(check (array int)) "submission order"
+    (Array.init 32 (fun i -> i * i))
+    out;
+  (* The pool is persistent: a second batch reuses the same workers. *)
+  let out2 = Pool.map pool [| 7; 8 |] (fun i -> i + 1) in
+  Alcotest.(check (array int)) "second batch" [| 8; 9 |] out2;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_pool_zero_workers () =
+  (* A 0-worker pool runs every task on the participating caller. *)
+  let pool = Pool.create ~workers:0 in
+  let out = Pool.map pool [| 1; 2; 3 |] (fun i -> 10 * i) in
+  Alcotest.(check (array int)) "serial map" [| 10; 20; 30 |] out;
+  Pool.shutdown pool
+
+let test_pool_exception () =
+  let pool = Pool.create ~workers:1 in
+  Alcotest.check_raises "task exception reaches the caller"
+    (Failure "task 3 failed") (fun () ->
+      ignore
+        (Pool.map pool [| 0; 1; 2; 3; 4 |] (fun i ->
+             if i = 3 then failwith "task 3 failed" else i)));
+  (* The pool survives a failed batch. *)
+  let out = Pool.map pool [| 1 |] (fun i -> -i) in
+  Alcotest.(check (array int)) "pool survives" [| -1 |] out;
+  Pool.shutdown pool
+
+let test_pool_shutdown_drains () =
+  let pool = Pool.create ~workers:2 in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Pool.submit pool (fun () -> Atomic.incr ran)
+  done;
+  (* Shutdown must drain everything already queued before joining. *)
+  Pool.shutdown pool;
+  Alcotest.(check int) "all submitted jobs ran" 50 (Atomic.get ran);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Engine.Pool.submit: pool is shut down") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+(* --- result store ------------------------------------------------------ *)
+
+let tiny =
+  { E.Exp_config.default with E.Exp_config.grid_scale = 0.1 }
+
+(* One real run to marshal; every store test reuses it under many keys. *)
+let sample_run =
+  lazy
+    (E.Engine.compute tiny
+       (E.Engine.cell ~arch:tiny.E.Exp_config.arch Regmutex.Technique.Baseline
+          (Workloads.Registry.find "BFS")))
+
+let with_store f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rmx-store-test-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Store.set_root (Some dir);
+  Store.set_limit_bytes None;
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_root None;
+      Store.set_limit_bytes None;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_store_lru_bound () =
+  with_store (fun _dir ->
+      let run = Lazy.force sample_run in
+      Store.store "k0" run;
+      let s0 = Store.stats () in
+      let per_entry = s0.Store.bytes in
+      Alcotest.(check bool) "entry has a size" true (per_entry > 0);
+      (* Room for three entries; the fourth store must evict the LRU. *)
+      Store.set_limit_bytes (Some (3 * per_entry));
+      Store.store "k1" run;
+      Store.store "k2" run;
+      (* Touch k0 so k1 becomes least recently used. *)
+      Alcotest.(check bool) "k0 loads" true (Store.load "k0" <> None);
+      Store.store "k3" run;
+      let s = Store.stats () in
+      Alcotest.(check int) "bounded to three entries" 3 s.Store.entries;
+      Alcotest.(check bool) "under the byte limit" true
+        (s.Store.bytes <= 3 * per_entry);
+      Alcotest.(check int) "one eviction" (s0.Store.evictions + 1)
+        s.Store.evictions;
+      Alcotest.(check bool) "LRU k1 evicted" true (Store.load "k1" = None);
+      Alcotest.(check bool) "recently-used k0 kept" true
+        (Store.load "k0" <> None);
+      Alcotest.(check bool) "k3 kept" true (Store.load "k3" <> None))
+
+let test_store_pin_protects () =
+  with_store (fun _dir ->
+      let run = Lazy.force sample_run in
+      Store.store "pinned" run;
+      let per_entry = (Store.stats ()).Store.bytes in
+      Store.set_limit_bytes (Some (2 * per_entry));
+      Store.pin "pinned";
+      (* "pinned" is the LRU candidate every time, but must survive. *)
+      Store.store "a" run;
+      Store.store "b" run;
+      Store.store "c" run;
+      Alcotest.(check bool) "pinned entry survives eviction pressure" true
+        (Store.load "pinned" <> None);
+      Store.unpin "pinned";
+      (* Unpinned (and just loaded, so not LRU): make it LRU again by
+         touching the others, then overflow. *)
+      ignore (Store.load "c");
+      Store.store "d" run;
+      Alcotest.(check bool) "unpinned entry is evictable" true
+        (Store.load "pinned" = None))
+
+let test_store_compact () =
+  with_store (fun dir ->
+      let run = Lazy.force sample_run in
+      Store.store "live" run;
+      (* A leftover directory from an older schema/simulator version. *)
+      let stale = Filename.concat dir "v0-deadbeef" in
+      Unix.mkdir stale 0o755;
+      let oc = open_out (Filename.concat stale "old.run") in
+      output_string oc "stale bytes";
+      close_out oc;
+      let files, bytes = Store.compact () in
+      Alcotest.(check int) "one stale file removed" 1 files;
+      Alcotest.(check bool) "stale bytes counted" true (bytes > 0);
+      Alcotest.(check bool) "stale dir gone" false (Sys.file_exists stale);
+      Alcotest.(check bool) "current version intact" true
+        (Store.load "live" <> None))
+
+(* --- protocol ---------------------------------------------------------- *)
+
+let roundtrip_request req =
+  match P.decode_request (P.encode_request 42 req) with
+  | Ok (42, req') -> Alcotest.(check bool) "request round-trips" true (req = req')
+  | Ok (id, _) -> Alcotest.failf "id mangled: %d" id
+  | Result.Error e -> Alcotest.failf "decode failed: %s" e
+
+let roundtrip_response resp =
+  match P.decode_response (P.encode_response 7 resp) with
+  | Ok (7, resp') ->
+      Alcotest.(check bool) "response round-trips" true (resp = resp')
+  | Ok (id, _) -> Alcotest.failf "id mangled: %d" id
+  | Result.Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_protocol_roundtrip () =
+  List.iter roundtrip_request
+    [ P.Ping;
+      P.Run
+        (P.run_request ~half:true ~es_override:4 ~variant:"v" ~quick:true
+           ~grid_scale:0.25 ~workload:"BFS" ~technique:"regmutex" ());
+      P.Trace (P.run_request ~workload:"SPMV" ~technique:"baseline" ());
+      P.Suite { entries = [ "table1"; "fig7" ]; quick = true };
+      P.Suite { entries = []; quick = false };
+      P.Fuzz { n_seeds = 10; seed0 = 3; inject = Some "swap"; do_shrink = false };
+      P.Metrics; P.Stats; P.Compact; P.Shutdown ];
+  List.iter roundtrip_response
+    [ P.Ok_ping;
+      P.Ok_run
+        {
+          P.key = "k \"quoted\"";
+          fingerprint = "fp";
+          cycles = 123;
+          instructions = 456;
+          theoretical_occupancy = 0.75;
+          achieved_occupancy = 0.5;
+          warm = true;
+        };
+      P.Ok_trace { events = 9; trace = "[{\"ph\":\"X\"}]\n" };
+      P.Ok_suite { output = "line1\nline2\n" };
+      P.Ok_fuzz
+        { tested = 5; failures = 0; injected = 5; caught = 5; output = "ok\n" };
+      P.Ok_metrics "# TYPE x counter\nx 1\n";
+      P.Ok_stats [ ("requests", 12.); ("uptime_s", 0.5) ];
+      P.Ok_compact { files = 2; bytes = 2048 };
+      P.Ok_shutdown; P.Busy;
+      P.Error { code = "bad-request"; message = "no \"type\"" } ];
+  (* Malformed frames are decode errors, not exceptions. *)
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (P.decode_request "not json"));
+  Alcotest.(check bool) "missing type rejected" true
+    (Result.is_error (P.decode_request "{\"id\": 1}"))
+
+(* --- end-to-end daemon ------------------------------------------------- *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rmx-serve-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_daemon ?(max_queue = 64) f =
+  let socket = fresh_socket () in
+  let config =
+    {
+      (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.jobs = 2;
+      max_queue;
+      cache_dir = None;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run config) in
+  let result =
+    match f socket with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  (* Whatever happened, bring the daemon down so the next test can start
+     its own. *)
+  (match
+     let c = Serve.Client.connect_retry ~attempts:5 ~delay:0.05 socket in
+     let resp = Serve.Client.request c P.Shutdown in
+     Serve.Client.close c;
+     resp
+   with
+  | _ -> ()
+  | exception _ -> ());
+  Domain.join daemon;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  match result with Ok r -> r | Error e -> raise e
+
+(* Distinct variants keep each test's cells cold in the shared in-memory
+   engine cache; grid_scale 0.1 keeps the simulations milliseconds. *)
+let run_req ~variant =
+  P.Run
+    (P.run_request ~variant ~quick:true ~grid_scale:0.1 ~workload:"BFS"
+       ~technique:"regmutex" ())
+
+let expect_run = function
+  | P.Ok_run p -> p
+  | P.Error { code; message } -> Alcotest.failf "error %s: %s" code message
+  | P.Busy -> Alcotest.fail "unexpected busy"
+  | _ -> Alcotest.fail "unexpected response"
+
+let stats_of client =
+  match Serve.Client.request client P.Stats with
+  | P.Ok_stats kvs -> fun key -> (try List.assoc key kvs with Not_found -> 0.)
+  | _ -> Alcotest.fail "stats request failed"
+
+let test_daemon_cold_warm () =
+  with_daemon (fun socket ->
+      let c = Serve.Client.connect_retry socket in
+      Alcotest.(check bool) "ping" true (Serve.Client.request c P.Ping = P.Ok_ping);
+      let p1 = expect_run (Serve.Client.request c (run_req ~variant:"cw")) in
+      Alcotest.(check bool) "first request computes" false p1.P.warm;
+      let p2 = expect_run (Serve.Client.request c (run_req ~variant:"cw")) in
+      Alcotest.(check bool) "repeat is warm" true p2.P.warm;
+      Alcotest.(check string) "same fingerprint" p1.P.fingerprint
+        p2.P.fingerprint;
+      Alcotest.(check bool) "unknown workload is an error" true
+        (match
+           Serve.Client.request c
+             (P.Run (P.run_request ~workload:"nope" ~technique:"baseline" ()))
+         with
+        | P.Error { code = "unknown-workload"; _ } -> true
+        | _ -> false);
+      Serve.Client.close c)
+
+let test_daemon_single_flight () =
+  with_daemon (fun socket ->
+      let admin = Serve.Client.connect_retry socket in
+      let before = stats_of admin in
+      let computes0 = before "computations" in
+      (* Four clients race the same cold cell; single-flight must run the
+         simulation exactly once, and everyone gets the same answer. *)
+      let doms =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                let c = Serve.Client.connect_retry socket in
+                let p =
+                  expect_run
+                    (Serve.Client.request_retry c (run_req ~variant:"sf"))
+                in
+                Serve.Client.close c;
+                p.P.fingerprint))
+      in
+      let fps = List.map Domain.join doms in
+      (match fps with
+      | fp :: rest ->
+          List.iter (Alcotest.(check string) "identical fingerprints" fp) rest
+      | [] -> assert false);
+      let after = stats_of admin in
+      Alcotest.(check int) "exactly one simulation" 1
+        (int_of_float (after "computations" -. computes0));
+      Serve.Client.close admin)
+
+let test_daemon_busy () =
+  (* max_queue = 0: every cold run is refused with back-pressure, while
+     inline requests (ping, stats) still work. *)
+  with_daemon ~max_queue:0 (fun socket ->
+      let c = Serve.Client.connect_retry socket in
+      Alcotest.(check bool) "cold run refused" true
+        (Serve.Client.request c (run_req ~variant:"busy") = P.Busy);
+      Alcotest.(check bool) "ping still served" true
+        (Serve.Client.request c P.Ping = P.Ok_ping);
+      let stats = stats_of c in
+      Alcotest.(check bool) "busy counted" true (stats "busy" >= 1.);
+      Serve.Client.close c)
+
+let test_daemon_shutdown_drains () =
+  let socket = fresh_socket () in
+  let config =
+    {
+      (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.jobs = 1;
+      cache_dir = None;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run config) in
+  (* Client A starts a cold compute; shutdown arrives while it is in
+     flight. A must still get its result before the daemon exits. *)
+  let a =
+    Domain.spawn (fun () ->
+        let c = Serve.Client.connect_retry socket in
+        let p = expect_run (Serve.Client.request c (run_req ~variant:"drain")) in
+        Serve.Client.close c;
+        p.P.warm)
+  in
+  let b = Serve.Client.connect_retry socket in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "shutdown accepted" true
+    (Serve.Client.request b P.Shutdown = P.Ok_shutdown);
+  Serve.Client.close b;
+  let a_warm = Domain.join a in
+  Alcotest.(check bool) "in-flight request answered" false a_warm;
+  Domain.join daemon;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let suite =
+  [ Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool zero workers" `Quick test_pool_zero_workers;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "pool shutdown drains" `Quick test_pool_shutdown_drains;
+    Alcotest.test_case "store LRU bound" `Slow test_store_lru_bound;
+    Alcotest.test_case "store pin protects" `Slow test_store_pin_protects;
+    Alcotest.test_case "store compact" `Slow test_store_compact;
+    Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "daemon cold/warm" `Slow test_daemon_cold_warm;
+    Alcotest.test_case "daemon single-flight" `Slow test_daemon_single_flight;
+    Alcotest.test_case "daemon busy" `Slow test_daemon_busy;
+    Alcotest.test_case "daemon shutdown drains" `Slow test_daemon_shutdown_drains ]
