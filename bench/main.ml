@@ -14,10 +14,21 @@
      dune exec bench/main.exe -- serve     # daemon cold/warm latency, multi-client
                                            # throughput, coalescing factor
                                            # (writes BENCH_serve.json)
-     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- report [--check]
+                                           # trajectory summary of the committed
+                                           # BENCH_*.json vs bench/trajectory.json *)
 
 module Suite = Experiments.Suite
 module Engine = Experiments.Engine
+
+(* BENCH_*.json artifacts live at the repo root regardless of the
+   directory dune was invoked from, so the report/CI gate and `git add`
+   always find them in one place. *)
+let artifact_path name =
+  match Experiments.Report.find_repo_root () with
+  | Some root -> Filename.concat root name
+  | None -> name
 
 let run_experiment cfg name =
   match Suite.find name with
@@ -155,7 +166,7 @@ let cycles_bench ~quick cfg =
   let all_identical = List.for_all (fun (_, _, _, _, _, ok) -> ok) cells in
   Printf.printf "max speedup: %.2fx; results %s\n" best
     (if all_identical then "identical" else "DIFFER");
-  let oc = open_out "BENCH_cycle_skip.json" in
+  let oc = open_out (artifact_path "BENCH_cycle_skip.json") in
   Printf.fprintf oc
     "{\n  \"bench\": \"cycle_skip\",\n  \"config\": %S,\n  \"max_speedup\": %.3f,\n  \"all_identical\": %b,\n  \"cells\": [\n"
     (if quick then "quick" else "full")
@@ -169,7 +180,8 @@ let cycles_bench ~quick cfg =
     cells;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote BENCH_cycle_skip.json (%d cells)\n" (List.length cells);
+  Printf.printf "wrote %s (%d cells)\n" (artifact_path "BENCH_cycle_skip.json")
+    (List.length cells);
   if not all_identical then exit 1
 
 (* SoA-core benchmark: every suite cell timed in both stepping modes on
@@ -320,7 +332,7 @@ let soa_bench ~quick ?baseline cfg =
     (if not baseline_comparable then "not compared"
      else if all_seed then "identical"
      else "DIFFER");
-  let oc = open_out "BENCH_soa_core.json" in
+  let oc = open_out (artifact_path "BENCH_soa_core.json") in
   Printf.fprintf oc
     "{\n  \"bench\": \"soa_core\",\n  \"config\": %S,\n  \"baseline\": %s,\n  \
      \"geomean_speedup_compute\": %s,\n  \"geomean_speedup_latency\": %s,\n  \
@@ -345,7 +357,8 @@ let soa_bench ~quick ?baseline cfg =
     cells;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote BENCH_soa_core.json (%d cells)\n" (List.length cells);
+  Printf.printf "wrote %s (%d cells)\n" (artifact_path "BENCH_soa_core.json")
+    (List.length cells);
   if not (all_modes && all_seed) then exit 1
 
 (* Telemetry overhead benchmark: every suite cell simulated four times —
@@ -428,7 +441,7 @@ let telemetry_bench ~quick cfg =
   Printf.printf "aggregate overhead: %+.2f%%; results %s\n" overhead_pct
     (if all_identical then "identical (0 measurable overhead off)"
      else "DIFFER");
-  let oc = open_out "BENCH_telemetry_overhead.json" in
+  let oc = open_out (artifact_path "BENCH_telemetry_overhead.json") in
   Printf.fprintf oc
     "{\n  \"bench\": \"telemetry_overhead\",\n  \"config\": %S,\n  \
      \"overhead_on_pct\": %.3f,\n  \"all_identical\": %b,\n  \"cells\": [\n"
@@ -445,7 +458,8 @@ let telemetry_bench ~quick cfg =
     cells;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote BENCH_telemetry_overhead.json (%d cells)\n"
+  Printf.printf "wrote %s (%d cells)\n"
+    (artifact_path "BENCH_telemetry_overhead.json")
     (List.length cells);
   if not all_identical then exit 1
 
@@ -668,7 +682,7 @@ let serve_bench ~quick cfg =
     (if warm_ok then "yes" else "NO")
     (if tp4_ok then "yes" else "NO");
 
-  let oc = open_out "BENCH_serve.json" in
+  let oc = open_out (artifact_path "BENCH_serve.json") in
   Printf.fprintf oc
     "{\n  \"bench\": \"serve\",\n  \"config\": %S,\n  \"cells\": %d,\n  \
      \"cold_p50_ms\": %.3f,\n  \"cold_p99_ms\": %.3f,\n  \
@@ -692,7 +706,9 @@ let serve_bench ~quick cfg =
   Printf.fprintf oc "  ],\n  \"warm_ok\": %b,\n  \"tp4_ok\": %b\n}\n" warm_ok
     tp4_ok;
   close_out oc;
-  Printf.printf "wrote BENCH_serve.json (%d cells, 1/4/16 clients)\n" n_cells;
+  Printf.printf "wrote %s (%d cells, 1/4/16 clients)\n"
+    (artifact_path "BENCH_serve.json")
+    n_cells;
   if not (warm_ok && tp4_ok && fingerprints_identical) then exit 1
 
 let () =
@@ -715,6 +731,25 @@ let () =
   | [ "soa" ] -> soa_bench ~quick ?baseline cfg
   | [ "telemetry" ] -> telemetry_bench ~quick cfg
   | [ "serve" ] -> serve_bench ~quick cfg
+  | [ "report" ] | [ "report"; "--check" ] ->
+      let module R = Experiments.Report in
+      let check = args <> [ "report" ] in
+      let root =
+        match R.find_repo_root () with Some r -> r | None -> Sys.getcwd ()
+      in
+      let snap = R.scan ~dir:root in
+      R.pp_snapshot Format.std_formatter snap;
+      let trajectory =
+        Filename.concat root (Filename.concat "bench" "trajectory.json")
+      in
+      (match R.load_baseline trajectory with
+      | Error e ->
+          Format.printf "@.no baseline: %s@." e;
+          if check then exit 1
+      | Ok base ->
+          let o = R.check snap base in
+          R.pp_outcome Format.std_formatter o;
+          if check && o.R.failures <> [] then exit 1)
   | [] ->
       List.iter (fun (e : Suite.entry) -> run_experiment cfg e.Suite.name) Suite.all
   | names -> List.iter (run_experiment cfg) names

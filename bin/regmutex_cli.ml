@@ -12,6 +12,7 @@
      regmutex client ping|metrics|stats|compact|shutdown [--socket PATH]
      regmutex sweep --daemon [--socket PATH] [fig7 ...]
      regmutex fuzz --daemon [--socket PATH] [--seeds N]
+     regmutex report [--check] [--tolerance PCT] [--write-baseline]
      regmutex storage *)
 
 open Cmdliner
@@ -420,7 +421,47 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-request logging.")
   in
-  let run socket jobs queue_depth no_cache store_limit_mb quiet =
+  let log_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-file" ] ~docv:"PATH"
+          ~doc:
+            "Append structured JSON-lines log records to $(docv) (one \
+             object per line; also retained in memory for the $(i,logs) \
+             request).")
+  in
+  let log_level =
+    let parse s =
+      match Telemetry.Log.level_of_string s with
+      | Ok l -> Ok l
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf l = Format.pp_print_string ppf (Telemetry.Log.level_name l) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Telemetry.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum log level: debug | info | warn | error.")
+  in
+  let flight_dir =
+    Arg.(
+      value & opt string "_flight"
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the slow-request flight recorder (one merged \
+             Chrome trace-event JSON per slow request). An empty string \
+             disables per-request tracing entirely.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt float 500.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Latency threshold above which a request's merged trace is \
+             written to the flight directory.")
+  in
+  let run socket jobs queue_depth no_cache store_limit_mb quiet log_file
+      log_level flight_dir slow_ms =
     let config =
       {
         Serve.Server.socket_path = socket;
@@ -429,6 +470,10 @@ let serve_cmd =
         cache_dir = (if no_cache then None else Some "_results");
         store_limit_bytes = Option.map (fun mb -> mb * 1024 * 1024) store_limit_mb;
         verbose = not quiet;
+        log_level;
+        log_file;
+        trace_dir = (if flight_dir = "" then None else Some flight_dir);
+        slow_ms;
       }
     in
     Serve.Server.run config
@@ -436,7 +481,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_opt $ jobs $ queue_depth $ no_cache $ store_limit_mb
-      $ quiet)
+      $ quiet $ log_file $ log_level $ flight_dir $ slow_ms)
 
 let client_cmd =
   let doc =
@@ -447,6 +492,7 @@ let client_cmd =
       | "ping" -> Ok `Ping
       | "metrics" -> Ok `Metrics
       | "stats" -> Ok `Stats
+      | "logs" -> Ok `Logs
       | "compact" -> Ok `Compact
       | "shutdown" -> Ok `Shutdown
       | s -> Error (`Msg (Printf.sprintf "unknown action %S" s))
@@ -457,6 +503,7 @@ let client_cmd =
         | `Ping -> "ping"
         | `Metrics -> "metrics"
         | `Stats -> "stats"
+        | `Logs -> "logs"
         | `Compact -> "compact"
         | `Shutdown -> "shutdown")
     in
@@ -464,15 +511,22 @@ let client_cmd =
       required
       & pos 0 (some (conv (parse, print))) None
       & info [] ~docv:"ACTION"
-          ~doc:"ping | metrics | stats | compact | shutdown")
+          ~doc:"ping | metrics | stats | logs | compact | shutdown")
   in
-  let run action socket =
+  let max_lines =
+    Arg.(
+      value & opt int 100
+      & info [ "max-lines"; "n" ] ~docv:"N"
+          ~doc:"For $(i,logs): tail at most $(docv) records.")
+  in
+  let run action max_lines socket =
     let c = Serve.Client.connect_retry ~attempts:1 socket in
     let req =
       match action with
       | `Ping -> Serve.Protocol.Ping
       | `Metrics -> Serve.Protocol.Metrics
       | `Stats -> Serve.Protocol.Stats
+      | `Logs -> Serve.Protocol.Logs { max_lines }
       | `Compact -> Serve.Protocol.Compact
       | `Shutdown -> Serve.Protocol.Shutdown
     in
@@ -481,6 +535,10 @@ let client_cmd =
     | Serve.Protocol.Ok_metrics text -> print_string text
     | Serve.Protocol.Ok_stats kvs ->
         List.iter (fun (k, v) -> Printf.printf "%-18s %.0f\n" k v) kvs
+    | Serve.Protocol.Ok_logs { lines; dropped } ->
+        List.iter print_endline lines;
+        if dropped > 0 then
+          Printf.eprintf "(%d older record(s) dropped from the ring)\n" dropped
     | Serve.Protocol.Ok_compact { files; bytes } ->
         Printf.printf "compacted: %d stale file(s), %d bytes\n" files bytes
     | Serve.Protocol.Ok_shutdown -> print_endline "shutting down"
@@ -493,7 +551,8 @@ let client_cmd =
     | _ -> ());
     Serve.Client.close c
   in
-  Cmd.v (Cmd.info "client" ~doc) Term.(const run $ action $ socket_opt)
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ action $ max_lines $ socket_opt)
 
 (* --- sweep ----------------------------------------------------------- *)
 
@@ -739,6 +798,87 @@ let fuzz_cmd =
       const run $ seeds $ seed0 $ jobs $ dir $ no_corpus $ no_shrink $ inject
       $ profile_flag $ daemon_flag $ socket_opt)
 
+(* --- report --------------------------------------------------------- *)
+
+let report_cmd =
+  let doc =
+    "Summarize the committed BENCH_*.json perf artifacts and compare them \
+     against the baseline trajectory."
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit 1 when any metric or the geomean regresses beyond the \
+             tolerance, any invariant is false, or no baseline exists.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed slowdown in percent, per metric and on the geomean.")
+  in
+  let write_flag =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:
+            "Rewrite the baseline from the current artifacts instead of \
+             comparing.")
+  in
+  let dir_opt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the artifacts (default: the repo root).")
+  in
+  let baseline_opt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline file (default: $(b,bench/trajectory.json) under the \
+             repo root).")
+  in
+  let run check tol_pct write dir baseline =
+    let module R = Experiments.Report in
+    let root =
+      match dir with
+      | Some d -> d
+      | None -> (
+          match R.find_repo_root () with Some r -> r | None -> Sys.getcwd ())
+    in
+    let snap = R.scan ~dir:root in
+    let baseline =
+      match baseline with
+      | Some p -> p
+      | None -> Filename.concat root (Filename.concat "bench" "trajectory.json")
+    in
+    if write then begin
+      R.write_baseline baseline snap;
+      Format.printf "wrote %s (%d metrics, %d invariants, from %d artifacts)@."
+        baseline
+        (List.length snap.R.metrics)
+        (List.length snap.R.invariants)
+        (List.length snap.R.sources)
+    end
+    else begin
+      R.pp_snapshot Format.std_formatter snap;
+      match R.load_baseline baseline with
+      | Error e ->
+          Format.printf "@.no baseline: %s@." e;
+          if check then exit 1
+      | Ok base ->
+          let o = R.check ~tolerance:(tol_pct /. 100.) snap base in
+          R.pp_outcome Format.std_formatter o;
+          if check && o.R.failures <> [] then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ check_flag $ tolerance $ write_flag $ dir_opt $ baseline_opt)
+
 (* --- storage -------------------------------------------------------- *)
 
 let storage_cmd =
@@ -754,4 +894,4 @@ let () =
        (Cmd.group info
           [ list_cmd; occupancy_cmd; liveness_cmd; transform_cmd; run_cmd;
             metrics_cmd; trace_cmd; run_file_cmd; check_cmd; sweep_cmd;
-            fuzz_cmd; serve_cmd; client_cmd; storage_cmd ]))
+            fuzz_cmd; serve_cmd; client_cmd; report_cmd; storage_cmd ]))

@@ -75,7 +75,15 @@ module Pool = struct
 
   let workers t = t.n_workers
 
-  let submit t job =
+  let submit ?ctx t job =
+    (* [ctx] rides along to the worker domain as ambient logging context
+       (request id and friends), so every log line the job emits carries
+       the fields of the request that submitted it. *)
+    let job =
+      match ctx with
+      | None | Some [] -> job
+      | Some fields -> fun () -> Telemetry.Log.with_ctx fields job
+    in
     Mutex.lock t.mutex;
     if t.stopping then begin
       Mutex.unlock t.mutex;
@@ -261,10 +269,10 @@ let clear () = with_cache (fun () -> Hashtbl.reset cache)
    phases live in [Runner]. Registered before any domain spawns. *)
 let merge_phase = Telemetry.Profile.phase "engine.merge"
 
-let compute cfg c =
+let compute ?telemetry cfg c =
   let options = resolved_options c in
   let kernel = Exp_config.kernel_of cfg c.spec in
-  Runner.execute ~options ~fast_forward:!ff c.arch c.technique kernel
+  Runner.execute ?telemetry ~options ~fast_forward:!ff c.arch c.technique kernel
 
 let cached cfg c =
   let k = key_of_cell cfg c in

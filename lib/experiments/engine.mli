@@ -73,8 +73,11 @@ module Pool : sig
 
   (** Enqueue one asynchronous job; it runs on some worker (exceptions
       are swallowed — jobs that can fail must capture their own result).
+      [?ctx] installs ambient {!Telemetry.Log} context fields around the
+      job on whichever domain runs it, so log lines it emits carry the
+      submitting request's id.
       @raise Invalid_argument after {!shutdown}. *)
-  val submit : t -> (unit -> unit) -> unit
+  val submit : ?ctx:Telemetry.Log.field list -> t -> (unit -> unit) -> unit
 
   (** [map t tasks f] — blocking batch: the caller submits one job per
       task, participates in draining the queue, and waits for the batch.
@@ -162,8 +165,10 @@ val key_of_cell : Exp_config.t -> cell -> string
 val cached : Exp_config.t -> cell -> Regmutex.Runner.run option
 
 (** Simulate unconditionally, bypassing both cache layers. Safe on any
-    domain. *)
-val compute : Exp_config.t -> cell -> Regmutex.Runner.run
+    domain. [?telemetry] attaches a trace sink to the run (the serve
+    daemon gives each cold compute a per-request sink so the simulation
+    spans land in that request's merged trace). *)
+val compute : ?telemetry:Telemetry.Sink.t -> Exp_config.t -> cell -> Regmutex.Runner.run
 
 (** Record an externally-computed run in both cache layers, counting one
     simulation. *)

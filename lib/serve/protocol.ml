@@ -23,6 +23,7 @@ type request =
     }
   | Metrics
   | Stats
+  | Logs of { max_lines : int }
   | Compact
   | Shutdown
 
@@ -50,6 +51,7 @@ type response =
     }
   | Ok_metrics of string
   | Ok_stats of (string * float) list
+  | Ok_logs of { lines : string list; dropped : int }
   | Ok_compact of { files : int; bytes : int }
   | Ok_shutdown
   | Busy
@@ -67,6 +69,7 @@ let request_type = function
   | Fuzz _ -> "fuzz"
   | Metrics -> "metrics"
   | Stats -> "stats"
+  | Logs _ -> "logs"
   | Compact -> "compact"
   | Shutdown -> "shutdown"
 
@@ -89,6 +92,7 @@ let encode_request id req =
   let fields =
     match req with
     | Ping | Metrics | Stats | Compact | Shutdown -> typed []
+    | Logs { max_lines } -> typed [ ("max", num_i max_lines) ]
     | Run r | Trace r -> typed (run_request_fields r)
     | Suite { entries; quick } ->
         typed
@@ -130,6 +134,11 @@ let encode_response id resp =
         ok
           [ ("type", J.Str "stats");
             ("stats", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) kvs)) ]
+    | Ok_logs { lines; dropped } ->
+        ok
+          [ ("type", J.Str "logs");
+            ("lines", J.List (List.map (fun l -> J.Str l) lines));
+            ("dropped", num_i dropped) ]
     | Ok_compact { files; bytes } ->
         ok [ ("type", J.Str "compact"); ("files", num_i files);
              ("bytes", num_i bytes) ]
@@ -207,6 +216,8 @@ let decode_request line =
                 } )
       | Some "metrics" -> Ok (id, Metrics)
       | Some "stats" -> Ok (id, Stats)
+      | Some "logs" ->
+          Ok (id, Logs { max_lines = Option.value ~default:100 (int_field "max" j) })
       | Some "compact" -> Ok (id, Compact)
       | Some "shutdown" -> Ok (id, Shutdown)
       | Some t -> Result.Error (Printf.sprintf "unknown request type %S" t)
@@ -294,6 +305,18 @@ let decode_response line =
                              | k, J.Num v -> Some (k, v) | _ -> None)
                            kvs) )
               | _ -> Result.Error "missing stats")
+          | Some "logs" ->
+              let lines =
+                match field "lines" j with
+                | Some (J.List l) ->
+                    List.filter_map (function J.Str s -> Some s | _ -> None) l
+                | _ -> []
+              in
+              Ok
+                ( id,
+                  Ok_logs
+                    { lines;
+                      dropped = Option.value ~default:0 (int_field "dropped" j) } )
           | Some "compact" ->
               Ok
                 ( id,

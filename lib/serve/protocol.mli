@@ -8,8 +8,8 @@
     arrive in completion order.
 
     Request object: [{"id": N, "type": T, ...}] with [T] one of [ping],
-    [run], [trace], [suite], [fuzz], [metrics], [stats], [compact],
-    [shutdown]. Response object: [{"id": N, "status": S, ...}] with [S]
+    [run], [trace], [suite], [fuzz], [metrics], [stats], [logs],
+    [compact], [shutdown]. Response object: [{"id": N, "status": S, ...}] with [S]
     one of [ok], [busy] (back-pressure: the job queue is full — retry),
     or [error] (with [code] and [message]).
 
@@ -52,6 +52,9 @@ type request =
     }  (** a fuzzing batch (no corpus persistence on the daemon) *)
   | Metrics  (** Prometheus text of the daemon's own registry *)
   | Stats  (** server counters as JSON *)
+  | Logs of { max_lines : int }
+      (** tail the daemon's structured log: the most recent [max_lines]
+          JSON-lines records across every domain's ring buffer *)
   | Compact  (** drop stale-version result-store directories *)
   | Shutdown  (** stop accepting work, drain, exit *)
 
@@ -79,6 +82,8 @@ type response =
     }
   | Ok_metrics of string
   | Ok_stats of (string * float) list
+  | Ok_logs of { lines : string list; dropped : int }
+      (** oldest first; [dropped] counts ring-evicted records since start *)
   | Ok_compact of { files : int; bytes : int }
   | Ok_shutdown
   | Busy

@@ -1,0 +1,61 @@
+module Trace = Telemetry.Trace
+
+(* Probe tracks use sm ids as pids and the GPU driver claims [n_sms];
+   1000 clears any plausible SM count without colliding. *)
+let coordinator_pid = 1000
+
+type t = {
+  req : int;
+  rtype : string;
+  t0 : float;
+  trace : Trace.t;
+  mutable sink : Telemetry.Sink.t option;
+}
+
+let create ~req ~rtype =
+  let trace = Trace.create ~capacity:256 () in
+  Trace.set_process_name trace ~pid:coordinator_pid "serve coordinator";
+  Trace.set_thread_name trace ~pid:coordinator_pid ~tid:0 "request";
+  { req; rtype; t0 = Unix.gettimeofday (); trace; sink = None }
+
+let req t = t.req
+let rtype t = t.rtype
+
+let rel_us t at = int_of_float ((at -. t.t0) *. 1e6)
+
+let elapsed_ms t = (Unix.gettimeofday () -. t.t0) *. 1e3
+
+let span_between t name ~t_start ~t_end =
+  let ts = max 0 (rel_us t t_start) in
+  let dur = max 0 (rel_us t t_end - ts) in
+  Trace.span t.trace ~ts ~dur ~pid:coordinator_pid ~tid:0
+    ~name:(Trace.intern t.trace name) ~arg:t.req
+
+let span t name ~since = span_between t name ~t_start:since ~t_end:(Unix.gettimeofday ())
+
+let instant t name =
+  Trace.instant t.trace
+    ~ts:(rel_us t (Unix.gettimeofday ()))
+    ~pid:coordinator_pid ~tid:0
+    ~name:(Trace.intern t.trace name)
+    ~arg:t.req
+
+let set_sink t sink = t.sink <- sink
+
+let export t =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "@[<v 1>{@,\"traceEvents\": @[<v 1>[@,";
+  (* The synthetic marker doubles as the unconditioned first element, so
+     [export_chrome_events] (comma-before-each) composes both traces. *)
+  Format.fprintf ppf
+    "{\"ph\": \"i\", \"ts\": 0, \"pid\": %d, \"tid\": 0, \"s\": \"t\", \
+     \"name\": \"request %s\", \"args\": {\"req\": %d}}"
+    coordinator_pid t.rtype t.req;
+  Trace.export_chrome_events ppf t.trace;
+  (match t.sink with
+  | Some s -> Trace.export_chrome_events ppf s.Telemetry.Sink.trace
+  | None -> ());
+  Format.fprintf ppf "@]@,],@,\"displayTimeUnit\": \"ns\"@]@,}@.";
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Per-request merged trace assembly for the serve daemon.
+
+    One value of {!t} follows one protocol request from receipt to
+    response. The coordinator records its own lifecycle events into it
+    (parse, queue wait, coalesce joins, reply) on a dedicated process
+    track, and a worker {!Telemetry.Sink} can be attached so the
+    simulation's own spans — the per-SM Probe tracks — land in the same
+    export. {!export} renders everything as a single Chrome trace-event
+    JSON document, the unit the flight recorder writes per slow request.
+
+    Time bases differ by track: coordinator events are wall-clock
+    microseconds relative to the request's arrival; simulation tracks
+    keep their native cycle timestamps. Perfetto renders both on one
+    timeline — the document is a correlation artifact keyed by request
+    id, not a single-clock profile. *)
+
+type t
+
+(** Coordinator events carry this [pid] ({!coordinator_pid} = 1000),
+    far above any simulation track (Probe pids are SM ids, the GPU
+    driver track is [n_sms]), so merged exports can never collide. *)
+val coordinator_pid : int
+
+(** [create ~req ~rtype] starts the clock. [req] is the daemon-wide
+    request sequence number (every event's argument, and the filename
+    component the flight recorder uses); [rtype] the protocol request
+    type ([run], [suite], ...). *)
+val create : req:int -> rtype:string -> t
+
+val req : t -> int
+
+val rtype : t -> string
+
+(** Wall-clock milliseconds since {!create}. *)
+val elapsed_ms : t -> float
+
+(** [span t name ~since] records a coordinator span from wall-clock
+    [since] (as returned by [Unix.gettimeofday]) to now. *)
+val span : t -> string -> since:float -> unit
+
+(** As {!span} but with an explicit end; starts before the request's
+    arrival clamp to it. *)
+val span_between : t -> string -> t_start:float -> t_end:float -> unit
+
+(** [instant t name] marks a coordinator instant (e.g. [coalesce]). *)
+val instant : t -> string -> unit
+
+(** Attach the worker sink whose simulation trace belongs to this
+    request. Coalesced requests attach the in-flight job's shared sink;
+    attaching must happen before {!export} and after the worker has
+    finished writing (the coordinator only exports completed jobs). *)
+val set_sink : t -> Telemetry.Sink.t option -> unit
+
+(** The merged Chrome trace-event JSON: a synthetic request marker,
+    every coordinator event, then the attached sink's simulation events
+    (when any). Valid against {!Telemetry.Json_check.validate_chrome_trace}. *)
+val export : t -> string

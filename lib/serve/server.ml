@@ -3,6 +3,7 @@ module Result_store = Experiments.Result_store
 module Exp_config = Experiments.Exp_config
 module Suite = Experiments.Suite
 module Metrics = Telemetry.Metrics
+module Log = Telemetry.Log
 module P = Protocol
 
 type config = {
@@ -12,6 +13,10 @@ type config = {
   cache_dir : string option;
   store_limit_bytes : int option;
   verbose : bool;
+  log_level : Log.level;
+  log_file : string option;
+  trace_dir : string option;
+  slow_ms : float;
 }
 
 let default_config ~socket_path =
@@ -22,17 +27,34 @@ let default_config ~socket_path =
     cache_dir = Some "_results";
     store_limit_bytes = None;
     verbose = false;
+    log_level = Log.Info;
+    log_file = None;
+    trace_dir = Some "_flight";
+    slow_ms = 500.;
   }
 
 (* --- daemon metrics ---------------------------------------------------- *)
 
 let request_types =
-  [ "ping"; "run"; "trace"; "suite"; "fuzz"; "metrics"; "stats"; "compact";
-    "shutdown" ]
+  [ "ping"; "run"; "trace"; "suite"; "fuzz"; "metrics"; "stats"; "logs";
+    "compact"; "shutdown" ]
+
+let latency_buckets = [| 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
+
+(* [Result_store.version_tag] is [v<schema>-<git-describe>]; split at the
+   first dash into the two build_info labels. *)
+let build_labels () =
+  let tag = Result_store.version_tag () in
+  match String.index_opt tag '-' with
+  | Some i ->
+      [ ("schema", String.sub tag 0 i);
+        ("git", String.sub tag (i + 1) (String.length tag - i - 1)) ]
+  | None -> [ ("schema", tag); ("git", "unknown") ]
 
 type daemon_metrics = {
   registry : Metrics.t;
   by_type : (string * Metrics.counter) list;
+  by_type_latency : (string * Metrics.histogram) list;
   requests : Metrics.counter;
   warm_hits : Metrics.counter;
   computes : Metrics.counter;
@@ -40,13 +62,20 @@ type daemon_metrics = {
   busy : Metrics.counter;
   errors : Metrics.counter;
   inflight : Metrics.gauge;
+  queue_depth : Metrics.gauge;
   clients : Metrics.gauge;
+  uptime : Metrics.gauge;
   latency : Metrics.histogram;
 }
 
 let make_metrics () =
   let registry = Metrics.create () in
   let counter name help = Metrics.counter ~help registry name in
+  let build_info =
+    Metrics.gauge ~help:"Constant 1; build identity in the labels"
+      ~labels:(build_labels ()) registry "regmutex_build_info"
+  in
+  Metrics.set build_info 1.;
   {
     registry;
     by_type =
@@ -56,6 +85,15 @@ let make_metrics () =
             counter
               (Printf.sprintf "regmutex_serve_requests_%s_total" t)
               (Printf.sprintf "Requests of type %s" t) ))
+        request_types;
+    by_type_latency =
+      List.map
+        (fun t ->
+          ( t,
+            Metrics.histogram
+              ~help:"Request latency by request type, microseconds"
+              ~labels:[ ("type", t) ] ~buckets:latency_buckets registry
+              "regmutex_serve_request_type_us" ))
         request_types;
     requests = counter "regmutex_serve_requests_total" "All requests received";
     warm_hits =
@@ -74,14 +112,19 @@ let make_metrics () =
     inflight =
       Metrics.gauge ~help:"Distinct jobs currently queued or running" registry
         "regmutex_serve_inflight_jobs";
+    queue_depth =
+      Metrics.gauge ~help:"Waiters across all queued and running jobs" registry
+        "regmutex_serve_queue_depth";
     clients =
       Metrics.gauge ~help:"Connected clients" registry
         "regmutex_serve_clients";
+    uptime =
+      Metrics.gauge ~help:"Seconds since the daemon started" registry
+        "regmutex_uptime_seconds";
     latency =
       Metrics.histogram
         ~help:"Request latency, receipt to response enqueue, microseconds"
-        ~buckets:[| 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
-        registry "regmutex_serve_request_us";
+        ~buckets:latency_buckets registry "regmutex_serve_request_us";
   }
 
 (* --- stdout capture (suite jobs render through Printf/Format) ---------- *)
@@ -207,10 +250,20 @@ type conn = {
   mutable alive : bool;
 }
 
-type waiter = { w_cid : int; w_id : int; w_t0 : float }
+type waiter = {
+  w_cid : int;
+  w_id : int;
+  w_t0 : float;
+  w_type : string;  (** request-type metric label *)
+  w_rt : Reqtrace.t option;  (** per-request trace, when flight is on *)
+}
 
 type job = {
   j_key : string;  (** single-flight identity *)
+  j_sink : Telemetry.Sink.t option;
+      (** the worker's trace sink, shared by every coalesced waiter *)
+  mutable j_started : float;  (** wall clock, set by the worker; 0 = not yet *)
+  mutable j_finished : float;
   mutable j_waiters : waiter list;  (** newest first *)
 }
 
@@ -221,19 +274,17 @@ type t = {
   pipe_w : Unix.file_descr;
   pool : Engine.Pool.t;
   m : daemon_metrics;
+  logger : Log.t;
   conns : (int, conn) Hashtbl.t;
   jobs : (string, job) Hashtbl.t;
   completions : (string * P.response) Queue.t;
   comp_lock : Mutex.t;
   mutable next_cid : int;
+  mutable next_req : int;  (** daemon-wide request sequence *)
+  mutable flight_written : int;
   mutable stopping : bool;
   started_at : float;
 }
-
-let log t fmt =
-  if t.config.verbose then
-    Printf.eprintf ("[serve] " ^^ fmt ^^ "\n%!")
-  else Printf.ifprintf stderr fmt
 
 let counter_for t ty =
   match List.assoc_opt ty t.m.by_type with
@@ -261,13 +312,56 @@ let send t conn id resp =
   conn.outbuf <- conn.outbuf ^ P.encode_response id resp ^ "\n";
   flush_out conn
 
-let observe_latency t t0 =
-  Metrics.observe t.m.latency
-    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+let observe_latency t ty t0 =
+  let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  Metrics.observe t.m.latency us;
+  match List.assoc_opt ty t.m.by_type_latency with
+  | Some h -> Metrics.observe h us
+  | None -> ()
+
+(* --- flight recorder --------------------------------------------------- *)
+
+(* Hard cap on trace files per daemon lifetime: a pathological workload
+   (every request slow) must not fill the disk. *)
+let flight_cap = 32
+
+let write_flight t rt =
+  match t.config.trace_dir with
+  | None -> ()
+  | Some _ when t.flight_written >= flight_cap -> ()
+  | Some dir -> (
+      (try
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error _ -> ());
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "req-%d-%s.trace.json" (Reqtrace.req rt)
+             (Reqtrace.rtype rt))
+      in
+      try
+        (* Write-then-rename: a tailing reader never sees a partial
+           document under the final name. *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        output_string oc (Reqtrace.export rt);
+        close_out oc;
+        Sys.rename tmp path;
+        t.flight_written <- t.flight_written + 1;
+        Log.warn t.logger ~src:"serve" "slow request"
+          [ Log.int "req" (Reqtrace.req rt);
+            Log.str "type" (Reqtrace.rtype rt);
+            Log.float "ms" (Reqtrace.elapsed_ms rt);
+            Log.str "trace" path ]
+      with Sys_error _ -> ())
 
 (* --- job lifecycle ----------------------------------------------------- *)
 
-let set_inflight t = Metrics.set t.m.inflight (float_of_int (Hashtbl.length t.jobs))
+let set_inflight t =
+  Metrics.set t.m.inflight (float_of_int (Hashtbl.length t.jobs));
+  let waiters =
+    Hashtbl.fold (fun _ j acc -> acc + List.length j.j_waiters) t.jobs 0
+  in
+  Metrics.set t.m.queue_depth (float_of_int waiters)
 
 let complete t key resp =
   Mutex.lock t.comp_lock;
@@ -278,36 +372,69 @@ let complete t key resp =
 
 (* Enqueue [work] (runs on a pool worker, must not raise) under
    single-flight [key]; identical concurrent requests join the waiter
-   list of the job already in flight. *)
-let enqueue t conn id key work =
+   list of the job already in flight (adopting its shared sink for their
+   own request trace). Returns [false] when refused with [busy], so
+   callers can undo per-request preparation (the run pin). *)
+let enqueue t conn id ~rq ~rtype ~rt ~sink key work =
   match Hashtbl.find_opt t.jobs key with
   | Some job ->
       Metrics.inc t.m.coalesced 1;
+      (match rt with
+      | Some r ->
+          Reqtrace.instant r "coalesce";
+          Reqtrace.set_sink r job.j_sink
+      | None -> ());
+      Log.debug t.logger ~src:"serve" "coalesce"
+        [ Log.int "req" rq; Log.str "key" key ];
       job.j_waiters <-
-        { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday () }
-        :: job.j_waiters
+        { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday ();
+          w_type = rtype; w_rt = rt }
+        :: job.j_waiters;
+      set_inflight t;
+      true
   | None ->
-      if Hashtbl.length t.jobs >= t.config.max_queue then
-        send t conn id P.Busy
+      if Hashtbl.length t.jobs >= t.config.max_queue then begin
+        Log.warn t.logger ~src:"serve" "busy"
+          [ Log.int "req" rq; Log.str "key" key;
+            Log.int "inflight" (Hashtbl.length t.jobs) ];
+        send t conn id P.Busy;
+        false
+      end
       else begin
+        (match rt with Some r -> Reqtrace.set_sink r sink | None -> ());
         let job =
           {
             j_key = key;
+            j_sink = sink;
+            j_started = 0.;
+            j_finished = 0.;
             j_waiters =
-              [ { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday () } ];
+              [ { w_cid = conn.cid; w_id = id; w_t0 = Unix.gettimeofday ();
+                  w_type = rtype; w_rt = rt } ];
           }
         in
         Hashtbl.replace t.jobs key job;
         set_inflight t;
         Metrics.inc t.m.computes 1;
-        Engine.Pool.submit t.pool (fun () ->
+        let logger = t.logger in
+        (* The request id rides to the worker as ambient log context, so
+           the worker's own lines carry it without further plumbing. *)
+        Engine.Pool.submit
+          ~ctx:[ Log.int "req" rq; Log.str "rtype" rtype ]
+          t.pool
+          (fun () ->
+            job.j_started <- Unix.gettimeofday ();
+            Log.debug logger ~src:"worker" "job start" [ Log.str "key" key ];
             let resp =
               try work ()
               with e ->
                 P.Error
                   { code = "compute-failed"; message = Printexc.to_string e }
             in
-            complete t key resp)
+            job.j_finished <- Unix.gettimeofday ();
+            Log.debug logger ~src:"worker" "job done" [ Log.str "key" key ];
+            complete t key resp);
+        true
       end
 
 let drain_completions t =
@@ -326,9 +453,31 @@ let drain_completions t =
           List.iter
             (fun w ->
               match Hashtbl.find_opt t.conns w.w_cid with
-              | Some conn when conn.alive ->
-                  observe_latency t w.w_t0;
-                  send t conn w.w_id resp
+              | Some conn when conn.alive -> (
+                  observe_latency t w.w_type w.w_t0;
+                  match w.w_rt with
+                  | None -> send t conn w.w_id resp
+                  | Some rt ->
+                      (* The worker stamped wall-clock start/finish; the
+                         stamps are visible here because the completion
+                         crossed the queue mutex. Coalesced waiters that
+                         arrived after the start get a zero-length queue
+                         span. *)
+                      let queue_end =
+                        if job.j_started > 0. then max w.w_t0 job.j_started
+                        else Unix.gettimeofday ()
+                      in
+                      Reqtrace.span_between rt "queue" ~t_start:w.w_t0
+                        ~t_end:queue_end;
+                      if job.j_started > 0. && job.j_finished > 0. then
+                        Reqtrace.span_between rt "compute"
+                          ~t_start:(max w.w_t0 job.j_started)
+                          ~t_end:job.j_finished;
+                      let reply_t0 = Unix.gettimeofday () in
+                      send t conn w.w_id resp;
+                      Reqtrace.span rt "reply" ~since:reply_t0;
+                      if Reqtrace.elapsed_ms rt >= t.config.slow_ms then
+                        write_flight t rt)
               | _ -> () (* client went away; drop its share *))
             (List.rev job.j_waiters))
     (List.rev !pending)
@@ -353,7 +502,14 @@ let stats_payload t =
       ("store_bytes", float_of_int store.Result_store.bytes);
       ("store_evictions", float_of_int store.Result_store.evictions) ]
 
-let handle_run t conn id (r : P.run_request) =
+(* A request trace is only assembled when the flight recorder can use
+   it; with [trace_dir = None] the whole layer costs one option test. *)
+let reqtrace_for t ~rq rtype =
+  match t.config.trace_dir with
+  | None -> None
+  | Some _ -> Some (Reqtrace.create ~req:rq ~rtype)
+
+let handle_run t conn id ~rq ~t0 (r : P.run_request) =
   match resolve_run r with
   | Result.Error (code, message) -> send t conn id (P.Error { code; message })
   | Ok { r_cfg = cfg; r_cell = cell; _ } -> (
@@ -362,46 +518,64 @@ let handle_run t conn id (r : P.run_request) =
       | Some run ->
           (* Warm path: answered inline on the coordinator, no worker. *)
           Metrics.inc t.m.warm_hits 1;
+          Log.debug t.logger ~src:"serve" "warm hit"
+            [ Log.int "req" rq; Log.str "key" key ];
+          observe_latency t "run" t0;
           send t conn id (P.Ok_run (payload_of_run ~key ~warm:true run))
       | None ->
           let jkey = "run:" ^ key in
+          let rt = reqtrace_for t ~rq "run" in
+          (* A cold compute gets its own sink when tracing, so the
+             simulation's SM tracks land in this request's trace. *)
+          let sink =
+            match rt with
+            | None -> None
+            | Some _ -> Some (Telemetry.Sink.create ())
+          in
           (* Pin for the whole flight so the LRU can never evict the
              entry between its store and the last waiter's response. *)
-          if not (Hashtbl.mem t.jobs jkey) then Result_store.pin key;
-          enqueue t conn id jkey (fun () ->
-              match Engine.compute cfg cell with
-              | run ->
-                  Engine.insert cfg cell run;
-                  Result_store.unpin key;
-                  P.Ok_run (payload_of_run ~key ~warm:false run)
-              | exception e ->
-                  Result_store.unpin key;
-                  P.Error
-                    { code = "compute-failed"; message = Printexc.to_string e }))
+          let pinned = not (Hashtbl.mem t.jobs jkey) in
+          if pinned then Result_store.pin key;
+          let accepted =
+            enqueue t conn id ~rq ~rtype:"run" ~rt ~sink jkey (fun () ->
+                match Engine.compute ?telemetry:sink cfg cell with
+                | run ->
+                    Engine.insert cfg cell run;
+                    Result_store.unpin key;
+                    P.Ok_run (payload_of_run ~key ~warm:false run)
+                | exception e ->
+                    Result_store.unpin key;
+                    P.Error
+                      { code = "compute-failed"; message = Printexc.to_string e })
+          in
+          if (not accepted) && pinned then Result_store.unpin key)
 
-let handle_trace t conn id (r : P.run_request) =
+let handle_trace t conn id ~rq (r : P.run_request) =
   match resolve_run r with
   | Result.Error (code, message) -> send t conn id (P.Error { code; message })
   | Ok res ->
       let key = Engine.key_of_cell res.r_cfg res.r_cell in
-      enqueue t conn id ("trace:" ^ key) (fun () ->
-          let options =
-            { Regmutex.Technique.default_options with es_override = res.r_es }
-          in
-          let kernel = Exp_config.kernel_of res.r_cfg res.r_spec in
-          let sink = Telemetry.Sink.create () in
-          let _run =
-            Regmutex.Runner.execute ~options ~telemetry:sink res.r_arch
-              res.r_technique kernel
-          in
-          let trace = sink.Telemetry.Sink.trace in
-          P.Ok_trace
-            {
-              events = Telemetry.Trace.length trace;
-              trace = Format.asprintf "%a" Telemetry.Trace.export_chrome trace;
-            })
+      let rt = reqtrace_for t ~rq "trace" in
+      let sink = Telemetry.Sink.create () in
+      ignore
+        (enqueue t conn id ~rq ~rtype:"trace" ~rt ~sink:(Some sink)
+           ("trace:" ^ key) (fun () ->
+             let options =
+               { Regmutex.Technique.default_options with es_override = res.r_es }
+             in
+             let kernel = Exp_config.kernel_of res.r_cfg res.r_spec in
+             let _run =
+               Regmutex.Runner.execute ~options ~telemetry:sink res.r_arch
+                 res.r_technique kernel
+             in
+             let trace = sink.Telemetry.Sink.trace in
+             P.Ok_trace
+               {
+                 events = Telemetry.Trace.length trace;
+                 trace = Format.asprintf "%a" Telemetry.Trace.export_chrome trace;
+               }))
 
-let handle_suite t conn id ~entries ~quick =
+let handle_suite t conn id ~rq ~entries ~quick =
   let cfg = if quick then Exp_config.quick else Exp_config.default in
   let resolved =
     match entries with
@@ -426,11 +600,13 @@ let handle_suite t conn id ~entries ~quick =
         Printf.sprintf "suite:%b:%s" quick
           (String.concat "," (List.map (fun e -> e.Suite.name) entries))
       in
-      enqueue t conn id jkey (fun () ->
-          let (), output = capture_stdout (fun () -> Suite.run cfg entries) in
-          P.Ok_suite { output })
+      ignore
+        (enqueue t conn id ~rq ~rtype:"suite" ~rt:(reqtrace_for t ~rq "suite")
+           ~sink:None jkey (fun () ->
+             let (), output = capture_stdout (fun () -> Suite.run cfg entries) in
+             P.Ok_suite { output }))
 
-let handle_fuzz t conn id ~n_seeds ~seed0 ~inject ~do_shrink =
+let handle_fuzz t conn id ~rq ~n_seeds ~seed0 ~inject ~do_shrink =
   let fault =
     match inject with
     | None -> Ok None
@@ -451,31 +627,38 @@ let handle_fuzz t conn id ~n_seeds ~seed0 ~inject ~do_shrink =
           do_shrink
       in
       let jobs = max 1 t.config.jobs in
-      enqueue t conn id jkey (fun () ->
-          let buf = Buffer.create 1024 in
-          let ppf = Format.formatter_of_buffer buf in
-          let config =
-            { Fuzz.Driver.n_seeds; seed0; jobs; dir = None; inject;
-              do_shrink }
-          in
-          let summary = Fuzz.Driver.run ppf config in
-          Format.pp_print_flush ppf ();
-          P.Ok_fuzz
-            {
-              tested = summary.Fuzz.Driver.tested;
-              failures = List.length summary.Fuzz.Driver.failed;
-              injected = summary.Fuzz.Driver.injected_cases;
-              caught = summary.Fuzz.Driver.caught;
-              output = Buffer.contents buf;
-            })
+      ignore
+        (enqueue t conn id ~rq ~rtype:"fuzz" ~rt:(reqtrace_for t ~rq "fuzz")
+           ~sink:None jkey (fun () ->
+             let buf = Buffer.create 1024 in
+             let ppf = Format.formatter_of_buffer buf in
+             let config =
+               { Fuzz.Driver.n_seeds; seed0; jobs; dir = None; inject;
+                 do_shrink }
+             in
+             let summary = Fuzz.Driver.run ppf config in
+             Format.pp_print_flush ppf ();
+             P.Ok_fuzz
+               {
+                 tested = summary.Fuzz.Driver.tested;
+                 failures = List.length summary.Fuzz.Driver.failed;
+                 injected = summary.Fuzz.Driver.injected_cases;
+                 caught = summary.Fuzz.Driver.caught;
+                 output = Buffer.contents buf;
+               }))
 
 let handle_request t conn id req =
   Metrics.inc t.m.requests 1;
-  Metrics.inc (counter_for t (P.request_type req)) 1;
-  log t "c%d #%d %s" conn.cid id (P.request_type req);
+  let ty = P.request_type req in
+  Metrics.inc (counter_for t ty) 1;
+  let rq = t.next_req in
+  t.next_req <- rq + 1;
+  Log.debug t.logger ~src:"serve" "request"
+    [ Log.int "req" rq; Log.int "conn" conn.cid; Log.int "id" id;
+      Log.str "type" ty ];
   let t0 = Unix.gettimeofday () in
   let inline resp =
-    observe_latency t t0;
+    observe_latency t ty t0;
     send t conn id resp
   in
   if t.stopping && req <> P.Ping && req <> P.Metrics && req <> P.Stats then
@@ -485,20 +668,29 @@ let handle_request t conn id req =
     match req with
     | P.Ping -> inline P.Ok_ping
     | P.Metrics ->
+        Metrics.set t.m.uptime (Unix.gettimeofday () -. t.started_at);
         inline
           (P.Ok_metrics (Format.asprintf "%a" Metrics.pp_prometheus t.m.registry))
     | P.Stats -> inline (stats_payload t)
+    | P.Logs { max_lines } ->
+        inline
+          (P.Ok_logs
+             {
+               lines = Log.tail ~limit:(max 1 max_lines) t.logger;
+               dropped = Log.dropped t.logger;
+             })
     | P.Compact ->
         let files, bytes = Result_store.compact () in
         inline (P.Ok_compact { files; bytes })
     | P.Shutdown ->
         t.stopping <- true;
+        Log.info t.logger ~src:"serve" "shutdown accepted" [ Log.int "req" rq ];
         inline P.Ok_shutdown
-    | P.Run r -> handle_run t conn id r
-    | P.Trace r -> handle_trace t conn id r
-    | P.Suite { entries; quick } -> handle_suite t conn id ~entries ~quick
+    | P.Run r -> handle_run t conn id ~rq ~t0 r
+    | P.Trace r -> handle_trace t conn id ~rq r
+    | P.Suite { entries; quick } -> handle_suite t conn id ~rq ~entries ~quick
     | P.Fuzz { n_seeds; seed0; inject; do_shrink } ->
-        handle_fuzz t conn id ~n_seeds ~seed0 ~inject ~do_shrink
+        handle_fuzz t conn id ~rq ~n_seeds ~seed0 ~inject ~do_shrink
 
 let handle_line t conn line =
   let line = String.trim line in
@@ -508,6 +700,8 @@ let handle_line t conn line =
     | Result.Error msg ->
         Metrics.inc t.m.requests 1;
         Metrics.inc t.m.errors 1;
+        Log.warn t.logger ~src:"serve" "bad request"
+          [ Log.int "conn" conn.cid; Log.str "error" msg ];
         send t conn 0 (P.Error { code = "bad-request"; message = msg })
 
 (* --- connection I/O ---------------------------------------------------- *)
@@ -518,7 +712,8 @@ let close_conn t conn =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove t.conns conn.cid;
     Metrics.set t.m.clients (float_of_int (Hashtbl.length t.conns));
-    log t "c%d disconnected" conn.cid
+    Log.debug t.logger ~src:"serve" "client disconnected"
+      [ Log.int "conn" conn.cid ]
   end
 
 let read_conn t conn =
@@ -556,7 +751,7 @@ let accept_conn t =
         Hashtbl.replace t.conns cid
           { fd; cid; inbuf = Buffer.create 256; outbuf = ""; alive = true };
         Metrics.set t.m.clients (float_of_int (Hashtbl.length t.conns));
-        log t "c%d connected" cid
+        Log.debug t.logger ~src:"serve" "client connected" [ Log.int "conn" cid ]
       end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
@@ -569,6 +764,14 @@ let run config =
   Result_store.set_limit_bytes config.store_limit_bytes;
   let workers = max 1 config.jobs in
   let pool = Engine.shared_pool ~workers in
+  let logger = Log.create ~min_level:config.log_level () in
+  if config.verbose then begin
+    Log.set_stderr logger true;
+    Log.set_min_level logger Log.Debug
+  end;
+  (match config.log_file with
+  | Some path -> Log.open_file logger path
+  | None -> ());
   (if Sys.file_exists config.socket_path then
      try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -584,20 +787,25 @@ let run config =
       pipe_w;
       pool;
       m = make_metrics ();
+      logger;
       conns = Hashtbl.create 16;
       jobs = Hashtbl.create 16;
       completions = Queue.create ();
       comp_lock = Mutex.create ();
       next_cid = 1;
+      next_req = 1;
+      flight_written = 0;
       stopping = false;
       started_at = Unix.gettimeofday ();
     }
   in
-  log t "listening on %s (%d worker%s, queue depth %d, store %s)"
-    config.socket_path workers
-    (if workers = 1 then "" else "s")
-    config.max_queue
-    (match config.cache_dir with Some d -> d | None -> "off");
+  Log.info t.logger ~src:"serve" "listening"
+    [ Log.str "socket" config.socket_path; Log.int "workers" workers;
+      Log.int "queue_depth" config.max_queue;
+      Log.str "store"
+        (match config.cache_dir with Some d -> d | None -> "off");
+      Log.str "flight"
+        (match config.trace_dir with Some d -> d | None -> "off") ];
   let finished () = t.stopping && Hashtbl.length t.jobs = 0 in
   while not (finished ()) do
     let writers =
@@ -649,4 +857,6 @@ let run config =
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  log t "shut down"
+  Log.info t.logger ~src:"serve" "shut down"
+    [ Log.float "uptime_s" (Unix.gettimeofday () -. t.started_at) ];
+  Log.close_file t.logger

@@ -15,9 +15,16 @@
     explicit back-pressure, never an unbounded queue.
 
     The daemon observes itself: a {!Telemetry.Metrics} registry with
-    request counters by type, warm-hit/compute/coalesced/busy counters,
-    an in-flight-jobs gauge and a request-latency histogram, served as
-    Prometheus text by the [metrics] request.
+    request counters and latency histograms by type, warm-hit/compute/
+    coalesced/busy counters, in-flight and queue-depth gauges,
+    [regmutex_build_info] / [regmutex_uptime_seconds], served as
+    Prometheus text by the [metrics] request; a structured
+    {!Telemetry.Log} whose recent records the [logs] request tails; and
+    a flight recorder — every queued request is followed by a
+    {!Reqtrace} carrying the coordinator's queue/compute/coalesce/reply
+    spans merged with the worker's simulation trace, written to
+    [trace_dir] as one Chrome trace-event JSON per request slower than
+    [slow_ms].
 
     On [shutdown]: the listener closes, in-flight jobs drain (their
     waiters still get their responses), the pool is joined, and the
@@ -32,11 +39,22 @@ type config = {
       (** result store root (conventionally ["_results"]); [None]
           disables persistence *)
   store_limit_bytes : int option;  (** LRU bound for the result store *)
-  verbose : bool;  (** log requests to stderr *)
+  verbose : bool;  (** mirror log records to stderr, at [Debug] level *)
+  log_level : Telemetry.Log.level;
+      (** minimum level retained by the structured log (overridden to
+          [Debug] by [verbose]) *)
+  log_file : string option;  (** append JSON-lines records to this file *)
+  trace_dir : string option;
+      (** flight-recorder directory; [None] disables per-request tracing
+          entirely (cold computes then run without a sink) *)
+  slow_ms : float;
+      (** latency threshold above which a completed request's merged
+          trace is written to [trace_dir] (capped at 32 files) *)
 }
 
 (** [jobs = auto], [max_queue = 64], store under ["_results"] with no
-    size bound, quiet. *)
+    size bound, quiet, log at [Info] with no file sink, flight recorder
+    under ["_flight"] at [slow_ms = 500]. *)
 val default_config : socket_path:string -> config
 
 (** Run the daemon. Blocks until a [shutdown] request has been accepted

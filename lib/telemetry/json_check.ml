@@ -191,9 +191,12 @@ let escape_string buf s =
 
 (* Integral floats print without a fraction (the common case for our
    counters and ids); everything else uses %.17g, enough digits that
-   [parse] recovers the same float. *)
+   [parse] recovers the same float. JSON has no NaN/Infinity literal, so
+   non-finite numbers degrade to null — a parseable frame beats a
+   syntactically invalid one in a log file or protocol line. *)
 let number_literal f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
 let rec add_json buf = function

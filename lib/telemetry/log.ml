@@ -1,0 +1,166 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | s -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s)
+
+type field = string * Json_check.json
+
+let str k v = (k, Json_check.Str v)
+let int k v = (k, Json_check.Num (float_of_int v))
+let float k v = (k, Json_check.Num v)
+let bool k v = (k, Json_check.Bool v)
+
+(* Ambient per-domain context, independent of any logger instance so the
+   pool can install it without knowing who logs underneath. *)
+let ctx_key : field list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let ctx () = Domain.DLS.get ctx_key
+
+let with_ctx fields f =
+  let saved = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (saved @ fields);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key saved) f
+
+(* One ring per domain: a burst on a worker can only evict that worker's
+   own history. [seq] orders records globally so [tail] can merge. *)
+type ring = {
+  lines : string array;  (* "" = empty slot *)
+  seqs : int array;
+  mutable next : int;
+  mutable filled : bool;
+  mutable r_dropped : int;
+}
+
+type t = {
+  ring_capacity : int;
+  mutable lvl : level;
+  mutable to_stderr : bool;
+  mutable file : out_channel option;
+  rings : (int, ring) Hashtbl.t;  (* domain id -> ring *)
+  mutable seq : int;
+  lock : Mutex.t;
+}
+
+let create ?(ring_capacity = 1024) ?(min_level = Info) () =
+  {
+    ring_capacity = max 1 ring_capacity;
+    lvl = min_level;
+    to_stderr = false;
+    file = None;
+    rings = Hashtbl.create 8;
+    seq = 0;
+    lock = Mutex.create ();
+  }
+
+let set_min_level t l = t.lvl <- l
+
+let min_level t = t.lvl
+
+let set_stderr t b = t.to_stderr <- b
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let close_file t =
+  locked t (fun () ->
+      match t.file with
+      | Some oc ->
+          t.file <- None;
+          (try close_out oc with Sys_error _ -> ())
+      | None -> ())
+
+let open_file t path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  locked t (fun () ->
+      (match t.file with
+      | Some old -> ( try close_out old with Sys_error _ -> ())
+      | None -> ());
+      t.file <- Some oc)
+
+let ring_for t did =
+  match Hashtbl.find_opt t.rings did with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          lines = Array.make t.ring_capacity "";
+          seqs = Array.make t.ring_capacity 0;
+          next = 0;
+          filled = false;
+          r_dropped = 0;
+        }
+      in
+      Hashtbl.replace t.rings did r;
+      r
+
+let log t level ~src msg fields =
+  if level_rank level >= level_rank t.lvl then begin
+    let record =
+      Json_check.Obj
+        (("ts", Json_check.Num (Unix.gettimeofday ()))
+        :: ("level", Json_check.Str (level_name level))
+        :: ("src", Json_check.Str src)
+        :: ("msg", Json_check.Str msg)
+        :: (fields @ ctx ()))
+    in
+    let line = Json_check.to_string record in
+    let did = (Domain.self () :> int) in
+    locked t (fun () ->
+        let r = ring_for t did in
+        if r.filled then r.r_dropped <- r.r_dropped + 1;
+        r.lines.(r.next) <- line;
+        r.seqs.(r.next) <- t.seq;
+        t.seq <- t.seq + 1;
+        r.next <- (r.next + 1) mod t.ring_capacity;
+        if r.next = 0 then r.filled <- true;
+        if t.to_stderr then Printf.eprintf "%s\n%!" line;
+        match t.file with
+        | Some oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+        | None -> ())
+  end
+
+let debug t ~src msg fields = log t Debug ~src msg fields
+let info t ~src msg fields = log t Info ~src msg fields
+let warn t ~src msg fields = log t Warn ~src msg fields
+let error t ~src msg fields = log t Error ~src msg fields
+
+let tail ?(limit = 100) t =
+  locked t (fun () ->
+      let all = ref [] in
+      Hashtbl.iter
+        (fun _ r ->
+          let n = if r.filled then t.ring_capacity else r.next in
+          let start = if r.filled then r.next else 0 in
+          for k = 0 to n - 1 do
+            let i = (start + k) mod t.ring_capacity in
+            all := (r.seqs.(i), r.lines.(i)) :: !all
+          done)
+        t.rings;
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !all in
+      let n = List.length sorted in
+      let skip = max 0 (n - max 0 limit) in
+      List.filteri (fun i _ -> i >= skip) sorted |> List.map snd)
+
+let dropped t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ r acc -> acc + r.r_dropped) t.rings 0)
+
+let emitted t = locked t (fun () -> t.seq)

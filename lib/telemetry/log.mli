@@ -1,0 +1,92 @@
+(** Structured, leveled JSON-lines logging.
+
+    Every record is one {!Json_check.to_string}-rendered object on a
+    single line — [{"ts": ..., "level": "info", "src": "serve",
+    "msg": ..., ...fields}] — so log files are line-delimited JSON that
+    the same parser that speaks the serve protocol can read back.
+
+    Records are retained in {e per-domain ring buffers} (newest wins;
+    {!dropped} counts the overwritten lines per domain and in total), so
+    a long-lived daemon can expose its recent history ({!tail}) without
+    unbounded memory, and a burst on one worker domain can never evict
+    another domain's records. Optional sinks mirror each record as it is
+    emitted: stderr ({!set_stderr}) and an append-only file
+    ({!open_file}).
+
+    {!with_ctx} installs ambient fields on the {e current domain} —
+    every record logged while the closure runs carries them. The serve
+    daemon threads its request ids through
+    {!Experiments.Engine.Pool.submit} into worker domains this way, so a
+    worker's "simulate" lines carry the request that caused them. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+val level_of_string : string -> (level, string) result
+
+(** A record field: key plus JSON value. *)
+type field = string * Json_check.json
+
+(** Field helpers: [str "workload" "BFS"], [int "req" 7], ... *)
+val str : string -> string -> field
+
+val int : string -> int -> field
+
+val float : string -> float -> field
+
+val bool : string -> bool -> field
+
+type t
+
+(** [create ()] — no sinks, ring of [ring_capacity] (default 1024)
+    records per domain, [min_level] (default [Info]) below which records
+    are discarded entirely. *)
+val create : ?ring_capacity:int -> ?min_level:level -> unit -> t
+
+val set_min_level : t -> level -> unit
+
+val min_level : t -> level
+
+(** Mirror records to stderr (off by default). *)
+val set_stderr : t -> bool -> unit
+
+(** Append records to [path] (creating it if needed); replaces any
+    previously opened file sink.
+    @raise Sys_error when the file cannot be opened. *)
+val open_file : t -> string -> unit
+
+(** Flush and close the file sink (no-op without one). *)
+val close_file : t -> unit
+
+(** [log t level ~src msg fields] emits one record. [src] names the
+    subsystem ([serve], [engine], ...). Ambient {!with_ctx} fields are
+    appended after [fields]. Below [min_level] this is one branch. *)
+val log : t -> level -> src:string -> string -> field list -> unit
+
+val debug : t -> src:string -> string -> field list -> unit
+
+val info : t -> src:string -> string -> field list -> unit
+
+val warn : t -> src:string -> string -> field list -> unit
+
+val error : t -> src:string -> string -> field list -> unit
+
+(** [tail ?limit t] — the most recent [limit] (default 100) retained
+    records across every domain's ring, oldest first (merged by global
+    emission order). *)
+val tail : ?limit:int -> t -> string list
+
+(** Records overwritten across all rings since creation. *)
+val dropped : t -> int
+
+(** Records ever emitted (retained + dropped). *)
+val emitted : t -> int
+
+(** [with_ctx fields f] runs [f] with [fields] appended to every record
+    the {e current domain} logs (through any logger), nesting on top of
+    any enclosing context; restored on return or exception. *)
+val with_ctx : field list -> (unit -> 'a) -> 'a
+
+(** The current domain's ambient context, innermost last. *)
+val ctx : unit -> field list

@@ -176,6 +176,7 @@ let test_protocol_roundtrip () =
       P.Suite { entries = [ "table1"; "fig7" ]; quick = true };
       P.Suite { entries = []; quick = false };
       P.Fuzz { n_seeds = 10; seed0 = 3; inject = Some "swap"; do_shrink = false };
+      P.Logs { max_lines = 50 };
       P.Metrics; P.Stats; P.Compact; P.Shutdown ];
   List.iter roundtrip_response
     [ P.Ok_ping;
@@ -193,6 +194,13 @@ let test_protocol_roundtrip () =
       P.Ok_suite { output = "line1\nline2\n" };
       P.Ok_fuzz
         { tested = 5; failures = 0; injected = 5; caught = 5; output = "ok\n" };
+      P.Ok_logs
+        {
+          lines =
+            [ "{\"level\": \"info\", \"msg\": \"a \\\"b\\\"\"}"; "{\"x\": 1}" ];
+          dropped = 3;
+        };
+      P.Ok_logs { lines = []; dropped = 0 };
       P.Ok_metrics "# TYPE x counter\nx 1\n";
       P.Ok_stats [ ("requests", 12.); ("uptime_s", 0.5) ];
       P.Ok_compact { files = 2; bytes = 2048 };
@@ -213,15 +221,19 @@ let fresh_socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "rmx-serve-test-%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_daemon ?(max_queue = 64) f =
+let with_daemon ?(max_queue = 64) ?(tweak = Fun.id) f =
   let socket = fresh_socket () in
   let config =
-    {
-      (Serve.Server.default_config ~socket_path:socket) with
-      Serve.Server.jobs = 2;
-      max_queue;
-      cache_dir = None;
-    }
+    tweak
+      {
+        (Serve.Server.default_config ~socket_path:socket) with
+        Serve.Server.jobs = 2;
+        max_queue;
+        cache_dir = None;
+        (* Hermetic by default: no flight recorder writing into the
+           test's cwd; the observability test opts back in. *)
+        trace_dir = None;
+      }
   in
   let daemon = Domain.spawn (fun () -> Serve.Server.run config) in
   let result =
@@ -321,6 +333,122 @@ let test_daemon_busy () =
       Alcotest.(check bool) "busy counted" true (stats "busy" >= 1.);
       Serve.Client.close c)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* One cold run against a daemon with the flight recorder forced on
+   (slow_ms = 0) and the log at Debug: the metrics body must carry the
+   build/uptime/per-type series, the logs request must tail valid JSON
+   lines with the request id threaded into the worker's records, and the
+   flight directory must hold one merged per-request trace that passes
+   the Chrome schema check with both the coordinator track (pid 1000)
+   and the simulation's own spans. *)
+let test_daemon_observability () =
+  let module J = Telemetry.Json_check in
+  let flight =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rmx-flight-test-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  let rm () =
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote flight)))
+  in
+  Fun.protect ~finally:rm (fun () ->
+      with_daemon
+        ~tweak:(fun c ->
+          {
+            c with
+            Serve.Server.log_level = Telemetry.Log.Debug;
+            trace_dir = Some flight;
+            slow_ms = 0.;
+          })
+        (fun socket ->
+          let c = Serve.Client.connect_retry socket in
+          let p = expect_run (Serve.Client.request c (run_req ~variant:"obs")) in
+          Alcotest.(check bool) "cold compute" false p.P.warm;
+          (* The flight file is written just after the reply is sent;
+             give the coordinator a moment to finish it. *)
+          let rec flight_files attempts =
+            let fs =
+              (if Sys.file_exists flight then Sys.readdir flight else [||])
+              |> Array.to_list
+              |> List.filter (fun n -> Filename.check_suffix n ".trace.json")
+              |> Array.of_list
+            in
+            if Array.length fs > 0 || attempts = 0 then fs
+            else (
+              Unix.sleepf 0.05;
+              flight_files (attempts - 1))
+          in
+          let traces = flight_files 40 in
+          Alcotest.(check int) "one flight trace for the one slow request" 1
+            (Array.length traces);
+          let name = traces.(0) in
+          Alcotest.(check bool) ("flight name well-formed: " ^ name) true
+            (String.length name > 4
+            && String.sub name 0 4 = "req-"
+            && Filename.check_suffix name ".trace.json"
+            && contains name "-run.");
+          let ic = open_in_bin (Filename.concat flight name) in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          (match J.validate_chrome_trace body with
+          | Ok n -> Alcotest.(check bool) "trace has events" true (n > 3)
+          | Error e -> Alcotest.failf "flight trace fails schema: %s" e);
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) ("flight trace has " ^ sub) true
+                (contains body sub))
+            [ (* coordinator track and its spans *)
+              "\"pid\": 1000"; "serve coordinator"; "queue"; "compute";
+              "reply";
+              (* the worker's simulation landed in the same document *)
+              "warp" ];
+          (* Self-metrics: build info, uptime, per-type latency. *)
+          let prom =
+            match Serve.Client.request c P.Metrics with
+            | P.Ok_metrics s -> s
+            | _ -> Alcotest.fail "metrics request failed"
+          in
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) ("metrics has " ^ sub) true
+                (contains prom sub))
+            [ "regmutex_build_info{"; "schema=\""; "git=\"";
+              "regmutex_uptime_seconds";
+              "regmutex_serve_request_type_us_bucket{type=\"run\"";
+              "regmutex_serve_queue_depth" ];
+          (* The structured log: every line is a JSON object, and the
+             worker's records carry the request id from the ambient
+             context threaded through Pool.submit. *)
+          (match Serve.Client.request c (P.Logs { max_lines = 500 }) with
+          | P.Ok_logs { lines; dropped } ->
+              Alcotest.(check bool) "log lines present" true (lines <> []);
+              Alcotest.(check int) "nothing dropped yet" 0 dropped;
+              List.iter
+                (fun line ->
+                  match J.parse line with
+                  | J.Obj _ -> ()
+                  | _ -> Alcotest.failf "log line is not an object: %s" line
+                  | exception Failure e ->
+                      Alcotest.failf "log line invalid (%s): %s" e line)
+                lines;
+              let worker_line =
+                List.find_opt
+                  (fun l ->
+                    contains l "\"src\":\"worker\"" && contains l "\"req\":")
+                  lines
+              in
+              Alcotest.(check bool) "worker records carry the request id" true
+                (worker_line <> None)
+          | _ -> Alcotest.fail "logs request failed");
+          Serve.Client.close c))
+
 let test_daemon_shutdown_drains () =
   let socket = fresh_socket () in
   let config =
@@ -362,4 +490,5 @@ let suite =
     Alcotest.test_case "daemon cold/warm" `Slow test_daemon_cold_warm;
     Alcotest.test_case "daemon single-flight" `Slow test_daemon_single_flight;
     Alcotest.test_case "daemon busy" `Slow test_daemon_busy;
+    Alcotest.test_case "daemon observability" `Slow test_daemon_observability;
     Alcotest.test_case "daemon shutdown drains" `Slow test_daemon_shutdown_drains ]
