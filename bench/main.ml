@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- sweep     # serial vs parallel vs brute force
      dune exec bench/main.exe -- cycles    # cycle-skip microbenchmark
                                            # (writes BENCH_cycle_skip.json)
+     dune exec bench/main.exe -- regdem    # RegDem occupancy/energy head-to-head
+                                           # (writes BENCH_regdem.json)
      dune exec bench/main.exe -- telemetry # sink-on vs sink-off overhead
                                            # (writes BENCH_telemetry_overhead.json)
      dune exec bench/main.exe -- serve     # daemon cold/warm latency, multi-client
@@ -121,10 +123,7 @@ let sweep_bench cfg =
 let cycles_bench ~quick cfg =
   let module Runner = Regmutex.Runner in
   let module Technique = Regmutex.Technique in
-  let techniques =
-    [ Technique.Baseline; Technique.Regmutex; Technique.Regmutex_paired;
-      Technique.Owf; Technique.Rfv ]
-  in
+  let techniques = Technique.all in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -198,10 +197,7 @@ let cycles_bench ~quick cfg =
 let soa_bench ~quick ?baseline cfg =
   let module Runner = Regmutex.Runner in
   let module Technique = Regmutex.Technique in
-  let techniques =
-    [ Technique.Baseline; Technique.Regmutex; Technique.Regmutex_paired;
-      Technique.Owf; Technique.Rfv ]
-  in
+  let techniques = Technique.all in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -361,6 +357,100 @@ let soa_bench ~quick ?baseline cfg =
     (List.length cells);
   if not (all_modes && all_seed) then exit 1
 
+(* RegDem benchmark: every suite workload run under baseline and RegDem
+   in both stepping modes. The ff/bf fingerprints must agree (a
+   divergence fails the process). Per cell: the occupancy gain demotion
+   bought, the cycle cost it paid, the spill/fill traffic it generated,
+   and the modelled energy factor vs baseline (Gpu_uarch.Energy_model) —
+   all pure simulation counts, deterministic across machines, so the
+   summary means are gate-able against bench/trajectory.json. Results
+   land in BENCH_regdem.json for the CI artifact. *)
+let regdem_bench ~quick cfg =
+  let module Runner = Regmutex.Runner in
+  let module Technique = Regmutex.Technique in
+  let module Policy = Gpu_sim.Policy in
+  let module Stats = Gpu_sim.Stats in
+  let module E = Gpu_uarch.Energy_model in
+  Printf.printf "%-16s %6s %6s %7s %9s %9s %9s  %s\n" "workload" "base-w"
+    "rd-w" "gain" "cyc red" "spill+fill" "energy x" "results";
+  let cells =
+    List.map
+      (fun spec ->
+        let arch = Experiments.Exp_config.eval_arch cfg spec in
+        let kernel = Experiments.Exp_config.kernel_of cfg spec in
+        let base = Runner.execute arch Technique.Baseline kernel in
+        let bf =
+          Runner.execute ~fast_forward:false arch Technique.Regdem kernel
+        in
+        let ff = Runner.execute arch Technique.Regdem kernel in
+        let identical =
+          String.equal (Runner.fingerprint bf) (Runner.fingerprint ff)
+        in
+        let gain =
+          float_of_int ff.Runner.theoretical_warps
+          /. float_of_int base.Runner.theoretical_warps
+        in
+        let reduction = Runner.reduction_pct ~baseline:base ff in
+        let traffic =
+          ff.Runner.stats.Stats.spill_stores + ff.Runner.stats.Stats.fill_loads
+        in
+        let energy t (r : Runner.run) =
+          (Technique.energy arch t r.Runner.stats).E.total_nj
+        in
+        let factor =
+          energy Technique.Regdem ff /. energy Technique.Baseline base
+        in
+        let demoted =
+          match ff.Runner.prepared.Technique.policy with
+          | Policy.Regdem { spill_words; _ } -> spill_words > 0
+          | _ -> false
+        in
+        Printf.printf "%-16s %6d %6d %6.2fx %8.1f%% %10d %8.2fx  %s\n%!"
+          spec.Workloads.Spec.name base.Runner.theoretical_warps
+          ff.Runner.theoretical_warps gain reduction traffic factor
+          (if identical then "identical" else "DIFFER");
+        (spec.Workloads.Spec.name, gain, reduction, traffic, factor, demoted,
+         identical))
+      (Workloads.Registry.all @ Workloads.Registry.latency_bound)
+  in
+  let mean f =
+    List.fold_left (fun a c -> a +. f c) 0. cells
+    /. float_of_int (List.length cells)
+  in
+  let mean_gain = mean (fun (_, g, _, _, _, _, _) -> g) in
+  let mean_factor = mean (fun (_, _, _, _, f, _, _) -> f) in
+  let demotions =
+    List.length (List.filter (fun (_, _, _, _, _, d, _) -> d) cells)
+  in
+  let all_identical = List.for_all (fun (_, _, _, _, _, _, ok) -> ok) cells in
+  Printf.printf
+    "mean occupancy gain %.3fx, mean energy factor %.3fx, demotion applied \
+     on %d/%d workloads; results %s\n"
+    mean_gain mean_factor demotions (List.length cells)
+    (if all_identical then "identical" else "DIFFER");
+  let oc = open_out (artifact_path "BENCH_regdem.json") in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"regdem\",\n  \"config\": %S,\n  \
+     \"mean_occupancy_gain\": %.3f,\n  \"mean_energy_factor\": %.3f,\n  \
+     \"demotions\": %d,\n  \"demotion_applied\": %b,\n  \
+     \"all_identical\": %b,\n  \"cells\": [\n"
+    (if quick then "quick" else "full")
+    mean_gain mean_factor demotions (demotions > 0) all_identical;
+  List.iteri
+    (fun i (w, gain, red, traffic, factor, demoted, ok) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"occupancy_gain\": %.3f, \
+         \"cycle_reduction_pct\": %.2f, \"spill_traffic\": %d, \
+         \"energy_factor\": %.3f, \"demoted\": %b, \"identical\": %b}%s\n"
+        w gain red traffic factor demoted ok
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" (artifact_path "BENCH_regdem.json")
+    (List.length cells);
+  if not all_identical then exit 1
+
 (* Telemetry overhead benchmark: every suite cell simulated four times —
    sink off, sink on (fast-forward), sink on (brute force), sink off again.
    The interleaved off runs bound timer drift; overhead is the on time
@@ -372,10 +462,7 @@ let soa_bench ~quick ?baseline cfg =
 let telemetry_bench ~quick cfg =
   let module Runner = Regmutex.Runner in
   let module Technique = Regmutex.Technique in
-  let techniques =
-    [ Technique.Baseline; Technique.Regmutex; Technique.Regmutex_paired;
-      Technique.Owf; Technique.Rfv ]
-  in
+  let techniques = Technique.all in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -729,6 +816,7 @@ let () =
   | [ "sweep" ] -> sweep_bench cfg
   | [ "cycles" ] -> cycles_bench ~quick cfg
   | [ "soa" ] -> soa_bench ~quick ?baseline cfg
+  | [ "regdem" ] -> regdem_bench ~quick cfg
   | [ "telemetry" ] -> telemetry_bench ~quick cfg
   | [ "serve" ] -> serve_bench ~quick cfg
   | [ "report" ] | [ "report"; "--check" ] ->

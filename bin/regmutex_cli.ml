@@ -143,13 +143,10 @@ let transform_cmd =
 (* --- run ------------------------------------------------------------ *)
 
 let technique_conv =
-  let parse = function
-    | "baseline" -> Ok Regmutex.Technique.Baseline
-    | "regmutex" -> Ok Regmutex.Technique.Regmutex
-    | "paired" | "regmutex-paired" -> Ok Regmutex.Technique.Regmutex_paired
-    | "owf" -> Ok Regmutex.Technique.Owf
-    | "rfv" -> Ok Regmutex.Technique.Rfv
-    | s -> Error (`Msg (Printf.sprintf "unknown technique %S" s))
+  let parse s =
+    match Regmutex.Technique.of_name s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown technique %S" s))
   in
   Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Regmutex.Technique.name t))
 
@@ -159,7 +156,7 @@ let run_cmd =
     Arg.(
       value
       & opt technique_conv Regmutex.Technique.Regmutex
-      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv | regdem")
   in
   let grid =
     Arg.(value & opt (some int) None & info [ "grid" ] ~doc:"Override grid CTAs.")
@@ -194,7 +191,7 @@ let technique_opt =
   Arg.(
     value
     & opt technique_conv Regmutex.Technique.Regmutex
-    & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+    & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv | regdem")
 
 (* Shared body of the observability commands: one simulation with a
    telemetry sink attached. *)
@@ -316,7 +313,7 @@ let run_file_cmd =
     Arg.(
       value
       & opt technique_conv Regmutex.Technique.Regmutex
-      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv")
+      & info [ "technique"; "t" ] ~doc:"baseline | regmutex | paired | owf | rfv | regdem")
   in
   let grid = Arg.(value & opt int 48 & info [ "grid" ] ~doc:"Grid CTAs.") in
   let threads = Arg.(value & opt int 256 & info [ "threads" ] ~doc:"Threads per CTA.") in
@@ -733,8 +730,9 @@ let fuzz_cmd =
       & info [ "inject" ] ~docv:"FAULT"
           ~doc:
             "Self-test mode: inject a fault (drop-acquire | early-release | \
-             drop-mov) into each transformed kernel and verify the oracle \
-             catches it on at least one seed. Exit status 0 iff caught.")
+             drop-mov | oob-spill) into each transformed kernel and verify \
+             the oracle catches it on at least one seed. Exit status 0 iff \
+             caught.")
   in
   let daemon_flag =
     Arg.(

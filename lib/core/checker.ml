@@ -100,7 +100,7 @@ let pp_violation ppf v = Format.fprintf ppf "pc %d: %s" v.pc v.message
 
 type store_trace = ((int * int) * (Instr.space * int * int) list) list
 
-let space_name = function Instr.Global -> "global" | Instr.Shared -> "shared"
+let space_name = Instr.space_name
 
 let pp_store (sp, addr, v) =
   Printf.sprintf "st.%s [0x%x] = %d" (space_name sp) addr v

@@ -6,7 +6,13 @@
     - [Regmutex_paired]: the paired-warps specialization (§III-C).
     - [Owf]: resource sharing with owner-warp-first scheduling
       (Jatala et al. [7]) — one-time acquire, no in-kernel release.
-    - [Rfv]: register file virtualization (Jeon et al. [3]). *)
+    - [Rfv]: register file virtualization (Jeon et al. [3]).
+    - [Regdem]: register demotion to shared memory (Sakdhnagool et al.,
+      arXiv:1907.02894) — see {!Regdem}.
+
+    Besides the closed variant type, every technique is exposed through a
+    uniform {!plugin} record (prepare / storage / energy hooks), which is
+    what the experiment and bench layers iterate over. *)
 
 type t =
   | Baseline
@@ -14,6 +20,7 @@ type t =
   | Regmutex_paired
   | Owf
   | Rfv
+  | Regdem
 
 type options = {
   es_override : int option;  (** force [|Es|] (sensitivity sweeps) *)
@@ -29,14 +36,62 @@ type prepared = {
   policy : Gpu_sim.Policy.t;
   choice : Es_heuristic.choice option;
   plan : Transform.plan option;
+  regdem : Regdem.plan option;  (** demotion plan, for [Regdem] runs *)
 }
 
 (** [prepare ?options cfg t kernel] runs the compile-time side. For
     [Regmutex]/[Regmutex_paired]: when the heuristic yields no viable
     candidate, the kernel falls back to baseline behaviour (zero-sized
-    extended set, no primitives inserted). *)
+    extended set, no primitives inserted). [Regdem] likewise falls back
+    to an empty spill window when no demotion beats baseline
+    occupancy. *)
 val prepare :
   ?options:options -> Gpu_uarch.Arch_config.t -> t -> Gpu_sim.Kernel.t -> prepared
 
 val name : t -> string
+
+(** Inverse of {!name} (also accepts the "paired" shorthand). *)
+val of_name : string -> t option
+
 val all : t list
+
+(** Total mapping into {!Gpu_uarch.Storage_cost.technique}. Exhaustive by
+    construction: adding a [Technique.t] constructor breaks this function
+    at compile time until the new technique's hardware cost is
+    classified, so the two variant types cannot silently drift. *)
+val to_storage : t -> Gpu_uarch.Storage_cost.technique
+
+(** Hardware tracking-storage bits of the technique on [cfg]. *)
+val storage_bits : Gpu_uarch.Arch_config.t -> t -> int
+
+(** [energy_counts cfg t stats] derives the energy model's activity
+    counts from a run's counters: RF and shared accesses come straight
+    from {!Gpu_sim.Stats}, renaming traffic is charged for [Rfv] (every
+    RF access passes the renaming table), and acquire/release tracking
+    updates for the RegMutex family. *)
+val energy_counts :
+  Gpu_uarch.Arch_config.t -> t -> Gpu_sim.Stats.t ->
+  Gpu_uarch.Energy_model.counts
+
+(** Modelled energy of a run under technique [t]. *)
+val energy :
+  ?constants:Gpu_uarch.Energy_model.constants ->
+  Gpu_uarch.Arch_config.t -> t -> Gpu_sim.Stats.t ->
+  Gpu_uarch.Energy_model.breakdown
+
+(** A technique as a uniform bundle of hooks — the open-ended interface
+    the experiment, bench and CLI layers program against. *)
+type plugin = {
+  variant : t;
+  plugin_name : string;
+  plugin_prepare :
+    options -> Gpu_uarch.Arch_config.t -> Gpu_sim.Kernel.t -> prepared;
+  plugin_storage : Gpu_uarch.Storage_cost.technique;
+  plugin_energy :
+    Gpu_uarch.Arch_config.t -> Gpu_sim.Stats.t ->
+    Gpu_uarch.Energy_model.breakdown;
+}
+
+val plugin_of : t -> plugin
+val plugins : plugin list
+val find_plugin : string -> plugin option

@@ -1,0 +1,87 @@
+module Runner = Regmutex.Runner
+module Technique = Regmutex.Technique
+module E = Gpu_uarch.Energy_model
+
+type row = {
+  tech : Technique.t;
+  mean_occupancy : float;
+  mean_reduction : float;      (* cycle reduction vs baseline, % *)
+  storage_bits : int;
+  mean_energy_nj : float;
+  mean_energy_overhead : float;  (* total energy vs baseline, % *)
+}
+
+(* Every registered technique — the figure iterates the plugin list, so a
+   technique added behind {!Technique.plugin_of} appears here without the
+   figure changing. *)
+let specs () = Workloads.Registry.occupancy_limited
+
+let rows cfg =
+  let arch = cfg.Exp_config.arch in
+  let specs = specs () in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         List.map
+           (fun p -> Engine.cell ~arch p.Technique.variant spec)
+           Technique.plugins)
+       specs);
+  let base_runs =
+    List.map (fun spec -> Engine.run cfg ~arch Technique.Baseline spec) specs
+  in
+  let base_energy =
+    List.map
+      (fun (b : Runner.run) ->
+        (Technique.energy arch Technique.Baseline b.Runner.stats).E.total_nj)
+      base_runs
+  in
+  List.map
+    (fun p ->
+      let t = p.Technique.variant in
+      let runs = List.map (fun spec -> Engine.run cfg ~arch t spec) specs in
+      let energies =
+        List.map
+          (fun (r : Runner.run) ->
+            (p.Technique.plugin_energy arch r.Runner.stats).E.total_nj)
+          runs
+      in
+      {
+        tech = t;
+        mean_occupancy =
+          Table.mean
+            (List.map (fun r -> r.Runner.theoretical_occupancy) runs);
+        mean_reduction =
+          Table.mean
+            (List.map2
+               (fun baseline r -> Runner.reduction_pct ~baseline r)
+               base_runs runs);
+        storage_bits = Technique.storage_bits arch t;
+        mean_energy_nj = Table.mean energies;
+        mean_energy_overhead =
+          Table.mean
+            (List.map2 (fun e b -> (e -. b) /. b *. 100.) energies base_energy);
+      })
+    Technique.plugins
+
+let print cfg =
+  let rs = rows cfg in
+  print_endline
+    "Head-to-head: all techniques on the occupancy-limited set (means)";
+  print_endline
+    (Table.render
+       ~columns:
+         [ ("technique", Table.Left); ("occupancy", Table.Right);
+           ("cycle red", Table.Right); ("storage bits", Table.Right);
+           ("energy nJ", Table.Right); ("energy vs base", Table.Right) ]
+       (List.map
+          (fun r ->
+            [ Technique.name r.tech;
+              Table.occ r.mean_occupancy;
+              Table.pct r.mean_reduction;
+              Table.int_cell r.storage_bits;
+              Printf.sprintf "%.1f" r.mean_energy_nj;
+              Table.pct r.mean_energy_overhead ])
+          rs));
+  print_endline
+    "energy: per-access RF/shared model (see Gpu_uarch.Energy_model) —\n\
+     relative comparisons between techniques, not absolute joules"

@@ -111,6 +111,27 @@ let extract_telemetry_overhead j =
   in
   (ms, invs)
 
+let extract_regdem j =
+  let config = config_of j in
+  let ms =
+    List.filter_map
+      (fun (name, higher_better) ->
+        Option.map
+          (fun v -> metric ~higher_better ~config ("regdem." ^ name) v)
+          (num j name))
+      (* Occupancy bought is the win; the energy factor is a cost. *)
+      [ ("mean_occupancy_gain", true); ("mean_energy_factor", false) ]
+  in
+  let invs =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun ok -> { inv_key = "regdem." ^ name; ok })
+          (boolean j name))
+      [ "all_identical"; "demotion_applied" ]
+  in
+  (ms, invs)
+
 let extract_serve j =
   let config = config_of j in
   let simple =
@@ -157,6 +178,7 @@ let extract j =
   | Some "cycle_skip" -> Some (extract_cycle_skip j)
   | Some "soa_core" -> Some (extract_soa_core j)
   | Some "telemetry_overhead" -> Some (extract_telemetry_overhead j)
+  | Some "regdem" -> Some (extract_regdem j)
   | Some "serve" -> Some (extract_serve j)
   | _ -> None
 

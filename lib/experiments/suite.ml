@@ -27,6 +27,8 @@ let all =
       print = Fig12.print };
     { name = "fig13"; doc = "Figure 13: acquire success rate";
       print = Fig13.print };
+    { name = "head2head"; doc = "All techniques: occupancy, cycles, storage, energy";
+      print = Head_to_head.print };
     { name = "storage"; doc = "Hardware storage cost per technique";
       print = Storage.print };
     { name = "ablation"; doc = "Compiler-pass ablation";

@@ -8,26 +8,31 @@ module Gpu = Gpu_sim.Gpu
 module Sm = Gpu_sim.Sm
 module Stats = Gpu_sim.Stats
 module Policy = Gpu_sim.Policy
+module Kernel = Gpu_sim.Kernel
 module Technique = Regmutex.Technique
 module Transform = Regmutex.Transform
+module Regdem = Regmutex.Regdem
 module Checker = Regmutex.Checker
 module Runner = Regmutex.Runner
 
-type fault = Drop_acquire | Early_release | Drop_mov
+type fault = Drop_acquire | Early_release | Drop_mov | Oob_spill
 
 let fault_name = function
   | Drop_acquire -> "drop-acquire"
   | Early_release -> "early-release"
   | Drop_mov -> "drop-mov"
+  | Oob_spill -> "oob-spill"
 
 let fault_of_string = function
   | "drop-acquire" -> Ok Drop_acquire
   | "early-release" -> Ok Early_release
   | "drop-mov" -> Ok Drop_mov
+  | "oob-spill" -> Ok Oob_spill
   | s ->
       Error
         (Printf.sprintf
-           "unknown fault %S (expected drop-acquire, early-release or drop-mov)"
+           "unknown fault %S (expected drop-acquire, early-release, drop-mov \
+            or oob-spill)"
            s)
 
 type kind =
@@ -39,6 +44,7 @@ type kind =
   | Unsound_transform
   | Conservation
   | Roundtrip
+  | Shared_oob
   | Crash
 
 let kind_name = function
@@ -50,6 +56,7 @@ let kind_name = function
   | Unsound_transform -> "unsound-transform"
   | Conservation -> "conservation"
   | Roundtrip -> "roundtrip"
+  | Shared_oob -> "shared-oob"
   | Crash -> "crash"
 
 type failure = { kind : kind; detail : string }
@@ -84,6 +91,12 @@ let stats_fields (s : Stats.t) =
     s.Stats.acquire_stall_cycles,
     s.Stats.release_execs,
     s.Stats.shared_oob,
+    s.Stats.spill_stores,
+    s.Stats.fill_loads,
+    s.Stats.rf_reads,
+    s.Stats.rf_writes,
+    s.Stats.shared_reads,
+    s.Stats.shared_writes,
     s.Stats.resident_warp_cycles,
     s.Stats.warp_capacity_cycles,
     s.Stats.ctas_retired,
@@ -174,6 +187,9 @@ let apply_fault fault ~bs p =
           | Instr.Mov (d, _) -> (replace p idx (Instr.Mov (d, Instr.Reg d)), true)
           | _ -> assert false)
       | None -> (p, false))
+  | Oob_spill ->
+      (* Targets the forced-RegDem branch, not the SRP split. *)
+      (p, false)
 
 (* --- baseline reference ----------------------------------------------- *)
 
@@ -312,7 +328,24 @@ let forced_split_failures (case : Gen.t) ~expected ~inject =
 
 (* --- technique differential ------------------------------------------- *)
 
-let technique_failures (case : Gen.t) ~expected =
+(* The shared-memory discipline rule: a technique must hit the user
+   shared-memory window exactly as often out-of-bounds as the baseline
+   does — a delta means a transform leaked accesses outside its
+   allocation (RegDem correctness depends on this: spill traffic must
+   stay inside the reserved window). Strict by default; configurable so
+   the rule itself is testable. *)
+let oob_delta ~strict_oob ~base_oob ~label (stats : Stats.t) =
+  if strict_oob && stats.Stats.shared_oob <> base_oob then
+    Some
+      {
+        kind = Shared_oob;
+        detail =
+          Printf.sprintf "%s: %d out-of-bounds shared accesses vs %d in baseline"
+            label stats.Stats.shared_oob base_oob;
+      }
+  else None
+
+let technique_failures (case : Gen.t) ~expected ~base_oob ~strict_oob =
   let kern = Gen.kernel case in
   let failures = ref [] in
   let fail kind detail = failures := { kind; detail } :: !failures in
@@ -330,6 +363,11 @@ let technique_failures (case : Gen.t) ~expected =
                  ~actual:(Stats.store_traces run.Runner.stats)
              with
             | Some d -> fail Divergence (Printf.sprintf "%s: %s" name d)
+            | None -> ());
+            (match
+               oob_delta ~strict_oob ~base_oob ~label:name run.Runner.stats
+             with
+            | Some f -> failures := f :: !failures
             | None -> ());
             successes := tech :: !successes)
       | exception Gpu.Deadlock d ->
@@ -368,6 +406,103 @@ let technique_failures (case : Gen.t) ~expected =
     [ Technique.Baseline; Technique.Regmutex ];
   List.rev !failures
 
+(* --- forced RegDem demotion -------------------------------------------- *)
+
+(* The RegDem heuristic only demotes when occupancy strictly improves,
+   which small fuzz kernels rarely trigger — so the demotion machinery is
+   additionally exercised with a salt-derived forced [keep], independent
+   of profitability. The transformed kernel must reproduce the baseline
+   store trace, keep fast-forward and brute-force stepping bit-identical,
+   and never touch shared memory outside its reserved spill window. *)
+let forced_regdem_failures (case : Gen.t) ~expected ~base_oob ~strict_oob ~inject =
+  let prog = case.Gen.program in
+  let n_regs = prog.Program.n_regs in
+  if n_regs < 3 then ([], false)
+  else
+    let keep = 1 + (case.Gen.salt mod (n_regs - 1)) in
+    let wpc = max 1 (case.Gen.threads / 32) in
+    match Regdem.transform ~keep ~wpc prog with
+    | exception Regdem.Unsound m ->
+        ( [ {
+              kind = Unsound_transform;
+              detail =
+                Printf.sprintf "regdem keep=%d wpc=%d rejected its own output: %s"
+                  keep wpc m;
+            } ],
+          false )
+    | plan ->
+        let transformed, injected =
+          match inject with
+          | Some Oob_spill -> (
+              (* Corrupt the first spill store's offset to land one past
+                 the window: every executing warp must bump [shared_oob],
+                 which the strict window rule then reports. *)
+              match
+                find_first
+                  (function Instr.Store (Instr.Spill, _, _, _) -> true | _ -> false)
+                  plan.Regdem.transformed
+              with
+              | Some idx -> (
+                  match Program.get plan.Regdem.transformed idx with
+                  | Instr.Store (Instr.Spill, addr, v, _) ->
+                      ( replace plan.Regdem.transformed idx
+                          (Instr.Store
+                             (Instr.Spill, addr, v, plan.Regdem.spill_words)),
+                        true )
+                  | _ -> assert false)
+              | None -> (plan.Regdem.transformed, false))
+          | Some (Drop_acquire | Early_release | Drop_mov) | None ->
+              (plan.Regdem.transformed, false)
+        in
+        let kern =
+          Kernel.with_shmem_bytes
+            (Gen.kernel ~program:transformed case)
+            (Regdem.shmem_bytes_with_window (Gen.kernel case)
+               ~spill_words:plan.Regdem.spill_words)
+        in
+        let policy =
+          Policy.Regdem
+            { regs_per_thread = plan.Regdem.allocated;
+              spill_words = plan.Regdem.spill_words }
+        in
+        let config =
+          { (Gpu.default_config arch0 policy) with
+            Gpu.record_stores = true;
+            max_cycles }
+        in
+        let failures = ref [] in
+        let fail kind detail = failures := { kind; detail } :: !failures in
+        let label = Printf.sprintf "regdem keep=%d wpc=%d" keep wpc in
+        (match simulate { config with Gpu.fast_forward = false } kern with
+        | Dead d -> fail Deadlock (Printf.sprintf "%s: %s" label d)
+        | Tripped m -> fail Verification (Printf.sprintf "%s: %s" label m)
+        | Finished brute ->
+            if brute.Stats.timed_out then
+              fail Timeout (Printf.sprintf "%s: exceeded %d cycles" label max_cycles)
+            else begin
+              (match
+                 Checker.diff_store_traces ~expected
+                   ~actual:(Stats.store_traces brute)
+               with
+              | Some d -> fail Divergence (Printf.sprintf "%s: %s" label d)
+              | None -> ());
+              (match oob_delta ~strict_oob ~base_oob ~label brute with
+              | Some f -> failures := f :: !failures
+              | None -> ());
+              match simulate config kern with
+              | Dead d ->
+                  fail Deadlock
+                    (Printf.sprintf "%s (fast-forward only): %s" label d)
+              | Tripped m ->
+                  fail Verification
+                    (Printf.sprintf "%s (fast-forward only): %s" label m)
+              | Finished ff -> (
+                  match diff_stats ~label ff brute with
+                  | Some d -> fail Stats_mismatch d
+                  | None -> ())
+            end);
+        (List.rev !failures, injected)
+
 (* --- per-case entry ---------------------------------------------------- *)
 
 (* Oracle-stage profiling (surfaced by `regmutex fuzz --profile`).
@@ -377,8 +512,9 @@ let baseline_phase = Telemetry.Profile.phase "oracle.baseline"
 let roundtrip_phase = Telemetry.Profile.phase "oracle.roundtrip"
 let techniques_phase = Telemetry.Profile.phase "oracle.techniques"
 let forced_split_phase = Telemetry.Profile.phase "oracle.forced-split"
+let forced_regdem_phase = Telemetry.Profile.phase "oracle.forced-regdem"
 
-let test_case ?inject (case : Gen.t) =
+let test_case ?inject ?(strict_shared_oob = true) (case : Gen.t) =
   try
     let prog = case.Gen.program in
     match
@@ -399,22 +535,33 @@ let test_case ?inject (case : Gen.t) =
             injected = false }
         else
           let expected = Stats.store_traces base in
-          let split_failures, injected =
+          let base_oob = base.Stats.shared_oob in
+          let strict_oob = strict_shared_oob in
+          let split () =
             Telemetry.Profile.time forced_split_phase (fun () ->
                 forced_split_failures case ~expected ~inject)
           in
-          let failures =
+          let regdem () =
+            Telemetry.Profile.time forced_regdem_phase (fun () ->
+                forced_regdem_failures case ~expected ~base_oob ~strict_oob
+                  ~inject)
+          in
+          let failures, injected =
+            (* With a fault requested only the branch carrying the mutation
+               runs; the other invariants would re-test the unmutated
+               program. *)
             match inject with
-            | Some _ ->
-                (* Injection only mutates the forced-split branch; the other
-                   invariants would re-test the unmutated program. *)
-                split_failures
+            | Some Oob_spill -> regdem ()
+            | Some (Drop_acquire | Early_release | Drop_mov) -> split ()
             | None ->
-                Telemetry.Profile.time roundtrip_phase (fun () ->
-                    roundtrip_failures prog)
-                @ Telemetry.Profile.time techniques_phase (fun () ->
-                    technique_failures case ~expected)
-                @ split_failures
+                let split_failures, _ = split () in
+                let regdem_failures, _ = regdem () in
+                ( Telemetry.Profile.time roundtrip_phase (fun () ->
+                      roundtrip_failures prog)
+                  @ Telemetry.Profile.time techniques_phase (fun () ->
+                        technique_failures case ~expected ~base_oob ~strict_oob)
+                  @ split_failures @ regdem_failures,
+                  false )
           in
           { failures; injected }
   with e ->
@@ -423,6 +570,6 @@ let test_case ?inject (case : Gen.t) =
             detail = Printf.sprintf "unexpected exception: %s" (Printexc.to_string e) } ];
       injected = false }
 
-let test_seed ?inject seed =
+let test_seed ?inject ?strict_shared_oob seed =
   let case = Gen.generate ~seed in
-  (case, test_case ?inject case)
+  (case, test_case ?inject ?strict_shared_oob case)

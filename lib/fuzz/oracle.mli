@@ -15,17 +15,33 @@
       [Srp_paired], with dynamic verification on — plus SRP conservation
       ([in_use + free = sections] and status/bitmask/LUT agreement)
       sampled every cycle;
+    - a forced RegDem demotion: a salt-derived [keep] boundary is pushed
+      through {!Regmutex.Regdem.transform} regardless of profitability,
+      and the spilling kernel is run under [Policy.Regdem] — store traces
+      must match the baseline, fast-forward vs brute-force must stay
+      bit-identical, and (strict window rule, see below) the transformed
+      kernel must hit the shared-memory window out-of-bounds {e exactly}
+      as often as the baseline;
     - the forward-progress watchdog: any {!Gpu_sim.Gpu.Deadlock} is a
       failure, as is a watchdog timeout.
 
-    Fault injection ([?inject]) mutates the {e transformed} program of the
-    forced-split branch — the oracle must then report at least one
-    failure, which is how the fuzzer's own detection power is tested. *)
+    The strict window rule ([?strict_shared_oob], default on) promotes
+    {!Gpu_sim.Stats.shared_oob} from a warn-only counter to a hard
+    failure: any technique whose out-of-bounds count differs from the
+    baseline's fails with [Shared_oob]. Spill traffic escaping its
+    reserved window is exactly such a delta.
+
+    Fault injection ([?inject]) mutates the {e transformed} program of
+    the branch the fault targets (forced-split for the SRP faults,
+    forced-RegDem for [Oob_spill]) — the oracle must then report at least
+    one failure, which is how the fuzzer's own detection power is
+    tested. *)
 
 type fault =
   | Drop_acquire   (** neutralise the first [Acquire] *)
   | Early_release  (** insert a [Release] right after the first [Acquire] *)
   | Drop_mov       (** disable the first compaction MOV across the boundary *)
+  | Oob_spill      (** push the first spill store one slot past the window *)
 
 val fault_name : fault -> string
 val fault_of_string : string -> (fault, string) result
@@ -39,6 +55,7 @@ type kind =
   | Unsound_transform  (** {!Regmutex.Transform.Unsound} on a legal kernel *)
   | Conservation       (** SRP accounting invariant broken *)
   | Roundtrip          (** parser or codec round-trip diverged *)
+  | Shared_oob         (** shared-memory window discipline broken *)
   | Crash              (** unexpected exception *)
 
 val kind_name : kind -> string
@@ -51,11 +68,12 @@ type report = {
 }
 
 (** Run every applicable invariant for the case. Never raises: unexpected
-    exceptions become [Crash] failures. With [?inject] only the
-    forced-split branch runs (the mutation lives there). *)
-val test_case : ?inject:fault -> Gen.t -> report
+    exceptions become [Crash] failures. With [?inject] only the branch
+    carrying the mutation runs. [?strict_shared_oob] (default [true])
+    controls the hard shared-memory window rule. *)
+val test_case : ?inject:fault -> ?strict_shared_oob:bool -> Gen.t -> report
 
 (** [test_seed ?inject seed] = generate then {!test_case}. *)
-val test_seed : ?inject:fault -> int -> Gen.t * report
+val test_seed : ?inject:fault -> ?strict_shared_oob:bool -> int -> Gen.t * report
 
 val pp_failure : Format.formatter -> failure -> unit

@@ -71,7 +71,9 @@ let cmpop_of_code = function
 
 (* Opcode space: 0..11 binops, 12..14 unops, 15 mad, 16 mov, 17..22 cmp,
    23 sel, 24/25 load global/shared, 26/27 store, 28 jump, 29 jump_if,
-   30 jump_ifz, 31 bar, 32 acquire, 33 release, 34 exit. *)
+   30 jump_ifz, 31 bar, 32 acquire, 33 release, 34 exit, 35/36
+   load/store spill (the space bit only distinguishes global from
+   shared, so the spill window gets its own opcodes). *)
 let op_unop = 12
 let op_mad = 15
 let op_mov = 16
@@ -86,6 +88,8 @@ let op_bar = 31
 let op_acquire = 32
 let op_release = 33
 let op_exit = 34
+let op_load_spill = 35
+let op_store_spill = 36
 
 let unop_code = function Instr.Neg -> 0 | Instr.Not -> 1 | Instr.Abs -> 2
 
@@ -93,7 +97,11 @@ let unop_of_code = function
   | 0 -> Instr.Neg | 1 -> Instr.Not | 2 -> Instr.Abs
   | c -> fail "unknown unop code %d" c
 
-let space_bit = function Instr.Global -> 0 | Instr.Shared -> 1
+let space_bit = function
+  | Instr.Global -> 0
+  | Instr.Shared -> 1
+  | Instr.Spill -> fail "spill space is encoded via its own opcodes"
+
 let space_of_bit = function 0 -> Instr.Global | _ -> Instr.Shared
 
 (* Field positions. *)
@@ -129,6 +137,10 @@ let encode instr =
   | Instr.Cmp (op, d, a, b) ->
       [ header (op_cmp + cmpop_code op) |> dst d |> opa a |> opb b ]
   | Instr.Sel (d, c, a, b) -> [ header op_sel |> dst d |> opa c |> opb a |> opc b ]
+  | Instr.Load (Instr.Spill, d, addr, ofs) ->
+      [ header op_load_spill |> dst d |> opa addr; Int64.of_int ofs ]
+  | Instr.Store (Instr.Spill, addr, v, ofs) ->
+      [ header op_store_spill |> opa addr |> opb v; Int64.of_int ofs ]
   | Instr.Load (space, d, addr, ofs) ->
       [ header (op_load + space_bit space) |> dst d |> opa addr; Int64.of_int ofs ]
   | Instr.Store (space, addr, v, ofs) ->
@@ -171,6 +183,8 @@ let decode_one ws ~pos =
   else if op = op_acquire then (Instr.Acquire, pos + 1)
   else if op = op_release then (Instr.Release, pos + 1)
   else if op = op_exit then (Instr.Exit, pos + 1)
+  else if op = op_load_spill then (Instr.Load (Instr.Spill, dst, a (), offset ()), pos + 2)
+  else if op = op_store_spill then (Instr.Store (Instr.Spill, a (), b (), offset ()), pos + 2)
   else fail "unknown opcode %d" op
 
 let encodable_instr i =

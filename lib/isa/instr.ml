@@ -7,7 +7,7 @@ type unop = Neg | Not | Abs
 
 type cmpop = Eq | Ne | Lt | Le | Gt | Ge
 
-type space = Global | Shared
+type space = Global | Shared | Spill
 
 type special =
   | Tid
@@ -49,7 +49,8 @@ type lat_class =
 let lat_class = function
   | Bin ((Mul | Div | Rem), _, _, _) | Mad _ -> Lat_complex
   | Bin _ | Un _ | Mov _ | Cmp _ | Sel _ -> Lat_alu
-  | Load (Shared, _, _, _) | Store (Shared, _, _, _) -> Lat_shared
+  | Load ((Shared | Spill), _, _, _) | Store ((Shared | Spill), _, _, _) ->
+      Lat_shared
   | Load (Global, _, _, _) | Store (Global, _, _, _) -> Lat_global
   | Jump _ | Jump_if _ | Jump_ifz _ | Bar | Acquire | Release | Exit -> Lat_control
 
@@ -131,7 +132,10 @@ let unop_name = function Neg -> "neg" | Not -> "not" | Abs -> "abs"
 let cmpop_name = function
   | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
 
-let space_name = function Global -> "global" | Shared -> "shared"
+let space_name = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Spill -> "spill"
 
 let special_name = function
   | Tid -> "%tid"

@@ -17,8 +17,12 @@ type unop = Neg | Not | Abs
 type cmpop = Eq | Ne | Lt | Le | Gt | Ge
 
 (** Memory spaces. [Global] is device memory (long, contended latency);
-    [Shared] is per-CTA scratchpad (short latency). *)
-type space = Global | Shared
+    [Shared] is per-CTA scratchpad (short latency); [Spill] is the
+    compiler-reserved register-spill window carved out of the same
+    scratchpad by the RegDem demotion pass — same latency as [Shared],
+    but addressed relative to the window base and excluded from the
+    architectural store trace. *)
+type space = Global | Shared | Spill
 
 (** Read-only hardware values available as operands. *)
 type special =
@@ -89,6 +93,9 @@ val map_target : (int -> int) -> t -> t
 
 (** Structural equality. *)
 val equal : t -> t -> bool
+
+(** Printable name of a memory space ("global" / "shared" / "spill"). *)
+val space_name : space -> string
 
 val pp_operand : Format.formatter -> operand -> unit
 val pp : Format.formatter -> t -> unit

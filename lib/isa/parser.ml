@@ -151,6 +151,12 @@ let parse_instr line tokens =
                   | "st.shared", [ m; v ] ->
                       let addr, ofs = parse_address line m in
                       P_plain (Instr.Store (Instr.Shared, addr, parse_operand line v, ofs))
+                  | "ld.spill", [ d; m ] ->
+                      let addr, ofs = parse_address line m in
+                      P_plain (Instr.Load (Instr.Spill, parse_reg line d, addr, ofs))
+                  | "st.spill", [ m; v ] ->
+                      let addr, ofs = parse_address line m in
+                      P_plain (Instr.Store (Instr.Spill, addr, parse_operand line v, ofs))
                   | "bra", [ t ] -> P_jump (parse_target t)
                   | "bra.nz", [ c; t ] -> P_jump_if (parse_operand line c, parse_target t)
                   | "bra.z", [ c; t ] -> P_jump_ifz (parse_operand line c, parse_target t)

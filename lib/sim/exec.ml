@@ -9,6 +9,7 @@ type ctx = {
   nctaid : int;
   warp_id : int;
   mutable shared : int array;
+  spill_words : int;
   memory : Memory.t;
   stats : Stats.t;
   record_stores : bool;
@@ -67,26 +68,83 @@ let cmpop op a b =
 
 (* Out-of-bounds shared accesses wrap (real hardware would fault or read a
    neighbour's bank); the wrap is counted so workloads exercising it are
-   visible in the statistics rather than silently absorbed. *)
+   visible in the statistics rather than silently absorbed. The user
+   window excludes the spill window RegDem reserves at the top of the
+   allocation, so a user access wraps exactly as it would without the
+   demotion pass — the spill window is invisible to the program's
+   architectural shared-memory semantics. *)
 let shared_index ctx addr =
-  let words = Array.length ctx.shared in
+  let words = Array.length ctx.shared - ctx.spill_words in
   if addr < 0 || addr >= words then
     ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
   ((addr mod words) + words) mod words
 
+(* Spill accesses address the reserved window relative to its base. Any
+   access outside the window — including a spill instruction executing
+   with no window configured — is a compiler bug, counted as [shared_oob]
+   and wrapped into the user window so it stays observable downstream
+   (the fuzz oracle treats a shared_oob delta vs baseline as a hard
+   failure). *)
+let spill_index ctx rel =
+  if ctx.spill_words > 0 && rel >= 0 && rel < ctx.spill_words then
+    Array.length ctx.shared - ctx.spill_words + rel
+  else begin
+    ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
+    let words = Array.length ctx.shared in
+    ((rel mod words) + words) mod words
+  end
+
 let read ctx space addr =
   match space with
   | Instr.Global -> Memory.read_global ctx.memory addr
-  | Instr.Shared -> ctx.shared.(shared_index ctx addr)
+  | Instr.Shared ->
+      ctx.stats.Stats.shared_reads <- ctx.stats.Stats.shared_reads + 1;
+      ctx.shared.(shared_index ctx addr)
+  | Instr.Spill ->
+      ctx.stats.Stats.fill_loads <- ctx.stats.Stats.fill_loads + 1;
+      ctx.shared.(spill_index ctx addr)
 
+(* Spill stores are micro-architectural traffic, not program semantics:
+   they are never recorded in the architectural store trace, which is what
+   lets the fuzz oracle demand store-trace equality between RegDem and
+   baseline. *)
 let write ctx space addr v =
-  if ctx.record_stores then
-    Stats.record_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id space addr v;
   match space with
-  | Instr.Global -> Memory.write_global ctx.memory addr v
-  | Instr.Shared -> ctx.shared.(shared_index ctx addr) <- v
+  | Instr.Global ->
+      if ctx.record_stores then
+        Stats.record_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id space addr v;
+      Memory.write_global ctx.memory addr v
+  | Instr.Shared ->
+      if ctx.record_stores then
+        Stats.record_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id space addr v;
+      ctx.stats.Stats.shared_writes <- ctx.stats.Stats.shared_writes + 1;
+      ctx.shared.(shared_index ctx addr) <- v
+  | Instr.Spill ->
+      ctx.stats.Stats.spill_stores <- ctx.stats.Stats.spill_stores + 1;
+      ctx.shared.(spill_index ctx addr) <- v
+
+(* Register-file port activity per executed instruction, for the energy
+   model: one read per register operand (duplicates count — each is a
+   port access), one write per defined register. Counted here, at
+   execution granularity, so the totals are identical under fast-forward
+   and brute-force stepping (scheduler re-probes such as the RFV peek
+   are cycle-dependent and must not contribute). *)
+let is_reg = function Instr.Reg _ -> 1 | Instr.Imm _ | Instr.Special _ | Instr.Param _ -> 0
+
+let rf_accesses = function
+  | Instr.Bin (_, _, a, b) | Instr.Cmp (_, _, a, b) -> (is_reg a + is_reg b, 1)
+  | Instr.Un (_, _, a) | Instr.Mov (_, a) -> (is_reg a, 1)
+  | Instr.Mad (_, a, b, c) | Instr.Sel (_, a, b, c) ->
+      (is_reg a + is_reg b + is_reg c, 1)
+  | Instr.Load (_, _, addr, _) -> (is_reg addr, 1)
+  | Instr.Store (_, addr, v, _) -> (is_reg addr + is_reg v, 0)
+  | Instr.Jump_if (c, _) | Instr.Jump_ifz (c, _) -> (is_reg c, 0)
+  | Instr.Jump _ | Instr.Bar | Instr.Acquire | Instr.Release | Instr.Exit -> (0, 0)
 
 let step ctx instr =
+  let reads, writes = rf_accesses instr in
+  ctx.stats.Stats.rf_reads <- ctx.stats.Stats.rf_reads + reads;
+  ctx.stats.Stats.rf_writes <- ctx.stats.Stats.rf_writes + writes;
   let v = operand ctx in
   match instr with
   | Instr.Bin (op, d, a, b) ->

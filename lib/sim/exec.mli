@@ -20,6 +20,11 @@ type ctx = {
   nctaid : int;        (** CTAs in the grid *)
   warp_id : int;       (** warp index within the CTA (fixed per slot) *)
   mutable shared : int array;  (** the resident CTA's shared memory *)
+  spill_words : int;
+      (** RegDem spill window reserved at the top of [shared]; 0 when the
+          policy demotes nothing. User [Shared] accesses wrap within
+          [length shared - spill_words]; [Spill] accesses are relative to
+          the window base and bump [stats.shared_oob] when outside it *)
   memory : Memory.t;
   stats : Stats.t;     (** shared-memory wrap counting, store recording *)
   record_stores : bool;

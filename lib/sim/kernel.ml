@@ -32,3 +32,7 @@ let demand t =
 let with_program t program =
   check_program program;
   { t with program }
+
+let with_shmem_bytes t shmem_bytes =
+  if shmem_bytes < 0 then invalid_arg "Kernel.with_shmem_bytes: negative size";
+  { t with shmem_bytes }

@@ -34,3 +34,7 @@ val demand : t -> Gpu_uarch.Occupancy.demand
 (** [with_program t prog] swaps the program (used after the RegMutex
     transform). *)
 val with_program : t -> Gpu_isa.Program.t -> t
+
+(** [with_shmem_bytes t n] resizes the per-CTA shared-memory allocation
+    (used by the RegDem demotion pass to append its spill window). *)
+val with_shmem_bytes : t -> int -> t

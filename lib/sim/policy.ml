@@ -4,11 +4,12 @@ type t =
   | Srp_paired of { bs : int; es : int; verify : bool }
   | Owf of { bs : int; es : int }
   | Rfv of { live : int array; max_live : int }
+  | Regdem of { regs_per_thread : int; spill_words : int }
 
 let regs_per_cta (cfg : Gpu_uarch.Arch_config.t) t ~warps_per_cta =
   let per_warp regs = regs * cfg.warp_size in
   match t with
-  | Static { regs_per_thread } ->
+  | Static { regs_per_thread } | Regdem { regs_per_thread; _ } ->
       warps_per_cta * per_warp (Gpu_uarch.Arch_config.round_regs cfg regs_per_thread)
   | Srp { bs; _ } -> warps_per_cta * per_warp bs
   | Srp_paired { bs; es; _ } | Owf { bs; es } ->
@@ -21,6 +22,7 @@ let name = function
   | Srp_paired _ -> "regmutex-paired"
   | Owf _ -> "owf"
   | Rfv _ -> "rfv"
+  | Regdem _ -> "regdem"
 
 let pp ppf t =
   match t with
@@ -29,3 +31,6 @@ let pp ppf t =
   | Srp_paired { bs; es; _ } -> Format.fprintf ppf "regmutex-paired(bs=%d, es=%d)" bs es
   | Owf { bs; es } -> Format.fprintf ppf "owf(bs=%d, es=%d)" bs es
   | Rfv { max_live; _ } -> Format.fprintf ppf "rfv(max_live=%d)" max_live
+  | Regdem { regs_per_thread; spill_words } ->
+      Format.fprintf ppf "regdem(regs=%d, spill_words=%d)" regs_per_thread
+        spill_words

@@ -15,7 +15,12 @@
     - [Rfv]: Jeon et al. register file virtualization — physical registers
       track the live set exactly; CTAs are admitted regardless of static
       register demand. [live.(pc)] is the compiler-provided live count at
-      each instruction. *)
+      each instruction.
+    - [Regdem]: Sakdhnagool et al. register demotion — the compiler spills
+      excess registers to a reserved shared-memory window, so the hardware
+      side is plain static allocation of the reduced register count;
+      [spill_words] sizes the per-CTA spill window the execution contexts
+      address via [Spill] instructions. *)
 
 type t =
   | Static of { regs_per_thread : int }
@@ -23,6 +28,7 @@ type t =
   | Srp_paired of { bs : int; es : int; verify : bool }
   | Owf of { bs : int; es : int }
   | Rfv of { live : int array; max_live : int }
+  | Regdem of { regs_per_thread : int; spill_words : int }
 
 (** Registers one CTA consumes at admission (for the launch-time resource
     check), in physical registers. *)

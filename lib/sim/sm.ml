@@ -108,11 +108,14 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     | Policy.Srp { bs; es; verify } | Policy.Srp_paired { bs; es; verify } ->
         (bs, es, verify)
     | Policy.Owf { bs; es } -> (bs, es, false)
-    | Policy.Static _ | Policy.Rfv _ -> (max_int, 0, false)
+    | Policy.Static _ | Policy.Rfv _ | Policy.Regdem _ -> (max_int, 0, false)
   in
   let srp_sections, pstate =
     match policy with
-    | Policy.Static _ -> (0, Ps_static)
+    (* Regdem is static allocation of the reduced register count; the
+       spill machinery lives entirely in the program and the execution
+       contexts, so the policy state machine is the stock one. *)
+    | Policy.Static _ | Policy.Regdem _ -> (0, Ps_static)
     | Policy.Srp { es; _ } ->
         let leftover = cfg.regfile_regs - (cta_capacity * regs_cta) in
         let sections =
@@ -156,7 +159,8 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
         if Array.length live <> n then
           invalid_arg "Sm.create: RFV live table length mismatch";
         live
-    | Policy.Static _ | Policy.Srp _ | Policy.Srp_paired _ | Policy.Owf _ ->
+    | Policy.Static _ | Policy.Srp _ | Policy.Srp_paired _ | Policy.Owf _
+    | Policy.Regdem _ ->
         Array.make n 0
   in
   let def_reg =
@@ -179,6 +183,13 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
   in
   let n_slots = max (cta_capacity * wpc) 1 in
   let soa = Soa.create ~n_slots ~n_regs:(max prog.Program.n_regs 1) in
+  let spill_words =
+    match policy with
+    | Policy.Regdem { spill_words; _ } -> spill_words
+    | Policy.Static _ | Policy.Srp _ | Policy.Srp_paired _ | Policy.Owf _
+    | Policy.Rfv _ ->
+        0
+  in
   let ctxs =
     Array.init n_slots (fun slot ->
         {
@@ -190,6 +201,7 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
           nctaid = kernel.Kernel.grid_ctas;
           warp_id = slot mod wpc;
           shared = [||];
+          spill_words;
           memory;
           stats;
           record_stores;

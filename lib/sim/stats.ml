@@ -17,6 +17,12 @@ type t = {
   mutable acquire_stall_cycles : int;
   mutable release_execs : int;
   mutable shared_oob : int;
+  mutable spill_stores : int;
+  mutable fill_loads : int;
+  mutable rf_reads : int;
+  mutable rf_writes : int;
+  mutable shared_reads : int;
+  mutable shared_writes : int;
   stall_cycles : int array;
   mutable ctas_retired : int;
   mutable timed_out : bool;
@@ -54,6 +60,12 @@ let create () =
     acquire_stall_cycles = 0;
     release_execs = 0;
     shared_oob = 0;
+    spill_stores = 0;
+    fill_loads = 0;
+    rf_reads = 0;
+    rf_writes = 0;
+    shared_reads = 0;
+    shared_writes = 0;
     stall_cycles = Array.make n_reasons 0;
     ctas_retired = 0;
     timed_out = false;
@@ -130,6 +142,10 @@ let pp ppf t =
     t.release_execs t.acquire_stall_cycles;
   if t.shared_oob > 0 then
     Format.fprintf ppf "shared-oob=%d@," t.shared_oob;
+  if t.spill_stores > 0 || t.fill_loads > 0 then
+    Format.fprintf ppf "spills=%d fills=%d@," t.spill_stores t.fill_loads;
+  Format.fprintf ppf "rf-reads=%d rf-writes=%d shared-reads=%d shared-writes=%d@,"
+    t.rf_reads t.rf_writes t.shared_reads t.shared_writes;
   List.iter
     (fun r ->
       let c = stall_count t r in

@@ -22,7 +22,21 @@ type t = {
   mutable acquire_stall_cycles : int;
   mutable release_execs : int;
   mutable shared_oob : int;
-      (** shared-memory accesses outside the CTA's allocation (wrapped) *)
+      (** shared-memory accesses outside the CTA's allocation (wrapped) —
+          includes spill-window violations and spill instructions executed
+          with no spill window configured *)
+  mutable spill_stores : int;
+      (** RegDem: demoted-register writes redirected to the spill window *)
+  mutable fill_loads : int;
+      (** RegDem: demoted-register reads refilled from the spill window *)
+  mutable rf_reads : int;
+      (** register-file read accesses (per executed register operand) *)
+  mutable rf_writes : int;
+      (** register-file write accesses (per executed register def) *)
+  mutable shared_reads : int;
+      (** user shared-memory loads (spill fills counted separately) *)
+  mutable shared_writes : int;
+      (** user shared-memory stores (spill stores counted separately) *)
   stall_cycles : int array;
       (** per-reason idle-slot counters, indexed by {!reason_index}; use
           {!bump_stall} / {!stall_count} rather than indexing directly *)

@@ -1,0 +1,116 @@
+type constants = {
+  rf_read_pj : float;
+  rf_write_pj : float;
+  shared_read_pj : float;
+  shared_write_pj : float;
+  rename_lookup_pj : float;
+  track_update_pj : float;
+  leakage_pj_per_bit_cycle : float;
+}
+
+(* Nominal 40nm-class per-access energies at warp granularity (one
+   operand-collector transaction for all 32 lanes), in the spirit of
+   GREENER's RF accounting: a scratchpad access costs more than a register
+   access (larger array, bank arbitration, address decode), and writes
+   cost slightly more than reads (bitline drive). Absolute joules are not
+   the point — the model is used for *relative*, direction-aware
+   comparisons between techniques on identical kernels. *)
+let default =
+  {
+    rf_read_pj = 8.0;
+    rf_write_pj = 9.6;
+    shared_read_pj = 20.0;
+    shared_write_pj = 22.4;
+    rename_lookup_pj = 0.9;
+    track_update_pj = 0.15;
+    leakage_pj_per_bit_cycle = 1e-5;
+  }
+
+type counts = {
+  rf_reads : int;
+  rf_writes : int;
+  shared_reads : int;
+  shared_writes : int;
+  fill_loads : int;
+  spill_stores : int;
+  rename_accesses : int;
+  track_updates : int;
+  cycles : int;
+  storage_bits : int;
+}
+
+let zero_counts =
+  {
+    rf_reads = 0;
+    rf_writes = 0;
+    shared_reads = 0;
+    shared_writes = 0;
+    fill_loads = 0;
+    spill_stores = 0;
+    rename_accesses = 0;
+    track_updates = 0;
+    cycles = 0;
+    storage_bits = 0;
+  }
+
+type breakdown = {
+  counts : counts;
+  rf_read_nj : float;
+  rf_write_nj : float;
+  shared_read_nj : float;
+  shared_write_nj : float;
+  fill_nj : float;
+  spill_nj : float;
+  structure_nj : float;
+  leakage_nj : float;
+  total_nj : float;
+}
+
+let nj pj_per count = pj_per *. float_of_int count /. 1000.
+
+let of_counts ?(constants = default) c =
+  let rf_read_nj = nj constants.rf_read_pj c.rf_reads in
+  let rf_write_nj = nj constants.rf_write_pj c.rf_writes in
+  let shared_read_nj = nj constants.shared_read_pj c.shared_reads in
+  let shared_write_nj = nj constants.shared_write_pj c.shared_writes in
+  (* Spill traffic moves through the same scratchpad banks as user shared
+     accesses; it is broken out so RegDem's overhead is directly visible. *)
+  let fill_nj = nj constants.shared_read_pj c.fill_loads in
+  let spill_nj = nj constants.shared_write_pj c.spill_stores in
+  let structure_nj =
+    nj constants.rename_lookup_pj c.rename_accesses
+    +. nj constants.track_update_pj c.track_updates
+  in
+  let leakage_nj =
+    constants.leakage_pj_per_bit_cycle
+    *. float_of_int c.storage_bits
+    *. float_of_int c.cycles /. 1000.
+  in
+  {
+    counts = c;
+    rf_read_nj;
+    rf_write_nj;
+    shared_read_nj;
+    shared_write_nj;
+    fill_nj;
+    spill_nj;
+    structure_nj;
+    leakage_nj;
+    total_nj =
+      rf_read_nj +. rf_write_nj +. shared_read_nj +. shared_write_nj +. fill_nj
+      +. spill_nj +. structure_nj +. leakage_nj;
+  }
+
+let read_nj b = b.rf_read_nj +. b.shared_read_nj +. b.fill_nj
+let write_nj b = b.rf_write_nj +. b.shared_write_nj +. b.spill_nj
+
+let pp ppf b =
+  Format.fprintf ppf
+    "@[<v>energy: %.1f nJ (reads %.1f, writes %.1f)@,\
+     \  RF           %8.1f rd + %8.1f wr nJ@,\
+     \  shared       %8.1f rd + %8.1f wr nJ@,\
+     \  spill        %8.1f fill + %6.1f spill nJ@,\
+     \  structures   %8.1f nJ, leakage %.2f nJ@]"
+    b.total_nj (read_nj b) (write_nj b) b.rf_read_nj b.rf_write_nj
+    b.shared_read_nj b.shared_write_nj b.fill_nj b.spill_nj b.structure_nj
+    b.leakage_nj

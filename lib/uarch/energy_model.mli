@@ -1,0 +1,72 @@
+(** Per-access register-file / shared-memory energy model (GREENER-style,
+    Jatala et al. arXiv:1709.04697), extending {!Storage_cost}'s bit
+    accounting into modelled joules.
+
+    The model charges a fixed per-access energy at warp granularity for
+    every dynamic register-file read/write, user shared-memory access and
+    RegDem spill/fill, plus per-technique structure activity (RFV renaming
+    lookups, RegMutex bitmask/LUT updates on acquire/release) and a static
+    leakage term proportional to the technique's extra storage bits and
+    the run's cycle count.
+
+    What is {e not} modelled: ALU/control energy, global-memory/DRAM
+    energy, clock distribution, voltage/frequency scaling, and per-lane
+    divergence effects (execution is warp-uniform). Absolute values are
+    nominal; use the model for relative comparisons between techniques on
+    identical kernels. *)
+
+type constants = {
+  rf_read_pj : float;      (** per warp-level RF read *)
+  rf_write_pj : float;     (** per warp-level RF write *)
+  shared_read_pj : float;  (** per warp-level scratchpad read *)
+  shared_write_pj : float; (** per warp-level scratchpad write *)
+  rename_lookup_pj : float;(** per RFV renaming-table lookup *)
+  track_update_pj : float; (** per RegMutex bitmask/LUT update *)
+  leakage_pj_per_bit_cycle : float;
+      (** static leakage of extra tracking storage, per bit per cycle *)
+}
+
+(** Nominal 40nm-class constants; writes cost more than reads, scratchpad
+    accesses more than RF accesses. *)
+val default : constants
+
+(** Dynamic activity of one run. Build it from the simulator's
+    {!Gpu_sim.Stats} counters (see [Technique.energy] in the core
+    library — this module stays independent of the simulator). *)
+type counts = {
+  rf_reads : int;
+  rf_writes : int;
+  shared_reads : int;       (** user shared loads (fills excluded) *)
+  shared_writes : int;      (** user shared stores (spills excluded) *)
+  fill_loads : int;         (** RegDem fills *)
+  spill_stores : int;       (** RegDem spill stores *)
+  rename_accesses : int;    (** RFV: accesses routed through renaming *)
+  track_updates : int;      (** RegMutex/OWF: acquire+release updates *)
+  cycles : int;
+  storage_bits : int;       (** {!Storage_cost} total for the technique *)
+}
+
+val zero_counts : counts
+
+type breakdown = {
+  counts : counts;
+  rf_read_nj : float;
+  rf_write_nj : float;
+  shared_read_nj : float;
+  shared_write_nj : float;
+  fill_nj : float;
+  spill_nj : float;
+  structure_nj : float;
+  leakage_nj : float;
+  total_nj : float;
+}
+
+val of_counts : ?constants:constants -> counts -> breakdown
+
+(** Direction-aware totals: all read-path energy (RF + shared + fills)
+    and all write-path energy (RF + shared + spills). *)
+val read_nj : breakdown -> float
+
+val write_nj : breakdown -> float
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,8 +1,10 @@
 type technique =
+  | Baseline
   | Regmutex_default
   | Regmutex_paired
   | Rfv
   | Owf
+  | Regdem
 
 type breakdown = {
   technique : technique;
@@ -20,6 +22,14 @@ let make technique components =
 let bits (cfg : Arch_config.t) technique =
   let nw = cfg.max_warps in
   match technique with
+  | Baseline ->
+      (* Stock static allocation: no extra tracking structures. *)
+      make technique []
+  | Regdem ->
+      (* Compiler-only: spills ride the existing shared-memory datapath,
+         so the hardware adds nothing — RegDem's selling point, paid for
+         in spill/fill traffic instead (see {!Energy_model}). *)
+      make technique []
   | Regmutex_default ->
       make technique
         [ ("warp status bitmask", nw);
@@ -46,10 +56,12 @@ let ratio cfg a b =
   if ta = 0 then infinity else float_of_int tb /. float_of_int ta
 
 let technique_name = function
+  | Baseline -> "Baseline"
   | Regmutex_default -> "RegMutex"
   | Regmutex_paired -> "RegMutex (paired-warps)"
   | Rfv -> "Register File Virtualization"
   | Owf -> "Resource sharing + OWF"
+  | Regdem -> "RegDem (shared-memory spilling)"
 
 let pp ppf b =
   Format.fprintf ppf "@[<v>%s: %d bits@," (technique_name b.technique) b.total_bits;

@@ -3,13 +3,23 @@
     On the 48-warp baseline: RegMutex adds 384 bits (two 48-bit bitmasks
     plus a 48 × ⌈log₂ 48⌉ lookup table), the paired specialization only 24
     bits, and Register File Virtualization needs 30,240 bits of renaming
-    table plus 1,024 availability bits — the >81× gap the paper reports. *)
+    table plus 1,024 availability bits — the >81× gap the paper reports.
+
+    Baseline and RegDem carry no extra hardware structures (RegDem is a
+    pure compiler pass over the existing shared-memory datapath); they are
+    listed so the mapping from {e evaluated} techniques is total — see
+    [Technique.to_storage] in the core library, whose exhaustive match is
+    what keeps the two variant types from silently drifting apart. *)
 
 type technique =
+  | Baseline          (** stock static allocation: no structures *)
   | Regmutex_default
   | Regmutex_paired
   | Rfv   (** register file virtualization, Jeon et al. [3] *)
   | Owf   (** resource sharing with OWF scheduling, Jatala et al. [7] *)
+  | Regdem
+      (** shared-memory register spilling, Sakdhnagool et al. — compiler
+          only, zero hardware bits *)
 
 type breakdown = {
   technique : technique;

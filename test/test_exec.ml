@@ -13,6 +13,7 @@ let make_ctx ?(regs = Array.make 8 0) ?(params = [| 10; 20 |]) () =
       nctaid = 4;
       warp_id = 1;
       shared;
+      spill_words = 0;
       memory;
       stats = Stats.create ();
       record_stores = false;

@@ -134,7 +134,35 @@ let test_injection_caught () =
       | None ->
           Alcotest.failf "fault %s escaped the oracle on seeds 0..39"
             (Fuzz.Oracle.fault_name fault))
-    [ Fuzz.Oracle.Drop_acquire; Fuzz.Oracle.Early_release; Fuzz.Oracle.Drop_mov ]
+    [ Fuzz.Oracle.Drop_acquire; Fuzz.Oracle.Early_release; Fuzz.Oracle.Drop_mov;
+      Fuzz.Oracle.Oob_spill ]
+
+let test_strict_oob_rule () =
+  (* The shared-memory window rule is what catches an escaped spill: find
+     a case where the injected out-of-window spill store is flagged as
+     [Shared_oob], then prove the rule is what did it by re-running the
+     same case with the rule disabled. *)
+  let rec go seed =
+    if seed > 39 then
+      Alcotest.fail "no seed on 0..39 flags oob-spill as shared-oob"
+    else
+      let case, report = Fuzz.Oracle.test_seed ~inject:Fuzz.Oracle.Oob_spill seed in
+      let oob f = f.Fuzz.Oracle.kind = Fuzz.Oracle.Shared_oob in
+      if report.Fuzz.Oracle.injected
+         && List.exists oob report.Fuzz.Oracle.failures
+      then begin
+        let relaxed =
+          Fuzz.Oracle.test_case ~inject:Fuzz.Oracle.Oob_spill
+            ~strict_shared_oob:false case
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: relaxed run reports no shared-oob" seed)
+          false
+          (List.exists oob relaxed.Fuzz.Oracle.failures)
+      end
+      else go (seed + 1)
+  in
+  go 0
 
 let test_shrink_drop_mov () =
   (* The acceptance loop: a disabled compaction MOV must be caught and the
@@ -193,6 +221,8 @@ let suite =
     Alcotest.test_case "oracle clean on seeds 0..14" `Slow test_oracle_clean_sweep;
     Alcotest.test_case "deadlock watchdog" `Quick test_deadlock_guard;
     Alcotest.test_case "injected faults are caught" `Slow test_injection_caught;
+    Alcotest.test_case "strict shared-oob rule is configurable" `Slow
+      test_strict_oob_rule;
     Alcotest.test_case "drop-mov shrinks below 20 instructions" `Slow
       test_shrink_drop_mov;
     Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip ]

@@ -86,7 +86,8 @@ let test_barrier_orders_shared_memory () =
     (fun (_, tr) ->
       match List.rev tr with
       | (I.Global, _, v) :: _ -> Alcotest.(check int) "saw warp 0's write" 77 v
-      | (I.Shared, _, _) :: _ | [] -> Alcotest.fail "missing global store")
+      | ((I.Shared | I.Spill), _, _) :: _ | [] ->
+          Alcotest.fail "missing global store")
     traces
 
 let test_timeout_flag () =

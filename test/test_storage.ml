@@ -33,6 +33,38 @@ let test_owf () =
   let b = S.bits arch S.Owf in
   Alcotest.(check int) "lock + owner bits" 48 b.S.total_bits
 
+let test_zero_cost_techniques () =
+  (* Baseline has no tracking hardware; RegDem is compiler-only and rides
+     the existing shared-memory datapath. *)
+  List.iter
+    (fun t ->
+      let b = S.bits arch t in
+      Alcotest.(check int)
+        (S.technique_name t ^ " costs no bits")
+        0 b.S.total_bits;
+      Alcotest.(check (list (pair string int))) "no components" []
+        b.S.components)
+    [ S.Baseline; S.Regdem ]
+
+let test_technique_mapping () =
+  (* The Technique.t -> Storage_cost.technique mapping is total and
+     injective: six techniques, six distinct storage classifications. *)
+  let module T = Regmutex.Technique in
+  let mapped = List.map T.to_storage T.all in
+  Alcotest.(check int) "covers every technique" (List.length T.all)
+    (List.length (List.sort_uniq compare mapped));
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (T.name t ^ " has a storage name")
+        true
+        (String.length (S.technique_name (T.to_storage t)) > 0);
+      Alcotest.(check bool)
+        (T.name t ^ " bits are non-negative")
+        true
+        (T.storage_bits arch t >= 0))
+    T.all
+
 let test_names () =
   Alcotest.(check string) "name" "RegMutex" (S.technique_name S.Regmutex_default)
 
@@ -42,4 +74,6 @@ let suite =
     Alcotest.test_case "RFV = 31,264 bits" `Quick test_rfv;
     Alcotest.test_case "cost ratios" `Quick test_ratios;
     Alcotest.test_case "OWF bits" `Quick test_owf;
+    Alcotest.test_case "zero-cost techniques" `Quick test_zero_cost_techniques;
+    Alcotest.test_case "technique mapping is total" `Quick test_technique_mapping;
     Alcotest.test_case "names" `Quick test_names ]

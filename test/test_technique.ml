@@ -123,8 +123,14 @@ let test_reduction_math () =
 
 let test_names () =
   Alcotest.(check (list string)) "technique names"
-    [ "baseline"; "regmutex"; "regmutex-paired"; "owf"; "rfv" ]
-    (List.map Technique.name Technique.all)
+    [ "baseline"; "regmutex"; "regmutex-paired"; "owf"; "rfv"; "regdem" ]
+    (List.map Technique.name Technique.all);
+  List.iter
+    (fun t ->
+      Alcotest.(check (option string))
+        "of_name round-trips" (Some (Technique.name t))
+        (Option.map Technique.name (Technique.of_name (Technique.name t))))
+    Technique.all
 
 let suite =
   [ Alcotest.test_case "prepare baseline" `Quick test_prepare_baseline;
