@@ -16,6 +16,10 @@
      dune exec bench/main.exe -- serve     # daemon cold/warm latency, multi-client
                                            # throughput, coalescing factor
                                            # (writes BENCH_serve.json)
+     dune exec bench/main.exe -- simt      # per-lane vs warp-uniform execution:
+                                           # bit-identity on uniform kernels,
+                                           # overhead factor, divergent cells
+                                           # (writes BENCH_simt.json)
      dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks
      dune exec bench/main.exe -- report [--check]
                                            # trajectory summary of the committed
@@ -798,6 +802,173 @@ let serve_bench ~quick cfg =
     n_cells;
   if not (warm_ok && tp4_ok && fingerprints_identical) then exit 1
 
+(* SIMT benchmark: the per-lane execution model against the warp-uniform
+   one. Two cell sets. (1) Warp-uniform cells — the Table I registry (the
+   Figure 1 set under `quick`) under every technique: each cell is run
+   four ways (fast-forward/brute-force x uniform/--simt) and all four run
+   fingerprints must be bit-identical, the subsystem's core contract (a
+   warp-uniform program must not observe the lane dimension). The SIMT
+   wall-time cost is the brute-force simt/uniform ratio, summarised as a
+   geomean overhead factor (lower is better — it is the price every
+   --simt run pays for lane-resolved registers and mask bookkeeping).
+   (2) Divergent cells — the divergent registry under --simt, where the
+   two execution models legitimately disagree, so only ff/bf identity is
+   asserted; per-lane occupancy and divergent-branch counts are recorded
+   and the baseline cell must actually diverge (else the kernel has
+   stopped exercising the reconvergence stack). Results land in
+   BENCH_simt.json for the CI artifact. *)
+let simt_bench ~quick cfg =
+  let module Runner = Regmutex.Runner in
+  let module Technique = Regmutex.Technique in
+  let module Stats = Gpu_sim.Stats in
+  let simt = { Technique.default_options with Technique.simt = true } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let config_name = if quick then "quick" else "full" in
+  let techniques = Technique.all in
+  let specs =
+    if quick then Workloads.Registry.figure1 else Workloads.Registry.all
+  in
+  Printf.printf "%-16s %-16s %12s %12s %9s  %s\n" "workload" "technique"
+    "uniform (s)" "simt (s)" "overhead" "fingerprints";
+  let cells =
+    List.concat_map
+      (fun spec ->
+        let arch = Experiments.Exp_config.eval_arch cfg spec in
+        let kernel = Experiments.Exp_config.kernel_of cfg spec in
+        let wname = spec.Workloads.Spec.name in
+        List.map
+          (fun technique ->
+            let run ?options fast_forward =
+              time (fun () ->
+                  Runner.execute ?options ~fast_forward arch technique kernel)
+            in
+            let _, u_ff = run true in
+            let ub_t, u_bf = run false in
+            let _, s_ff = run ~options:simt true in
+            let sb_t, s_bf = run ~options:simt false in
+            let fp = Runner.fingerprint u_ff in
+            let identical =
+              List.for_all
+                (fun r -> String.equal (Runner.fingerprint r) fp)
+                [ u_bf; s_ff; s_bf ]
+            in
+            let overhead = sb_t /. Float.max ub_t 1e-9 in
+            let tname = Technique.name technique in
+            Printf.printf "%-16s %-16s %12.3f %12.3f %8.2fx  %s\n%!" wname
+              tname ub_t sb_t overhead
+              (if identical then "identical" else "DIFFER");
+            (wname, tname, ub_t, sb_t, overhead, fp, identical))
+          techniques)
+      specs
+  in
+  let geomean = function
+    | [] -> None
+    | l ->
+        Some
+          (exp
+             (List.fold_left (fun a s -> a +. log s) 0. l
+             /. float_of_int (List.length l)))
+  in
+  let overhead_factor =
+    geomean (List.map (fun (_, _, _, _, o, _, _) -> o) cells)
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, ok) -> ok) cells
+  in
+  (* Divergent cells: the models differ by design, so only ff/bf identity
+     under --simt is asserted. Lane occupancy is active/(active+off). *)
+  let divergent_cells =
+    List.concat_map
+      (fun spec ->
+        let arch = Experiments.Exp_config.eval_arch cfg spec in
+        let kernel = Experiments.Exp_config.kernel_of cfg spec in
+        let wname = spec.Workloads.Spec.name in
+        List.map
+          (fun technique ->
+            let ff =
+              Runner.execute ~options:simt ~fast_forward:true arch technique
+                kernel
+            in
+            let bf =
+              Runner.execute ~options:simt ~fast_forward:false arch technique
+                kernel
+            in
+            let identical =
+              String.equal (Runner.fingerprint ff) (Runner.fingerprint bf)
+            in
+            let st = ff.Runner.stats in
+            let active = float_of_int st.Stats.active_lane_cycles
+            and off = float_of_int st.Stats.predicated_lane_cycles in
+            let lane_occ =
+              if active +. off > 0. then active /. (active +. off) else 1.
+            in
+            let tname = Technique.name technique in
+            Printf.printf
+              "%-16s %-16s lane-occ %5.1f%%  divergent-branches %6d  %s\n%!"
+              wname tname (100. *. lane_occ) st.Stats.divergent_branches
+              (if identical then "identical" else "DIFFER");
+            (wname, tname, lane_occ, st.Stats.divergent_branches, identical))
+          techniques)
+      Workloads.Registry.divergent
+  in
+  let divergent_identical =
+    List.for_all (fun (_, _, _, _, ok) -> ok) divergent_cells
+  in
+  let divergence_exercised =
+    List.exists
+      (fun (_, t, _, db, _) -> t = "baseline" && db > 0)
+      divergent_cells
+  in
+  let pp_factor = function Some g -> Printf.sprintf "%.2fx" g | None -> "-" in
+  Printf.printf
+    "per-lane overhead (geomean, brute-force): %s; warp-uniform \
+     fingerprints %s; divergent ff/bf %s; divergence %s\n"
+    (pp_factor overhead_factor)
+    (if all_identical then "identical" else "DIFFER")
+    (if divergent_identical then "identical" else "DIFFER")
+    (if divergence_exercised then "exercised" else "NOT EXERCISED");
+  let oc = open_out (artifact_path "BENCH_simt.json") in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"simt\",\n  \"config\": %S,\n  \
+     \"overhead_factor\": %s,\n  \"all_identical\": %b,\n  \
+     \"divergent_identical\": %b,\n  \"divergence_exercised\": %b,\n  \
+     \"cells\": [\n"
+    config_name
+    (match overhead_factor with
+    | Some g -> Printf.sprintf "%.3f" g
+    | None -> "null")
+    all_identical divergent_identical divergence_exercised;
+  List.iteri
+    (fun i (w, t, ub, sb, o, fp, ok) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"technique\": %S, \"uniform_brute_s\": \
+         %.4f, \"simt_brute_s\": %.4f, \"overhead\": %.3f, \"fingerprint\": \
+         %S, \"identical\": %b}%s\n"
+        w t ub sb o fp ok
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ],\n  \"divergent_cells\": [\n";
+  List.iteri
+    (fun i (w, t, lo, db, ok) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"technique\": %S, \"lane_occupancy\": %.4f, \
+         \"divergent_branches\": %d, \"identical\": %b}%s\n"
+        w t lo db ok
+        (if i = List.length divergent_cells - 1 then "" else ","))
+    divergent_cells;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d uniform cells, %d divergent cells)\n"
+    (artifact_path "BENCH_simt.json")
+    (List.length cells)
+    (List.length divergent_cells);
+  if not (all_identical && divergent_identical && divergence_exercised) then
+    exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
@@ -819,6 +990,7 @@ let () =
   | [ "regdem" ] -> regdem_bench ~quick cfg
   | [ "telemetry" ] -> telemetry_bench ~quick cfg
   | [ "serve" ] -> serve_bench ~quick cfg
+  | [ "simt" ] -> simt_bench ~quick cfg
   | [ "report" ] | [ "report"; "--check" ] ->
       let module R = Experiments.Report in
       let check = args <> [ "report" ] in

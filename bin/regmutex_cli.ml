@@ -50,6 +50,18 @@ let no_fast_forward_flag =
            bit-identical in both modes; this is the brute-force reference \
            (and much slower on memory-bound kernels).")
 
+let simt_flag =
+  Arg.(
+    value & flag
+    & info [ "simt" ]
+        ~doc:
+          "Per-thread (SIMT) execution: lane-resolved register values, \
+           predicated execution under an active-lane mask, and an \
+           immediate-post-dominator reconvergence stack per warp. \
+           Warp-uniform programs produce bit-identical statistics and \
+           store traces with and without this flag; divergent programs \
+           (e.g. bfs_frontier) require it.")
+
 let min_bs_of spec =
   let prog = spec.Workloads.Spec.kernel.Gpu_sim.Kernel.program in
   Gpu_analysis.Liveness.live_at_barriers prog (Gpu_analysis.Liveness.analyze prog)
@@ -161,12 +173,14 @@ let run_cmd =
   let grid =
     Arg.(value & opt (some int) None & info [ "grid" ] ~doc:"Override grid CTAs.")
   in
-  let run spec half technique es grid no_ff =
+  let run spec half technique es grid no_ff simt =
     let arch = arch_of half in
     let spec =
       match grid with Some g -> Workloads.Spec.with_grid spec g | None -> spec
     in
-    let options = { Regmutex.Technique.default_options with es_override = es } in
+    let options =
+      { Regmutex.Technique.default_options with es_override = es; simt }
+    in
     let run =
       Regmutex.Runner.execute ~options ~fast_forward:(not no_ff) arch technique
         spec.Workloads.Spec.kernel
@@ -180,7 +194,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ spec_arg $ half_flag $ technique $ es_opt $ grid
-      $ no_fast_forward_flag)
+      $ no_fast_forward_flag $ simt_flag)
 
 (* --- metrics / trace -------------------------------------------------- *)
 
@@ -195,12 +209,15 @@ let technique_opt =
 
 (* Shared body of the observability commands: one simulation with a
    telemetry sink attached. *)
-let instrumented_run ?trace_capacity spec half technique es grid no_ff =
+let instrumented_run ?trace_capacity ?(simt = false) spec half technique es grid
+    no_ff =
   let arch = arch_of half in
   let spec =
     match grid with Some g -> Workloads.Spec.with_grid spec g | None -> spec
   in
-  let options = { Regmutex.Technique.default_options with es_override = es } in
+  let options =
+    { Regmutex.Technique.default_options with es_override = es; simt }
+  in
   let sink = Telemetry.Sink.create ?trace_capacity () in
   let run =
     Regmutex.Runner.execute ~options ~fast_forward:(not no_ff) ~telemetry:sink
@@ -220,8 +237,8 @@ let metrics_cmd =
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Output format: $(b,prom) (Prometheus text) or $(b,json).")
   in
-  let run spec half technique es grid no_ff format =
-    let sink, _run = instrumented_run spec half technique es grid no_ff in
+  let run spec half technique es grid no_ff simt format =
+    let sink, _run = instrumented_run ~simt spec half technique es grid no_ff in
     match format with
     | `Prom ->
         Format.printf "%a@." Telemetry.Metrics.pp_prometheus
@@ -232,7 +249,7 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
       const run $ spec_arg $ half_flag $ technique_opt $ es_opt $ grid_opt
-      $ no_fast_forward_flag $ format)
+      $ no_fast_forward_flag $ simt_flag $ format)
 
 let trace_cmd =
   let doc =
@@ -262,9 +279,10 @@ let trace_cmd =
       & info [ "check" ]
           ~doc:"Re-read the written file and validate the trace-event schema.")
   in
-  let run spec half technique es grid no_ff out capacity check =
+  let run spec half technique es grid no_ff simt out capacity check =
     let sink, _run =
-      instrumented_run ?trace_capacity:capacity spec half technique es grid no_ff
+      instrumented_run ?trace_capacity:capacity ~simt spec half technique es
+        grid no_ff
     in
     let trace = sink.Telemetry.Sink.trace in
     let path =
@@ -299,7 +317,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ spec_arg $ half_flag $ technique_opt $ es_opt $ grid_opt
-      $ no_fast_forward_flag $ out $ capacity $ check)
+      $ no_fast_forward_flag $ simt_flag $ out $ capacity $ check)
 
 (* --- run-file --------------------------------------------------------- *)
 
@@ -320,7 +338,7 @@ let run_file_cmd =
   let params =
     Arg.(value & opt (list int) [ 8 ] & info [ "params" ] ~doc:"Launch parameters.")
   in
-  let run path half technique grid threads params no_ff =
+  let run path half technique grid threads params no_ff simt =
     match Gpu_isa.Parser.parse_file path with
     | exception Gpu_isa.Parser.Parse_error e ->
         Format.eprintf "%s: %a@." path Gpu_isa.Parser.pp_error e;
@@ -331,8 +349,10 @@ let run_file_cmd =
             ~cta_threads:threads ~params:(Array.of_list params) program
         in
         let arch = arch_of half in
+        let options = { Regmutex.Technique.default_options with simt } in
         let run =
-          Regmutex.Runner.execute ~fast_forward:(not no_ff) arch technique kernel
+          Regmutex.Runner.execute ~options ~fast_forward:(not no_ff) arch
+            technique kernel
         in
         Format.printf "%a@." Regmutex.Runner.pp run;
         Format.printf "%a@." Gpu_sim.Stats.pp run.Regmutex.Runner.stats;
@@ -343,7 +363,7 @@ let run_file_cmd =
   Cmd.v (Cmd.info "run-file" ~doc)
     Term.(
       const run $ path $ half_flag $ technique $ grid $ threads $ params
-      $ no_fast_forward_flag)
+      $ no_fast_forward_flag $ simt_flag)
 
 (* --- check ----------------------------------------------------------- *)
 
@@ -730,9 +750,10 @@ let fuzz_cmd =
       & info [ "inject" ] ~docv:"FAULT"
           ~doc:
             "Self-test mode: inject a fault (drop-acquire | early-release | \
-             drop-mov | oob-spill) into each transformed kernel and verify \
-             the oracle catches it on at least one seed. Exit status 0 iff \
-             caught.")
+             drop-mov | oob-spill | mask-corrupt) into each case — a program \
+             mutation for the first four, a corrupted SIMT active mask for \
+             mask-corrupt — and verify the oracle catches it on at least one \
+             seed. Exit status 0 iff caught.")
   in
   let daemon_flag =
     Arg.(

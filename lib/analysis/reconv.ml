@@ -1,0 +1,17 @@
+module Program = Gpu_isa.Program
+
+let sentinel p = Program.length p
+
+let table p =
+  let n = Program.length p in
+  let t = Array.make (max n 1) n in
+  let cfg = Cfg.of_program p in
+  let dom = Dominance.compute cfg in
+  List.iter
+    (fun (b : Cfg.block) ->
+      t.(b.Cfg.last) <-
+        (match Dominance.ipostdom dom b.Cfg.id with
+        | Some pd -> (Cfg.block cfg pd).Cfg.first
+        | None -> n))
+    (Cfg.conditional_blocks cfg);
+  t

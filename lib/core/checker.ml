@@ -153,3 +153,56 @@ let diff_store_traces ~expected ~actual =
              (snd ka) (List.length sa))
   in
   go expected actual
+
+type lane_store_trace = ((int * int * int) * (Instr.space * int * int) list) list
+
+(* Lane-resolved variant, keyed (CTA, warp, lane): strictly finer than the
+   warp-level diff — a fault confined to some lanes (e.g. a corrupted
+   active mask) perturbs a lane's trace even when the warp-level trace
+   (the lowest active lane's stores) is untouched. *)
+let diff_lane_store_traces ~expected ~actual =
+  let key (cta, warp, lane) = Printf.sprintf "cta %d warp %d lane %d" cta warp lane in
+  let rec diff_stores k i es as_ =
+    match (es, as_) with
+    | [], [] -> None
+    | e :: es', a :: as' ->
+        if e = a then diff_stores k (i + 1) es' as'
+        else
+          Some
+            (Printf.sprintf "%s store #%d: expected %s, got %s" (key k) i
+               (pp_store e) (pp_store a))
+    | e :: _, [] ->
+        Some
+          (Printf.sprintf "%s: trace ends after %d stores, expected %s next"
+             (key k) i (pp_store e))
+    | [], a :: _ ->
+        Some
+          (Printf.sprintf "%s: %d extra stores starting with %s" (key k)
+             (List.length as_) (pp_store a))
+  in
+  let rec go es as_ =
+    match (es, as_) with
+    | [], [] -> None
+    | (ke, se) :: es', (ka, sa) :: as' ->
+        if ke < ka then
+          Some
+            (Printf.sprintf "%s stored nothing (expected %d stores)" (key ke)
+               (List.length se))
+        else if ka < ke then
+          Some
+            (Printf.sprintf "%s stored %d times unexpectedly" (key ka)
+               (List.length sa))
+        else (
+          match diff_stores ke 0 se sa with
+          | None -> go es' as'
+          | Some _ as d -> d)
+    | (ke, se) :: _, [] ->
+        Some
+          (Printf.sprintf "%s stored nothing (expected %d stores)" (key ke)
+             (List.length se))
+    | [], (ka, sa) :: _ ->
+        Some
+          (Printf.sprintf "%s stored %d times unexpectedly" (key ka)
+             (List.length sa))
+  in
+  go expected actual

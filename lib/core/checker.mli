@@ -49,3 +49,16 @@ type store_trace = ((int * int) * (Gpu_isa.Instr.space * int * int) list) list
     actually wrote, in order. *)
 val diff_store_traces :
   expected:store_trace -> actual:store_trace -> string option
+
+(** Lane-resolved store traces, keyed and sorted by (CTA, warp, lane) —
+    the shape produced by [Gpu_sim.Stats.lane_store_traces] under SIMT
+    execution. *)
+type lane_store_trace =
+  ((int * int * int) * (Gpu_isa.Instr.space * int * int) list) list
+
+(** Lane-resolved {!diff_store_traces}: strictly stronger — a fault that
+    perturbs only some lanes (a corrupted active mask, a predication bug)
+    shows up here even when the warp-level trace, which records the lowest
+    active lane, is untouched. *)
+val diff_lane_store_traces :
+  expected:lane_store_trace -> actual:lane_store_trace -> string option

@@ -22,11 +22,16 @@ let prepare_phase = Telemetry.Profile.phase "runner.prepare"
 let simulate_phase = Telemetry.Profile.phase "runner.simulate"
 
 let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
-    ?(max_cycles = 20_000_000) ?(fast_forward = true) ?telemetry cfg technique
-    kernel =
+    ?(max_cycles = 20_000_000) ?(fast_forward = true) ?(corrupt_mask = 0)
+    ?telemetry cfg technique kernel =
   let prepared =
     Telemetry.Profile.time prepare_phase (fun () ->
         Technique.prepare ?options cfg technique kernel)
+  in
+  let simt =
+    match options with
+    | Some o -> o.Technique.simt
+    | None -> Technique.default_options.Technique.simt
   in
   let config =
     {
@@ -38,6 +43,8 @@ let execute ?options ?(record_stores = false) ?(trace_warp0 = false)
       events = None;
       telemetry;
       fast_forward;
+      simt;
+      corrupt_mask;
     }
   in
   let kernel' = prepared.Technique.kernel in

@@ -20,13 +20,17 @@ type run = {
     [fast_forward] (default [true]) selects event-driven cycle skipping in
     the simulator; it is semantics-preserving, so the resulting [run] (and
     its {!fingerprint}) is identical either way — [false] exists as the
-    brute-force reference for the equivalence suite and benchmarks. *)
+    brute-force reference for the equivalence suite and benchmarks.
+    [corrupt_mask] (default [0]) clears lanes from every warp's initial
+    active mask — the fuzz oracle's fault-injection hook for its
+    per-lane-trace self-test; meaningful only with [options.simt]. *)
 val execute :
   ?options:Technique.options ->
   ?record_stores:bool ->
   ?trace_warp0:bool ->
   ?max_cycles:int ->
   ?fast_forward:bool ->
+  ?corrupt_mask:int ->
   ?telemetry:Telemetry.Sink.t ->
   Gpu_uarch.Arch_config.t ->
   Technique.t ->

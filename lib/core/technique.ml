@@ -18,10 +18,12 @@ type options = {
   es_override : int option;
   transform : Transform.options;
   verify : bool;
+  simt : bool;
 }
 
 let default_options =
-  { es_override = None; transform = Transform.default_options; verify = true }
+  { es_override = None; transform = Transform.default_options; verify = true;
+    simt = false }
 
 type prepared = {
   technique : t;

@@ -26,6 +26,10 @@ type options = {
   es_override : int option;  (** force [|Es|] (sensitivity sweeps) *)
   transform : Transform.options;
   verify : bool;  (** dynamic extended-access checking in the simulator *)
+  simt : bool;
+      (** per-thread (SIMT) execution in the simulator: lane-resolved
+          register values, predication, and a reconvergence stack per
+          warp (default [false] — warp-uniform execution) *)
 }
 
 val default_options : options

@@ -1,5 +1,6 @@
 module Runner = Regmutex.Runner
 module Technique = Regmutex.Technique
+module Stats = Gpu_sim.Stats
 module E = Gpu_uarch.Energy_model
 
 type row = {
@@ -63,6 +64,71 @@ let rows cfg =
       })
     Technique.plugins
 
+(* --- divergence rows ---------------------------------------------------- *)
+
+(* The Table I kernels are warp-uniform, so the head-to-head above says
+   nothing about behaviour under real branch divergence. These rows run
+   the divergent registry (kernels that read [%laneid]) under [--simt]:
+   same techniques, but warps now split, reconverge and predicate lanes
+   off, so per-lane occupancy becomes a first-class column. RegDem's row
+   measures timing only — its warp-granular spill window is value-unsound
+   under divergence (a lane-divergent demoted register is clobbered on
+   spill), which is why the fuzz oracle excludes it from the divergent
+   value differential. *)
+
+let simt_options = { Technique.default_options with Technique.simt = true }
+
+type divergent_row = {
+  d_tech : Technique.t;
+  d_mean_occupancy : float;
+  d_mean_reduction : float;  (* cycle reduction vs the SIMT baseline, % *)
+  d_mean_lane_occ : float;   (* active / (active + predicated) lane-cycles *)
+}
+
+let lane_occupancy (r : Runner.run) =
+  let a = float_of_int r.Runner.stats.Stats.active_lane_cycles
+  and p = float_of_int r.Runner.stats.Stats.predicated_lane_cycles in
+  if a +. p > 0. then a /. (a +. p) else 1.
+
+let divergent_rows cfg =
+  let arch = cfg.Exp_config.arch in
+  let specs = Workloads.Registry.divergent in
+  Engine.prefetch cfg
+    (List.concat_map
+       (fun spec ->
+         List.map
+           (fun p ->
+             Engine.cell ~options:simt_options ~arch p.Technique.variant spec)
+           Technique.plugins)
+       specs);
+  let base_runs =
+    List.map
+      (fun spec ->
+        Engine.run cfg ~options:simt_options ~arch Technique.Baseline spec)
+      specs
+  in
+  List.map
+    (fun p ->
+      let t = p.Technique.variant in
+      let runs =
+        List.map
+          (fun spec -> Engine.run cfg ~options:simt_options ~arch t spec)
+          specs
+      in
+      {
+        d_tech = t;
+        d_mean_occupancy =
+          Table.mean
+            (List.map (fun r -> r.Runner.theoretical_occupancy) runs);
+        d_mean_reduction =
+          Table.mean
+            (List.map2
+               (fun baseline r -> Runner.reduction_pct ~baseline r)
+               base_runs runs);
+        d_mean_lane_occ = Table.mean (List.map lane_occupancy runs);
+      })
+    Technique.plugins
+
 let print cfg =
   let rs = rows cfg in
   print_endline
@@ -84,4 +150,25 @@ let print cfg =
           rs));
   print_endline
     "energy: per-access RF/shared model (see Gpu_uarch.Energy_model) —\n\
-     relative comparisons between techniques, not absolute joules"
+     relative comparisons between techniques, not absolute joules";
+  print_newline ();
+  let drs = divergent_rows cfg in
+  print_endline
+    "Divergence head-to-head: divergent kernels (read %laneid) under --simt";
+  print_endline
+    (Table.render
+       ~columns:
+         [ ("technique", Table.Left); ("occupancy", Table.Right);
+           ("cycle red", Table.Right); ("lane occ", Table.Right) ]
+       (List.map
+          (fun r ->
+            [ Technique.name r.d_tech;
+              Table.occ r.d_mean_occupancy;
+              Table.pct r.d_mean_reduction;
+              Table.occ r.d_mean_lane_occ ])
+          drs));
+  print_endline
+    "regdem row: timing only — its warp-granular spill window collapses\n\
+     lane-divergent values (a demoted register spills one value per warp),\n\
+     so divergence vanishes and values are unsound; the fuzz value oracle\n\
+     excludes it under divergence for the same reason"

@@ -132,6 +132,26 @@ let extract_regdem j =
   in
   (ms, invs)
 
+let extract_simt j =
+  let config = config_of j in
+  let ms =
+    match num j "overhead_factor" with
+    | Some v ->
+        (* The wall-time price of lane-resolved execution: a cost, so
+           lower is better (1.0 would be a free lane dimension). *)
+        [ metric ~higher_better:false ~config "simt.overhead_factor" v ]
+    | None -> []
+  in
+  let invs =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun ok -> { inv_key = "simt." ^ name; ok })
+          (boolean j name))
+      [ "all_identical"; "divergent_identical"; "divergence_exercised" ]
+  in
+  (ms, invs)
+
 let extract_serve j =
   let config = config_of j in
   let simple =
@@ -180,6 +200,7 @@ let extract j =
   | Some "telemetry_overhead" -> Some (extract_telemetry_overhead j)
   | Some "regdem" -> Some (extract_regdem j)
   | Some "serve" -> Some (extract_serve j)
+  | Some "simt" -> Some (extract_simt j)
   | _ -> None
 
 (* --- scan ------------------------------------------------------------ *)

@@ -2,7 +2,7 @@ module B = Gpu_isa.Builder
 module Instr = Gpu_isa.Instr
 module Program = Gpu_isa.Program
 
-type family = Pressure | Barrier
+type family = Pressure | Barrier | Divergent
 
 type t = {
   seed : int;
@@ -14,7 +14,10 @@ type t = {
   salt : int;
 }
 
-let family_name = function Pressure -> "pressure" | Barrier -> "barrier"
+let family_name = function
+  | Pressure -> "pressure"
+  | Barrier -> "barrier"
+  | Divergent -> "divergent"
 
 (* Address discipline (the determinism contract): loads are masked into
    [0, 0x1FFF] (+ a small literal offset) and only ever read memory no
@@ -40,6 +43,7 @@ let gen_program rng ~family ~seed =
     match family with
     | Pressure -> Rng.range rng 8 14
     | Barrier -> Rng.range rng 5 7
+    | Divergent -> Rng.range rng 7 12
   in
   (* The two highest registers are reserved as loop counters (one per
      nesting level); bodies never touch them, so counted loops always
@@ -132,6 +136,46 @@ let gen_program rng ~family ~seed =
   and block depth =
     List.concat (List.init (Rng.range rng 1 3) (fun _ -> segment depth))
   in
+  (* Divergent-family combinators: control flow keyed to a hash of the
+     per-lane thread id ([tid + %laneid]), so the lanes of one warp
+     genuinely split under SIMT execution. The same programs stay valid
+     under the warp-uniform model, where [%laneid] reads 0 and the warp
+     follows lane 0's path. *)
+  let lane_hash d =
+    [ B.add d B.tid B.lane_id;
+      B.xor d (B.r d) (B.imm (Rng.range rng 0 255));
+      B.mul d (B.r d) (B.imm ((2 * Rng.range rng 1 50) + 1)) ]
+  in
+  let divergent_diamond depth =
+    let h = reg () and c = reg () in
+    let le = fresh () and lj = fresh () in
+    lane_hash h
+    @ [ B.and_ c (B.r h) (B.imm (1 lsl Rng.int rng 3)); B.bz (B.r c) le ]
+    @ block (depth - 1)
+    @ [ B.bra lj; B.label le ]
+    @ block (depth - 1)
+    @ [ B.label lj ]
+  in
+  (* Divergent loop exits: each lane trips [(hash land 3) + 1] times —
+     bounded, at least once, and lane-dependent, so lanes retire from the
+     loop on different iterations yet the loop always terminates. *)
+  let divergent_loop depth =
+    let ctr = n_regs - 1 - (depth - 1) in
+    let h = reg () in
+    lane_hash h
+    @ [ B.and_ h (B.r h) (B.imm 3); B.add h (B.r h) (B.imm 1) ]
+    @ Workloads.Shape.counted_loop ~ctr ~trips:(B.r h) ~name:(fresh ())
+        (block (depth - 1))
+  in
+  (* Lane-distinct effects: address and value both derive from the lane
+     hash, so every lane's store trace is unique — exactly what the
+     lane-resolved oracle needs to catch per-lane faults. *)
+  let lane_store () =
+    let h = reg () and a = reg () in
+    lane_hash h
+    @ [ B.and_ a (B.r h) (B.imm load_mask);
+        B.store ~ofs:store_base Instr.Global (B.r a) (B.r h) ]
+  in
   let tail () =
     List.init
       (Rng.range rng 1 2)
@@ -160,12 +204,24 @@ let gen_program rng ~family ~seed =
           else []
         in
         seg1 @ [ B.bar ] @ seg2 @ looped
+    | Divergent ->
+        (* Lane-hash diamonds around a divergent-exit loop, capped with a
+           lane-distinct store. Never any barriers: a [bar.sync] under a
+           divergent arm has no meaning on real SIMT hardware (the lanes
+           that branched around it never arrive), and this model's
+           warp-counting barrier resolves it by a modelling choice the
+           differential oracle should not depend on — test_simt pins the
+           chosen behaviour down instead. *)
+        divergent_diamond 2 @ block 1 @ divergent_loop 2 @ lane_store ()
   in
   B.assemble ~name:(Printf.sprintf "fuzz%d" seed) (body @ tail () @ [ B.exit_ ])
 
 let generate ~seed =
   let rng = Rng.of_seed seed in
-  let family = if Rng.chance rng ~pct:25 then Barrier else Pressure in
+  let family =
+    let d = Rng.int rng 100 in
+    if d < 25 then Barrier else if d < 55 then Divergent else Pressure
+  in
   (* Threads per CTA stay a multiple of 64: the paired/OWF policies need an
      even warp count per CTA. *)
   let threads = if Rng.bool rng then 64 else 128 in

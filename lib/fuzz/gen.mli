@@ -9,14 +9,19 @@
     function of the program. That determinism is what lets the oracle
     compare traces across techniques, policies and stepping modes.
 
-    Two families:
+    Three families:
     - [Pressure]: no barriers, with a guaranteed register-pressure bulge,
       so a forced Bs/Es split is always meaningful and never deadlocks;
     - [Barrier]: [bar.sync] at CTA-uniform points (top level, or a
       top-level counted loop body), exercising the heuristic path's
-      barrier deadlock rules. *)
+      barrier deadlock rules;
+    - [Divergent]: branch conditions and loop trip counts keyed to a hash
+      of [tid + %laneid], so warps genuinely diverge under SIMT execution
+      ([--simt]); no barriers (a divergent-arm barrier deadlocks by
+      design). The programs stay valid under the warp-uniform model,
+      where [%laneid] reads 0. *)
 
-type family = Pressure | Barrier
+type family = Pressure | Barrier | Divergent
 
 type t = {
   seed : int;

@@ -15,24 +15,26 @@ module Regdem = Regmutex.Regdem
 module Checker = Regmutex.Checker
 module Runner = Regmutex.Runner
 
-type fault = Drop_acquire | Early_release | Drop_mov | Oob_spill
+type fault = Drop_acquire | Early_release | Drop_mov | Oob_spill | Mask_corrupt
 
 let fault_name = function
   | Drop_acquire -> "drop-acquire"
   | Early_release -> "early-release"
   | Drop_mov -> "drop-mov"
   | Oob_spill -> "oob-spill"
+  | Mask_corrupt -> "mask-corrupt"
 
 let fault_of_string = function
   | "drop-acquire" -> Ok Drop_acquire
   | "early-release" -> Ok Early_release
   | "drop-mov" -> Ok Drop_mov
   | "oob-spill" -> Ok Oob_spill
+  | "mask-corrupt" -> Ok Mask_corrupt
   | s ->
       Error
         (Printf.sprintf
-           "unknown fault %S (expected drop-acquire, early-release, drop-mov \
-            or oob-spill)"
+           "unknown fault %S (expected drop-acquire, early-release, drop-mov, \
+            oob-spill or mask-corrupt)"
            s)
 
 type kind =
@@ -100,15 +102,20 @@ let stats_fields (s : Stats.t) =
     s.Stats.resident_warp_cycles,
     s.Stats.warp_capacity_cycles,
     s.Stats.ctas_retired,
-    s.Stats.timed_out )
+    s.Stats.timed_out,
+    s.Stats.active_lane_cycles,
+    s.Stats.predicated_lane_cycles,
+    s.Stats.divergent_branches )
 
-let diff_stats ~label (ff : Stats.t) (bf : Stats.t) =
+let diff_stats ?(sides = ("fast-forward", "brute-force")) ~label (ff : Stats.t)
+    (bf : Stats.t) =
+  let sa, sb = sides in
   if stats_fields ff <> stats_fields bf then
     Some
       (Printf.sprintf
-         "%s: fast-forward (%d cycles, %d instrs) vs brute-force (%d cycles, \
-          %d instrs) counters differ"
-         label ff.Stats.cycles ff.Stats.instructions bf.Stats.cycles
+         "%s: %s (%d cycles, %d instrs) vs %s (%d cycles, %d instrs) counters \
+          differ"
+         label sa ff.Stats.cycles ff.Stats.instructions sb bf.Stats.cycles
          bf.Stats.instructions)
   else
     match
@@ -118,9 +125,9 @@ let diff_stats ~label (ff : Stats.t) (bf : Stats.t) =
     with
     | Some r ->
         Some
-          (Printf.sprintf "%s: stall[%s] = %d fast-forward vs %d brute-force"
-             label (Stats.reason_name r) (Stats.stall_count ff r)
-             (Stats.stall_count bf r))
+          (Printf.sprintf "%s: stall[%s] = %d %s vs %d %s" label
+             (Stats.reason_name r) (Stats.stall_count ff r) sa
+             (Stats.stall_count bf r) sb)
     | None -> (
         match
           Checker.diff_store_traces ~expected:(Stats.store_traces bf)
@@ -189,6 +196,10 @@ let apply_fault fault ~bs p =
       | None -> (p, false))
   | Oob_spill ->
       (* Targets the forced-RegDem branch, not the SRP split. *)
+      (p, false)
+  | Mask_corrupt ->
+      (* A runtime injection (Runner's [corrupt_mask]), not a program
+         mutation; handled by the SIMT branch of the oracle. *)
       (p, false)
 
 (* --- baseline reference ----------------------------------------------- *)
@@ -451,7 +462,8 @@ let forced_regdem_failures (case : Gen.t) ~expected ~base_oob ~strict_oob ~injec
                         true )
                   | _ -> assert false)
               | None -> (plan.Regdem.transformed, false))
-          | Some (Drop_acquire | Early_release | Drop_mov) | None ->
+          | Some (Drop_acquire | Early_release | Drop_mov | Mask_corrupt)
+          | None ->
               (plan.Regdem.transformed, false)
         in
         let kern =
@@ -503,6 +515,171 @@ let forced_regdem_failures (case : Gen.t) ~expected ~base_oob ~strict_oob ~injec
             end);
         (List.rev !failures, injected)
 
+(* --- SIMT execution ----------------------------------------------------- *)
+
+let simt_options = { Technique.default_options with Technique.simt = true }
+
+(* Warp-uniform equivalence: the Pressure and Barrier families never read
+   [%laneid], so every lane of a warp follows one path and the SIMT model
+   must reproduce the warp-uniform run bit-for-bit — counters, stall
+   histogram and store traces. This is the fuzz-side enforcement of the
+   two-execution-models contract. *)
+let simt_equiv_failures (case : Gen.t) ~base =
+  match
+    Runner.execute ~options:simt_options ~record_stores:true ~max_cycles arch0
+      Technique.Baseline (Gen.kernel case)
+  with
+  | run -> (
+      match
+        diff_stats ~sides:("simt", "uniform") ~label:"baseline uniform-vs-simt"
+          run.Runner.stats base
+      with
+      | Some d -> [ { kind = Stats_mismatch; detail = d } ]
+      | None -> [])
+  | exception Gpu.Deadlock d ->
+      [ { kind = Deadlock;
+          detail = Format.asprintf "baseline --simt: %a" Gpu.pp_deadlock d } ]
+
+(* Value-safe techniques under true divergence. RegDem is excluded by
+   design: its spill window holds one value per warp-level register, so a
+   demoted register whose lanes diverge is clobbered on spill (last lane
+   wins) and every lane reads that value back on fill — RegDem is only
+   sound for warp-uniform register values. *)
+let simt_divergent_techniques =
+  Technique.[ Regmutex; Regmutex_paired; Owf; Rfv ]
+
+let pp_violations =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+    Checker.pp_violation
+
+(* Divergent-family differential: a baseline SIMT run's lane-resolved
+   store traces are the reference; every value-safe technique must
+   reproduce them lane-for-lane (and the warp-level traces too), and the
+   fast-forward contract must hold under SIMT for the heuristic path. *)
+let simt_divergent_failures (case : Gen.t) =
+  let kern = Gen.kernel case in
+  let failures = ref [] in
+  let fail kind detail = failures := { kind; detail } :: !failures in
+  (match
+     Runner.execute ~options:simt_options ~record_stores:true ~max_cycles arch0
+       Technique.Baseline kern
+   with
+  | exception Gpu.Deadlock d ->
+      fail Deadlock (Format.asprintf "baseline --simt: %a" Gpu.pp_deadlock d)
+  | base_run ->
+      let base = base_run.Runner.stats in
+      if base.Stats.timed_out then
+        fail Timeout
+          (Printf.sprintf "baseline --simt: exceeded %d cycles" max_cycles)
+      else begin
+        let expected_lanes = Stats.lane_store_traces base in
+        let expected = Stats.store_traces base in
+        List.iter
+          (fun tech ->
+            let name = Technique.name tech ^ " --simt" in
+            match
+              Runner.execute ~options:simt_options ~record_stores:true
+                ~max_cycles arch0 tech kern
+            with
+            | run ->
+                let stats = run.Runner.stats in
+                if stats.Stats.timed_out then
+                  fail Timeout
+                    (Printf.sprintf "%s: exceeded %d cycles" name max_cycles)
+                else begin
+                  (match
+                     Checker.diff_lane_store_traces ~expected:expected_lanes
+                       ~actual:(Stats.lane_store_traces stats)
+                   with
+                  | Some d ->
+                      fail Divergence (Printf.sprintf "%s (lanes): %s" name d)
+                  | None -> ());
+                  match
+                    Checker.diff_store_traces ~expected
+                      ~actual:(Stats.store_traces stats)
+                  with
+                  | Some d -> fail Divergence (Printf.sprintf "%s: %s" name d)
+                  | None -> ()
+                end
+            | exception Gpu.Deadlock d ->
+                fail Deadlock (Format.asprintf "%s: %a" name Gpu.pp_deadlock d)
+            | exception Sm.Verification_failure m ->
+                fail Verification (Printf.sprintf "%s: %s" name m)
+            | exception Transform.Unsound violations ->
+                fail Unsound_transform
+                  (Format.asprintf "%s: %a" name pp_violations violations))
+          simt_divergent_techniques;
+        List.iter
+          (fun tech ->
+            let name = Technique.name tech ^ " --simt (heuristic)" in
+            match
+              ( Runner.execute ~options:simt_options ~record_stores:true
+                  ~max_cycles arch0 tech kern,
+                Runner.execute ~options:simt_options ~record_stores:true
+                  ~max_cycles ~fast_forward:false arch0 tech kern )
+            with
+            | ff, bf -> (
+                match
+                  diff_stats ~label:name ff.Runner.stats bf.Runner.stats
+                with
+                | Some d -> fail Stats_mismatch d
+                | None -> ())
+            | exception Gpu.Deadlock d ->
+                fail Deadlock (Format.asprintf "%s: %a" name Gpu.pp_deadlock d)
+            | exception Sm.Verification_failure m ->
+                fail Verification (Printf.sprintf "%s: %s" name m))
+          Technique.[ Baseline; Regmutex ]
+      end);
+  List.rev !failures
+
+(* Mask-corruption self-test: clear lane 1 from every warp's initial
+   active mask and diff the lane-resolved traces against a clean SIMT run.
+   The warp-level trace records the lowest active lane's stores, so on the
+   uniform families the corruption is provably invisible at warp
+   granularity (lane 0 leads every instruction) — only the lane-resolved
+   oracle can catch it, which is exactly the strictly-stronger property
+   this injection validates. *)
+let mask_corrupt_failures (case : Gen.t) =
+  let kern = Gen.kernel case in
+  let run ?corrupt_mask () =
+    Runner.execute ~options:simt_options ?corrupt_mask ~record_stores:true
+      ~max_cycles arch0 Technique.Baseline kern
+  in
+  match (run (), run ~corrupt_mask:2 ()) with
+  | exception Gpu.Deadlock d ->
+      [ { kind = Deadlock;
+          detail = Format.asprintf "mask-corrupt: %a" Gpu.pp_deadlock d } ]
+  | clean, bad -> (
+      let failures =
+        match
+          Checker.diff_lane_store_traces
+            ~expected:(Stats.lane_store_traces clean.Runner.stats)
+            ~actual:(Stats.lane_store_traces bad.Runner.stats)
+        with
+        | Some d ->
+            [ { kind = Divergence; detail = "mask-corrupt (lanes): " ^ d } ]
+        | None -> []
+      in
+      match case.Gen.family with
+      | Gen.Divergent ->
+          (* Under divergence a dead lane 1 can change which lane leads an
+             arm, so the warp-level trace may legitimately move too. *)
+          failures
+      | Gen.Pressure | Gen.Barrier -> (
+          match
+            Checker.diff_store_traces
+              ~expected:(Stats.store_traces clean.Runner.stats)
+              ~actual:(Stats.store_traces bad.Runner.stats)
+          with
+          | Some d ->
+              { kind = Crash;
+                detail =
+                  "mask-corrupt visible at warp granularity (lane oracle not \
+                   strictly stronger here): " ^ d }
+              :: failures
+          | None -> failures))
+
 (* --- per-case entry ---------------------------------------------------- *)
 
 (* Oracle-stage profiling (surfaced by `regmutex fuzz --profile`).
@@ -513,6 +690,7 @@ let roundtrip_phase = Telemetry.Profile.phase "oracle.roundtrip"
 let techniques_phase = Telemetry.Profile.phase "oracle.techniques"
 let forced_split_phase = Telemetry.Profile.phase "oracle.forced-split"
 let forced_regdem_phase = Telemetry.Profile.phase "oracle.forced-regdem"
+let simt_phase = Telemetry.Profile.phase "oracle.simt"
 
 let test_case ?inject ?(strict_shared_oob = true) (case : Gen.t) =
   try
@@ -546,6 +724,12 @@ let test_case ?inject ?(strict_shared_oob = true) (case : Gen.t) =
                 forced_regdem_failures case ~expected ~base_oob ~strict_oob
                   ~inject)
           in
+          let simt () =
+            Telemetry.Profile.time simt_phase (fun () ->
+                match case.Gen.family with
+                | Gen.Divergent -> simt_divergent_failures case
+                | Gen.Pressure | Gen.Barrier -> simt_equiv_failures case ~base)
+          in
           let failures, injected =
             (* With a fault requested only the branch carrying the mutation
                runs; the other invariants would re-test the unmutated
@@ -553,6 +737,10 @@ let test_case ?inject ?(strict_shared_oob = true) (case : Gen.t) =
             match inject with
             | Some Oob_spill -> regdem ()
             | Some (Drop_acquire | Early_release | Drop_mov) -> split ()
+            | Some Mask_corrupt ->
+                ( Telemetry.Profile.time simt_phase (fun () ->
+                      mask_corrupt_failures case),
+                  true )
             | None ->
                 let split_failures, _ = split () in
                 let regdem_failures, _ = regdem () in
@@ -560,7 +748,7 @@ let test_case ?inject ?(strict_shared_oob = true) (case : Gen.t) =
                       roundtrip_failures prog)
                   @ Telemetry.Profile.time techniques_phase (fun () ->
                         technique_failures case ~expected ~base_oob ~strict_oob)
-                  @ split_failures @ regdem_failures,
+                  @ split_failures @ regdem_failures @ simt (),
                   false )
           in
           { failures; injected }

@@ -22,6 +22,15 @@
       bit-identical, and (strict window rule, see below) the transformed
       kernel must hit the shared-memory window out-of-bounds {e exactly}
       as often as the baseline;
+    - the SIMT cross-check: for the warp-uniform families (pressure,
+      barrier) a baseline run under [--simt] must be bit-identical to the
+      warp-uniform baseline — counters, stall histogram and store traces;
+      for the divergent family every value-safe technique (RegMutex,
+      paired, OWF, RFV — RegDem's warp-granular spill window is unsound
+      under divergence and is excluded by design) is run under [--simt]
+      and compared to the SIMT baseline lane-for-lane
+      ({!Regmutex.Checker.diff_lane_store_traces}), plus fast-forward vs
+      brute-force equivalence under SIMT on the heuristic path;
     - the forward-progress watchdog: any {!Gpu_sim.Gpu.Deadlock} is a
       failure, as is a watchdog timeout.
 
@@ -31,10 +40,10 @@
     baseline's fails with [Shared_oob]. Spill traffic escaping its
     reserved window is exactly such a delta.
 
-    Fault injection ([?inject]) mutates the {e transformed} program of
-    the branch the fault targets (forced-split for the SRP faults,
-    forced-RegDem for [Oob_spill]) — the oracle must then report at least
-    one failure, which is how the fuzzer's own detection power is
+    Fault injection ([?inject]) perturbs the branch the fault targets
+    (forced-split for the SRP faults, forced-RegDem for [Oob_spill], the
+    SIMT cross-check for [Mask_corrupt]) — the oracle must then report at
+    least one failure, which is how the fuzzer's own detection power is
     tested. *)
 
 type fault =
@@ -42,6 +51,12 @@ type fault =
   | Early_release  (** insert a [Release] right after the first [Acquire] *)
   | Drop_mov       (** disable the first compaction MOV across the boundary *)
   | Oob_spill      (** push the first spill store one slot past the window *)
+  | Mask_corrupt
+      (** clear lane 1 from every warp's initial active mask (a runtime
+          injection via the simulator, not a program mutation): caught
+          only by the lane-resolved trace diff — the warp-level trace
+          records the lowest active lane and stays clean on the uniform
+          families, proving the lane oracle strictly stronger *)
 
 val fault_name : fault -> string
 val fault_of_string : string -> (fault, string) result

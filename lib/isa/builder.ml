@@ -15,6 +15,7 @@ let ctaid = Instr.Special Instr.Ctaid
 let ntid = Instr.Special Instr.Ntid
 let nctaid = Instr.Special Instr.Nctaid
 let warp_id = Instr.Special Instr.Warp_id
+let lane_id = Instr.Special Instr.Lane_id
 let param i = Instr.Param i
 
 let label name = Label name

@@ -28,6 +28,7 @@ val ctaid : Instr.operand
 val ntid : Instr.operand
 val nctaid : Instr.operand
 val warp_id : Instr.operand
+val lane_id : Instr.operand
 val param : int -> Instr.operand
 
 (** [label name] marks the position of the next instruction. *)

@@ -25,7 +25,7 @@ let pack_operand = function
       let code =
         match s with
         | Instr.Tid -> 0 | Instr.Ctaid -> 1 | Instr.Ntid -> 2
-        | Instr.Nctaid -> 3 | Instr.Warp_id -> 4
+        | Instr.Nctaid -> 3 | Instr.Warp_id -> 4 | Instr.Lane_id -> 5
       in
       (2 lsl 14) lor code
   | Instr.Param i ->
@@ -44,6 +44,7 @@ let unpack_operand v =
       | 2 -> Instr.Special Instr.Ntid
       | 3 -> Instr.Special Instr.Nctaid
       | 4 -> Instr.Special Instr.Warp_id
+      | 5 -> Instr.Special Instr.Lane_id
       | _ -> fail "unknown special code %d" payload)
   | _ -> Instr.Param payload
 

@@ -15,6 +15,7 @@ type special =
   | Ntid
   | Nctaid
   | Warp_id
+  | Lane_id
 
 type operand =
   | Reg of int
@@ -143,6 +144,7 @@ let special_name = function
   | Ntid -> "%ntid"
   | Nctaid -> "%nctaid"
   | Warp_id -> "%warpid"
+  | Lane_id -> "%laneid"
 
 let pp_operand ppf = function
   | Reg r -> Format.fprintf ppf "r%d" r

@@ -26,11 +26,14 @@ type space = Global | Shared | Spill
 
 (** Read-only hardware values available as operands. *)
 type special =
-  | Tid      (** linear thread index of the warp's first lane within its CTA *)
+  | Tid      (** linear thread index of the warp's lane 0 within its CTA; a
+                 lane's own thread id is [Tid + Lane_id] *)
   | Ctaid    (** CTA index within the grid *)
   | Ntid     (** threads per CTA *)
   | Nctaid   (** CTAs in the grid *)
   | Warp_id  (** warp index within its CTA *)
+  | Lane_id  (** lane index within the warp (0 in the warp-uniform model,
+                 the per-lane index under [--simt]) *)
 
 type operand =
   | Reg of int        (** architected register *)

@@ -58,6 +58,7 @@ let parse_operand line s =
     | "%ntid" -> Instr.Special Instr.Ntid
     | "%nctaid" -> Instr.Special Instr.Nctaid
     | "%warpid" -> Instr.Special Instr.Warp_id
+    | "%laneid" -> Instr.Special Instr.Lane_id
     | _ -> fail line "unknown special register %S" s
   else if String.length s > 6 && String.sub s 0 6 = "param[" && s.[String.length s - 1] = ']'
   then Instr.Param (parse_int line (String.sub s 6 (String.length s - 7)))

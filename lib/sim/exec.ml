@@ -13,6 +13,9 @@ type ctx = {
   memory : Memory.t;
   stats : Stats.t;
   record_stores : bool;
+  lanes : int;
+  n_regs : int;
+  lane_regs : int array;
 }
 
 type outcome =
@@ -23,6 +26,10 @@ type outcome =
   | Acq
   | Rel
 
+type lane_outcome =
+  | L_uniform of outcome
+  | L_diverge of { taken : int; tgt : int }
+
 let operand ctx = function
   | Instr.Reg r -> ctx.regs.(r)
   | Instr.Imm n -> n
@@ -32,6 +39,21 @@ let operand ctx = function
   | Instr.Special Instr.Ntid -> ctx.ntid
   | Instr.Special Instr.Nctaid -> ctx.nctaid
   | Instr.Special Instr.Warp_id -> ctx.warp_id
+  | Instr.Special Instr.Lane_id -> 0
+
+(* Lane-resolved operand read: registers come from the lane's row of the
+   per-lane file, [%laneid] distinguishes the lanes, and everything else
+   is warp-uniform by construction. *)
+let lane_operand ctx lane = function
+  | Instr.Reg r -> ctx.lane_regs.((lane * ctx.n_regs) + r)
+  | Instr.Imm n -> n
+  | Instr.Param i -> if i < Array.length ctx.params then ctx.params.(i) else 0
+  | Instr.Special Instr.Tid -> ctx.tid
+  | Instr.Special Instr.Ctaid -> ctx.ctaid
+  | Instr.Special Instr.Ntid -> ctx.ntid
+  | Instr.Special Instr.Nctaid -> ctx.nctaid
+  | Instr.Special Instr.Warp_id -> ctx.warp_id
+  | Instr.Special Instr.Lane_id -> lane
 
 let binop op a b =
   match op with
@@ -78,6 +100,24 @@ let shared_index ctx addr =
   if addr < 0 || addr >= words then
     ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
   ((addr mod words) + words) mod words
+
+(* Non-counting variants used by the per-lane path: lane accesses report
+   out-of-bounds through [oob] so the instruction as a whole bumps
+   [shared_oob] at most once — exactly the count a warp-uniform program
+   produces in the warp-uniform model. *)
+let shared_index_flag ctx oob addr =
+  let words = Array.length ctx.shared - ctx.spill_words in
+  if addr < 0 || addr >= words then oob := true;
+  ((addr mod words) + words) mod words
+
+let spill_index_flag ctx oob rel =
+  if ctx.spill_words > 0 && rel >= 0 && rel < ctx.spill_words then
+    Array.length ctx.shared - ctx.spill_words + rel
+  else begin
+    oob := true;
+    let words = Array.length ctx.shared in
+    ((rel mod words) + words) mod words
+  end
 
 (* Spill accesses address the reserved window relative to its base. Any
    access outside the window — including a spill instruction executing
@@ -178,3 +218,125 @@ let step ctx instr =
   | Instr.Acquire -> Acq
   | Instr.Release -> Rel
   | Instr.Exit -> Stop
+
+(* --- per-lane (SIMT) execution ----------------------------------------- *)
+
+(* Pure evaluation of a conditional branch's per-lane outcome: the mask of
+   active lanes whose condition takes the branch. Never counts register
+   ports (the RFV peek calls this every scheduler probe). [None] for
+   non-conditional instructions. *)
+let branch_masks ctx instr ~mask =
+  let eval c keep =
+    let taken = ref 0 in
+    for lane = 0 to ctx.lanes - 1 do
+      let bit = 1 lsl lane in
+      if mask land bit <> 0 && keep (lane_operand ctx lane c) then
+        taken := !taken lor bit
+    done;
+    !taken
+  in
+  match instr with
+  | Instr.Jump_if (c, t) -> Some (eval c (fun v -> v <> 0), t)
+  | Instr.Jump_ifz (c, t) -> Some (eval c (fun v -> v = 0), t)
+  | _ -> None
+
+(* Evaluate one instruction for every lane in [mask]. Counter discipline:
+   register-port and shared/spill traffic counters advance once per
+   instruction (the same totals the warp-uniform model produces for the
+   same dynamic instruction stream), and [shared_oob] is clamped to at
+   most one bump per instruction. The architectural (warp-level) store
+   trace records the lowest active lane, which for a warp-uniform program
+   is bit-identical to the uniform trace; the full lane-resolved trace is
+   recorded separately per lane. *)
+let step_simt ctx instr ~mask =
+  let reads, writes = rf_accesses instr in
+  ctx.stats.Stats.rf_reads <- ctx.stats.Stats.rf_reads + reads;
+  ctx.stats.Stats.rf_writes <- ctx.stats.Stats.rf_writes + writes;
+  let n = ctx.n_regs in
+  let set lane d value = ctx.lane_regs.((lane * n) + d) <- value in
+  let each f =
+    for lane = 0 to ctx.lanes - 1 do
+      if mask land (1 lsl lane) <> 0 then f lane
+    done
+  in
+  match instr with
+  | Instr.Bin (op, d, a, b) ->
+      each (fun l -> set l d (binop op (lane_operand ctx l a) (lane_operand ctx l b)));
+      L_uniform Next
+  | Instr.Un (op, d, a) ->
+      each (fun l -> set l d (unop op (lane_operand ctx l a)));
+      L_uniform Next
+  | Instr.Mad (d, a, b, c) ->
+      each (fun l ->
+          set l d
+            ((lane_operand ctx l a * lane_operand ctx l b) + lane_operand ctx l c));
+      L_uniform Next
+  | Instr.Mov (d, a) ->
+      each (fun l -> set l d (lane_operand ctx l a));
+      L_uniform Next
+  | Instr.Cmp (op, d, a, b) ->
+      each (fun l -> set l d (cmpop op (lane_operand ctx l a) (lane_operand ctx l b)));
+      L_uniform Next
+  | Instr.Sel (d, c, a, b) ->
+      each (fun l ->
+          set l d
+            (if lane_operand ctx l c <> 0 then lane_operand ctx l a
+             else lane_operand ctx l b));
+      L_uniform Next
+  | Instr.Load (space, d, addr, ofs) ->
+      (match space with
+      | Instr.Global -> ()
+      | Instr.Shared ->
+          ctx.stats.Stats.shared_reads <- ctx.stats.Stats.shared_reads + 1
+      | Instr.Spill ->
+          ctx.stats.Stats.fill_loads <- ctx.stats.Stats.fill_loads + 1);
+      let oob = ref false in
+      each (fun l ->
+          let a = lane_operand ctx l addr + ofs in
+          let v =
+            match space with
+            | Instr.Global -> Memory.read_global ctx.memory a
+            | Instr.Shared -> ctx.shared.(shared_index_flag ctx oob a)
+            | Instr.Spill -> ctx.shared.(spill_index_flag ctx oob a)
+          in
+          set l d v);
+      if !oob then ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
+      L_uniform Next
+  | Instr.Store (space, addr, value, ofs) ->
+      (match space with
+      | Instr.Global -> ()
+      | Instr.Shared ->
+          ctx.stats.Stats.shared_writes <- ctx.stats.Stats.shared_writes + 1
+      | Instr.Spill ->
+          ctx.stats.Stats.spill_stores <- ctx.stats.Stats.spill_stores + 1);
+      let oob = ref false in
+      let leader = ref (-1) in
+      each (fun l ->
+          let a = lane_operand ctx l addr + ofs in
+          let v = lane_operand ctx l value in
+          if ctx.record_stores && space <> Instr.Spill then begin
+            if !leader < 0 then begin
+              leader := l;
+              Stats.record_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id space a v
+            end;
+            Stats.record_lane_store ctx.stats ~cta:ctx.ctaid ~warp:ctx.warp_id
+              ~lane:l space a v
+          end;
+          match space with
+          | Instr.Global -> Memory.write_global ctx.memory a v
+          | Instr.Shared -> ctx.shared.(shared_index_flag ctx oob a) <- v
+          | Instr.Spill -> ctx.shared.(spill_index_flag ctx oob a) <- v);
+      if !oob then ctx.stats.Stats.shared_oob <- ctx.stats.Stats.shared_oob + 1;
+      L_uniform Next
+  | Instr.Jump t -> L_uniform (Goto t)
+  | Instr.Jump_if _ | Instr.Jump_ifz _ -> (
+      match branch_masks ctx instr ~mask with
+      | Some (taken, tgt) ->
+          if taken = 0 then L_uniform Next
+          else if taken = mask then L_uniform (Goto tgt)
+          else L_diverge { taken; tgt }
+      | None -> assert false)
+  | Instr.Bar -> L_uniform Sync
+  | Instr.Acquire -> L_uniform Acq
+  | Instr.Release -> L_uniform Rel
+  | Instr.Exit -> L_uniform Stop

@@ -28,6 +28,13 @@ type ctx = {
   memory : Memory.t;
   stats : Stats.t;     (** shared-memory wrap counting, store recording *)
   record_stores : bool;
+  lanes : int;         (** warp width under [--simt]; 0 in the warp-uniform
+                           model (the per-lane entry points are never called) *)
+  n_regs : int;        (** architected registers per lane (row stride) *)
+  lane_regs : int array;
+      (** lane-major per-lane register file for this slot,
+          [lanes * n_regs] words ([lane * n_regs + r]); [[||]] in the
+          warp-uniform model *)
 }
 
 type outcome =
@@ -38,7 +45,21 @@ type outcome =
   | Acq          (** [Acquire] — policy handled by the SM *)
   | Rel          (** [Release] *)
 
+(** Per-lane control outcome: either every active lane agrees (including
+    conditional branches whose condition is warp-uniform in practice), or
+    the branch splits the active mask — reconvergence-stack handling lives
+    in {!Sm}. *)
+type lane_outcome =
+  | L_uniform of outcome
+  | L_diverge of { taken : int; tgt : int }
+      (** [taken] is the non-empty, proper sub-mask of active lanes whose
+          condition takes the branch to [tgt] *)
+
 val operand : ctx -> Gpu_isa.Instr.operand -> int
+
+(** [lane_operand ctx lane op] — the lane-resolved operand value.
+    [%laneid] is [lane]; a lane's linear thread id is [%tid + %laneid]. *)
+val lane_operand : ctx -> int -> Gpu_isa.Instr.operand -> int
 
 (** Evaluate the instruction: performs register writes and memory effects,
     returns the control outcome. Division and remainder by zero yield 0;
@@ -46,3 +67,21 @@ val operand : ctx -> Gpu_isa.Instr.operand -> int
     accesses outside the CTA's allocation wrap and bump
     [stats.shared_oob]. *)
 val step : ctx -> Gpu_isa.Instr.t -> outcome
+
+(** [branch_masks ctx instr ~mask] — pure per-lane evaluation of a
+    conditional branch: [Some (taken_mask, target)], or [None] for
+    non-conditional instructions. Counts nothing (safe to call from
+    scheduler peeks). *)
+val branch_masks : ctx -> Gpu_isa.Instr.t -> mask:int -> (int * int) option
+
+(** [step_simt ctx instr ~mask] evaluates the instruction for every lane
+    set in [mask] against the lane-resolved register file.
+
+    Counter contract (the bit-identity contract with the warp-uniform
+    model): register-port and shared/spill traffic counters advance once
+    per executed instruction regardless of how many lanes are active, and
+    [stats.shared_oob] bumps at most once per instruction. The warp-level
+    store trace records the lowest active lane; every active lane is
+    additionally recorded in the lane-resolved trace
+    (see {!Stats.lane_store_traces}). *)
+val step_simt : ctx -> Gpu_isa.Instr.t -> mask:int -> lane_outcome

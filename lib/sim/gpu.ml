@@ -7,12 +7,14 @@ type run_config = {
   events : Event_trace.t option;
   telemetry : Telemetry.Sink.t option;
   fast_forward : bool;
+  simt : bool;
+  corrupt_mask : int;
 }
 
 let default_config arch policy =
   { arch; policy; record_stores = false; trace_warp0 = false;
     max_cycles = 20_000_000; events = None; telemetry = None;
-    fast_forward = true }
+    fast_forward = true; simt = false; corrupt_mask = 0 }
 
 type sm_diag = {
   dl_sm : int;
@@ -55,7 +57,8 @@ let () =
 
 let build_sms config kernel stats memory mem_sys =
   Array.init config.arch.Gpu_uarch.Arch_config.n_sms (fun sm_id ->
-      Sm.create ?events:config.events ?telemetry:config.telemetry config.arch
+      Sm.create ?events:config.events ?telemetry:config.telemetry
+        ~simt:config.simt ~corrupt_mask:config.corrupt_mask config.arch
         ~sm_id ~policy:config.policy ~kernel ~memory ~mem_sys ~stats
         ~record_stores:config.record_stores
         ~trace_warp0:(config.trace_warp0 && sm_id = 0))
@@ -79,6 +82,14 @@ let finalize_metrics (sink : Telemetry.Sink.t) config stats mem_sys =
   count "regmutex_releases_total" stats.Stats.release_execs;
   count "regmutex_acquire_stall_cycles_total" stats.Stats.acquire_stall_cycles;
   count "regmutex_shared_oob_total" stats.Stats.shared_oob;
+  count "regmutex_active_lane_cycles_total"
+    ~help:"lanes active over issued instructions" stats.Stats.active_lane_cycles;
+  count "regmutex_predicated_lane_cycles_total"
+    ~help:"lanes predicated off over issued instructions (SIMT)"
+    stats.Stats.predicated_lane_cycles;
+  count "regmutex_divergent_branches_total"
+    ~help:"conditional branches whose lanes split both ways (SIMT)"
+    stats.Stats.divergent_branches;
   count "regmutex_mem_requests_total" (Mem_system.issued mem_sys);
   List.iter
     (fun r ->
@@ -102,6 +113,10 @@ let finalize_metrics (sink : Telemetry.Sink.t) config stats mem_sys =
   let set name v = Telemetry.Metrics.(set (gauge m name) v) in
   set "regmutex_ipc" (Stats.ipc stats);
   set "regmutex_achieved_occupancy" (Stats.achieved_occupancy stats);
+  (let issued = stats.Stats.active_lane_cycles + stats.Stats.predicated_lane_cycles in
+   if issued > 0 then
+     set "regmutex_active_lane_occupancy"
+       (float_of_int stats.Stats.active_lane_cycles /. float_of_int issued));
   set "regmutex_mem_mean_latency_cycles" (Mem_system.mean_latency mem_sys)
 
 (* Satellite of the telemetry work: the structured event log used to drop

@@ -26,6 +26,16 @@ type run_config = {
           bit-identical to per-cycle stepping; [false] is the brute-force
           escape hatch the equivalence suite and benchmarks compare
           against. *)
+  simt : bool;
+      (** Per-thread (SIMT) execution, off by default: lane-resolved
+          register values, predicated execution under an active-lane mask,
+          and an immediate-post-dominator reconvergence stack per warp.
+          Timing stays warp-granular; a warp-uniform program produces
+          bit-identical statistics and store traces in both models. *)
+  corrupt_mask : int;
+      (** Lanes cleared from every warp's initial active mask (0 = none).
+          Fault-injection hook for the fuzz oracle's per-lane-trace
+          self-test; meaningful only with [simt]. *)
 }
 
 val default_config : Gpu_uarch.Arch_config.t -> Policy.t -> run_config

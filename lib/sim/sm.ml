@@ -5,6 +5,7 @@ module Arch_config = Gpu_uarch.Arch_config
 module Srp = Gpu_uarch.Srp
 module Srp_paired = Gpu_uarch.Srp_paired
 module Soa = Warp.Soa
+module Reconv = Gpu_analysis.Reconv
 
 exception Verification_failure of string
 
@@ -70,6 +71,15 @@ type t = {
   mutable next_age : int;
   record_stores : bool;
   trace_warp0 : bool;
+  (* SIMT (per-lane) execution: lane-resolved register values, predication
+     and the per-warp reconvergence stack. Timing stays warp-granular —
+     only the values (and the lane occupancy statistics) are resolved per
+     lane, so a warp-uniform program is bit-identical in both models. *)
+  simt : bool;
+  reconv : int array;       (* per-pc reconvergence table ([||] unless simt) *)
+  reconv_sentinel : int;    (* program length: the never-reached top rpc *)
+  full_mask : int;          (* (1 lsl warp_size) - 1 when simt, else 0 *)
+  corrupt_mask : int;       (* lanes cleared at launch (fuzz self-test) *)
   events : Event_trace.t option;
   probe : Probe.t option;
   bs : int;  (* base-set size for SRP/paired/OWF policies; max_int otherwise *)
@@ -97,8 +107,8 @@ let cta_capacity_for cfg ~policy ~kernel =
   let capacity, _, _ = compute_capacity cfg policy kernel in
   capacity
 
-let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
-    ~record_stores ~trace_warp0 =
+let create ?events ?telemetry ?(simt = false) ?(corrupt_mask = 0) cfg ~sm_id
+    ~policy ~kernel ~memory ~mem_sys ~stats ~record_stores ~trace_warp0 =
   let cta_capacity, wpc, regs_cta = compute_capacity cfg policy kernel in
   let prog = kernel.Kernel.program in
   let n = Program.length prog in
@@ -182,7 +192,9 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     Array.map (fun i -> match i with Instr.Acquire -> true | _ -> false) instrs
   in
   let n_slots = max (cta_capacity * wpc) 1 in
-  let soa = Soa.create ~n_slots ~n_regs:(max prog.Program.n_regs 1) in
+  let n_regs = max prog.Program.n_regs 1 in
+  let lanes = if simt then Some cfg.Arch_config.warp_size else None in
+  let soa = Soa.create ?lanes ~n_slots ~n_regs () in
   let spill_words =
     match policy with
     | Policy.Regdem { spill_words; _ } -> spill_words
@@ -205,6 +217,12 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
           memory;
           stats;
           record_stores;
+          lanes = (if simt then cfg.warp_size else 0);
+          n_regs;
+          lane_regs =
+            (match soa.Soa.simt with
+            | Some s -> s.Soa.lane_regs.(slot)
+            | None -> [||]);
         })
   in
   {
@@ -254,6 +272,11 @@ let create ?events ?telemetry cfg ~sm_id ~policy ~kernel ~memory ~mem_sys ~stats
     next_age = 0;
     record_stores;
     trace_warp0;
+    simt;
+    reconv = (if simt then Reconv.table prog else [||]);
+    reconv_sentinel = n;
+    full_mask = (if simt then (1 lsl cfg.warp_size) - 1 else 0);
+    corrupt_mask;
     events;
     probe =
       Option.map
@@ -334,6 +357,10 @@ let try_launch t ~global_cta ~cycle =
           let age = t.next_age in
           Soa.launch soa ~slot:wslot ~cta_slot:slot ~global_cta ~warp_in_cta:w
             ~age;
+          if t.simt then
+            Soa.simt_reset soa ~slot:wslot
+              ~mask:(t.full_mask land lnot t.corrupt_mask)
+              ~rpc:t.reconv_sentinel;
           t.next_age <- t.next_age + 1;
           (* OWF: warps pair up within their CTA. *)
           soa.Soa.partner.(wslot) <-
@@ -394,17 +421,39 @@ type block_reason =
   | Blocked_done
 
 (* RFV: the next instruction's demand, given this instruction's outcome.
-   Branch conditions are evaluated without side effects. *)
+   Branch conditions are evaluated without side effects. Under SIMT the
+   computed next-pc is routed through the reconvergence stack (pure peek
+   variants), and a divergent branch executes its fall-through arm next —
+   unless the fall-through IS the reconvergence point (a loop exit), in
+   which case the suspended taken arm runs immediately. *)
 let rfv_peek_next t ~slot instr =
   let pc = t.soa.Soa.pc.(slot) in
-  match instr with
-  | Instr.Jump tgt -> tgt
-  | Instr.Jump_if (c, tgt) ->
-      if Exec.operand t.ctxs.(slot) c <> 0 then tgt else pc + 1
-  | Instr.Jump_ifz (c, tgt) ->
-      if Exec.operand t.ctxs.(slot) c = 0 then tgt else pc + 1
-  | Instr.Exit -> pc
-  | _ -> pc + 1
+  if not t.simt then
+    match instr with
+    | Instr.Jump tgt -> tgt
+    | Instr.Jump_if (c, tgt) ->
+        if Exec.operand t.ctxs.(slot) c <> 0 then tgt else pc + 1
+    | Instr.Jump_ifz (c, tgt) ->
+        if Exec.operand t.ctxs.(slot) c = 0 then tgt else pc + 1
+    | Instr.Exit -> pc
+    | _ -> pc + 1
+  else
+    let soa = t.soa in
+    match instr with
+    | Instr.Jump tgt -> Soa.simt_peek_next soa ~slot tgt
+    | Instr.Jump_if _ | Instr.Jump_ifz _ -> (
+        let mask = Soa.simt_active soa ~slot in
+        match Exec.branch_masks t.ctxs.(slot) instr ~mask with
+        | Some (taken, tgt) ->
+            if taken = 0 || tgt = pc + 1 then Soa.simt_peek_next soa ~slot (pc + 1)
+            else if taken = mask then Soa.simt_peek_next soa ~slot tgt
+            else
+              let rpc = t.reconv.(pc) in
+              if pc + 1 = rpc then tgt else pc + 1
+        | None -> pc + 1)
+    | Instr.Exit -> (
+        match Soa.simt_peek_exit soa ~slot with Some next -> next | None -> pc)
+    | _ -> Soa.simt_peek_next soa ~slot (pc + 1)
 
 (* Forward-progress anchor for RFV: the oldest warp that could actually
    issue (barrier-parked warps are waiting on others and must not anchor
@@ -600,7 +649,17 @@ let poison_ext t ~slot =
   let regs = t.soa.Soa.regs.(slot) in
   for r = t.bs to Array.length regs - 1 do
     regs.(r) <- release_poison
-  done
+  done;
+  match t.soa.Soa.simt with
+  | Some s ->
+      let row = s.Soa.lane_regs.(slot) in
+      let n = t.soa.Soa.n_regs in
+      for lane = 0 to s.Soa.lanes - 1 do
+        for r = t.bs to n - 1 do
+          row.((lane * n) + r) <- release_poison
+        done
+      done
+  | None -> ()
 
 let warp_done t ~cycle ~slot cta =
   let soa = t.soa in
@@ -699,6 +758,19 @@ let multi_def_error t ~slot ~pc =
        (Instr.to_string t.instrs.(pc))
        section_state)
 
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    incr c;
+    m := !m land (!m - 1)
+  done;
+  !c
+
+(* Route a computed next-pc through the reconvergence stack (pops when it
+   reaches the current reconvergence point); identity in uniform mode. *)
+let route t ~slot next =
+  if t.simt then Soa.simt_next t.soa ~slot next else next
+
 (* [issue] executes the warp's current instruction; returns [false] when a
    global access found every memory slot busy at the claim stage (the warp
    is re-stalled untouched and retries when a slot frees — structured
@@ -747,7 +819,26 @@ let issue t ~slot ~cycle =
       && soa.Soa.global_cta.(slot) = 0
       && soa.Soa.warp_in_cta.(slot) = 0
     then t.stats.Stats.pc_trace <- pc :: t.stats.Stats.pc_trace;
-    let outcome = Exec.step t.ctxs.(slot) instr in
+    (* Execute: per-lane under the active mask in SIMT mode, warp-uniform
+       otherwise. Lane-occupancy statistics are kept in both modes with
+       the same convention (every uniform issue is a full warp), so
+       warp-uniform programs report identical totals. *)
+    let louts =
+      if t.simt then begin
+        let mask = Soa.simt_active soa ~slot in
+        let on = popcount mask in
+        t.stats.Stats.active_lane_cycles <-
+          t.stats.Stats.active_lane_cycles + on;
+        t.stats.Stats.predicated_lane_cycles <-
+          t.stats.Stats.predicated_lane_cycles + (t.cfg.warp_size - on);
+        Exec.step_simt t.ctxs.(slot) instr ~mask
+      end
+      else begin
+        t.stats.Stats.active_lane_cycles <-
+          t.stats.Stats.active_lane_cycles + t.cfg.warp_size;
+        Exec.L_uniform (Exec.step t.ctxs.(slot) instr)
+      end
+    in
     t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
     soa.Soa.issued.(slot) <- soa.Soa.issued.(slot) + 1;
     (* Timing: set the destination's ready cycle. *)
@@ -767,20 +858,37 @@ let issue t ~slot ~cycle =
       if t.is_global.(pc) then mem_sample t ~cycle ~completion
     end
     else multi_def_error t ~slot ~pc;
-    (match outcome with
-    | Exec.Next -> advance t ~slot ~next:(pc + 1)
-    | Exec.Goto tgt -> advance t ~slot ~next:tgt
-    | Exec.Stop -> warp_done t ~cycle ~slot cta
-    | Exec.Sync ->
+    (match louts with
+    | Exec.L_diverge { taken; tgt } ->
+        (* Both arms land on pc+1 when the target is the fall-through:
+           no divergence to track. Otherwise suspend the continuation and
+           the taken arm and run the fall-through arm first (routing pops
+           the taken arm immediately when the branch is a loop exit). *)
+        if tgt = pc + 1 then advance t ~slot ~next:(route t ~slot (pc + 1))
+        else begin
+          t.stats.Stats.divergent_branches <-
+            t.stats.Stats.divergent_branches + 1;
+          Soa.simt_diverge soa ~slot ~tgt ~taken ~rpc:t.reconv.(pc);
+          advance t ~slot ~next:(Soa.simt_next soa ~slot (pc + 1))
+        end
+    | Exec.L_uniform Exec.Next -> advance t ~slot ~next:(route t ~slot (pc + 1))
+    | Exec.L_uniform (Exec.Goto tgt) -> advance t ~slot ~next:(route t ~slot tgt)
+    | Exec.L_uniform Exec.Stop ->
+        if t.simt then (
+          match Soa.simt_exit soa ~slot with
+          | None -> warp_done t ~cycle ~slot cta
+          | Some next -> advance t ~slot ~next)
+        else warp_done t ~cycle ~slot cta
+    | Exec.L_uniform Exec.Sync ->
         soa.Soa.status.(slot) <- Soa.st_barrier;
-        advance t ~slot ~next:(pc + 1);
+        advance t ~slot ~next:(route t ~slot (pc + 1));
         cta.arrived <- cta.arrived + 1;
         emit t ~cycle
           (Event_trace.Barrier_arrived
              { sm = t.sm_id; cta = soa.Soa.global_cta.(slot);
                warp = soa.Soa.warp_in_cta.(slot) });
         maybe_release_barrier t ~cycle cta
-    | Exec.Acq -> (
+    | Exec.L_uniform Exec.Acq -> (
         let grant =
           match t.pstate with
           | Ps_srp srp -> (
@@ -808,11 +916,11 @@ let issue t ~slot ~cycle =
               t.stats.Stats.acquire_first_try <-
                 t.stats.Stats.acquire_first_try + 1;
             soa.Soa.acquire_stalled.(slot) <- 0;
-            advance t ~slot ~next:(pc + 1)
+            advance t ~slot ~next:(route t ~slot (pc + 1))
         | false ->
             (* Lost a same-cycle race for the last section; retry later. *)
             soa.Soa.acquire_stalled.(slot) <- 1)
-    | Exec.Rel ->
+    | Exec.L_uniform Exec.Rel ->
         (match t.pstate with
         | Ps_srp srp -> (
             match Srp.release srp ~warp:slot with
@@ -827,7 +935,7 @@ let issue t ~slot ~cycle =
                   ~in_use:(Srp_paired.in_use srp)
             | Srp_paired.Not_held -> ())
         | Ps_static | Ps_owf | Ps_rfv _ -> ());
-        advance t ~slot ~next:(pc + 1));
+        advance t ~slot ~next:(route t ~slot (pc + 1)));
     true
   end
 

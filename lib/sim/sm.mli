@@ -9,9 +9,18 @@ exception Verification_failure of string
 
 type t
 
+(** [simt] switches on per-thread (SIMT) execution: lane-resolved register
+    values, predicated execution under an active-lane mask, and an
+    immediate-post-dominator reconvergence stack per warp slot. Timing
+    stays warp-granular, so a warp-uniform program runs bit-identically in
+    both models. [corrupt_mask] clears the given lanes from every warp's
+    initial active mask — a fault-injection hook for the fuzz oracle's
+    per-lane-trace self-test (never set in normal runs). *)
 val create :
   ?events:Event_trace.t ->
   ?telemetry:Telemetry.Sink.t ->
+  ?simt:bool ->
+  ?corrupt_mask:int ->
   Gpu_uarch.Arch_config.t ->
   sm_id:int ->
   policy:Policy.t ->

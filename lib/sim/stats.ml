@@ -23,11 +23,16 @@ type t = {
   mutable rf_writes : int;
   mutable shared_reads : int;
   mutable shared_writes : int;
+  mutable active_lane_cycles : int;
+  mutable predicated_lane_cycles : int;
+  mutable divergent_branches : int;
   stall_cycles : int array;
   mutable ctas_retired : int;
   mutable timed_out : bool;
   mutable pc_trace : int list;
   stores : (int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
+  lane_stores :
+    (int * int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
   warp_instructions : (int * int, int) Hashtbl.t;
 }
 
@@ -66,11 +71,15 @@ let create () =
     rf_writes = 0;
     shared_reads = 0;
     shared_writes = 0;
+    active_lane_cycles = 0;
+    predicated_lane_cycles = 0;
+    divergent_branches = 0;
     stall_cycles = Array.make n_reasons 0;
     ctas_retired = 0;
     timed_out = false;
     pc_trace = [];
     stores = Hashtbl.create 64;
+    lane_stores = Hashtbl.create 64;
     warp_instructions = Hashtbl.create 64;
   }
 
@@ -109,6 +118,22 @@ let record_store t ~cta ~warp space addr value =
   in
   cell := (space, addr, value) :: !cell
 
+let record_lane_store t ~cta ~warp ~lane space addr value =
+  let key = (cta, warp, lane) in
+  let cell =
+    match Hashtbl.find_opt t.lane_stores key with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.add t.lane_stores key c;
+        c
+  in
+  cell := (space, addr, value) :: !cell
+
+let lane_store_traces t =
+  Hashtbl.fold (fun key cell acc -> (key, List.rev !cell) :: acc) t.lane_stores []
+  |> List.sort compare
+
 let record_warp_done t ~cta ~warp ~instructions =
   Hashtbl.replace t.warp_instructions (cta, warp) instructions
 
@@ -146,6 +171,10 @@ let pp ppf t =
     Format.fprintf ppf "spills=%d fills=%d@," t.spill_stores t.fill_loads;
   Format.fprintf ppf "rf-reads=%d rf-writes=%d shared-reads=%d shared-writes=%d@,"
     t.rf_reads t.rf_writes t.shared_reads t.shared_writes;
+  if t.predicated_lane_cycles > 0 || t.divergent_branches > 0 then
+    Format.fprintf ppf
+      "lanes: active=%d predicated-off=%d divergent-branches=%d@,"
+      t.active_lane_cycles t.predicated_lane_cycles t.divergent_branches;
   List.iter
     (fun r ->
       let c = stall_count t r in

@@ -37,6 +37,16 @@ type t = {
       (** user shared-memory loads (spill fills counted separately) *)
   mutable shared_writes : int;
       (** user shared-memory stores (spill stores counted separately) *)
+  mutable active_lane_cycles : int;
+      (** Σ over issued instructions of active lanes. The warp-uniform
+          model counts every issue as a full warp, so a warp-uniform
+          program reports the same total in both execution models *)
+  mutable predicated_lane_cycles : int;
+      (** Σ over issued instructions of predicated-off lanes (warp width
+          minus active lanes); always 0 in the warp-uniform model *)
+  mutable divergent_branches : int;
+      (** conditional branches whose active lanes split both ways (each
+          pushes a reconvergence-stack entry); 0 without [--simt] *)
   stall_cycles : int array;
       (** per-reason idle-slot counters, indexed by {!reason_index}; use
           {!bump_stall} / {!stall_count} rather than indexing directly *)
@@ -45,6 +55,10 @@ type t = {
   mutable pc_trace : int list;    (** reverse-order PC trace of warp 0 *)
   stores : (int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
       (** (global CTA, warp-in-CTA) → reverse-order store trace *)
+  lane_stores :
+    (int * int * int, (Gpu_isa.Instr.space * int * int) list ref) Hashtbl.t;
+      (** (global CTA, warp-in-CTA, lane) → reverse-order lane-resolved
+          store trace; only populated under [--simt] with store recording *)
   warp_instructions : (int * int, int) Hashtbl.t;
       (** (global CTA, warp-in-CTA) → dynamic instructions issued, recorded
           when the warp exits (divergent kernels show non-uniform counts) *)
@@ -85,6 +99,15 @@ val trace : t -> int array
 val store_traces : t -> ((int * int) * (Gpu_isa.Instr.space * int * int) list) list
 
 val record_store : t -> cta:int -> warp:int -> Gpu_isa.Instr.space -> int -> int -> unit
+
+(** Per-lane store traces in issue order, keyed and sorted by
+    (CTA, warp, lane). Empty unless the run executed under [--simt] with
+    store recording on. *)
+val lane_store_traces :
+  t -> ((int * int * int) * (Gpu_isa.Instr.space * int * int) list) list
+
+val record_lane_store :
+  t -> cta:int -> warp:int -> lane:int -> Gpu_isa.Instr.space -> int -> int -> unit
 
 val record_warp_done : t -> cta:int -> warp:int -> instructions:int -> unit
 

@@ -6,6 +6,24 @@ module Soa = struct
   let st_done = 2
   let st_absent = 3
 
+  (* Per-slot SIMT execution state: a lane-resolved register file and the
+     immediate-post-dominator reconvergence stack. The running state is
+     the triple (pc.(slot), active.(slot), rpc.(slot)); suspended arms and
+     reconvergence continuations live on the stack, deepest scope first.
+     Stacks grow by doubling — a divergent loop pushes one continuation
+     per diverging iteration. *)
+  type simt = {
+    lanes : int;
+    full_mask : int;
+    lane_regs : int array array;  (* slot -> lane-major [lanes * n_regs] *)
+    active : int array;           (* slot -> active-lane bitmask *)
+    rpc : int array;              (* slot -> current reconvergence pc *)
+    stk_pc : int array array;   (* slot -> entry pcs (rows grow by doubling) *)
+    stk_rpc : int array array;
+    stk_mask : int array array;
+    stk_depth : int array;
+  }
+
   type t = {
     n_slots : int;
     n_regs : int;
@@ -25,11 +43,31 @@ module Soa = struct
     cta_slot : int array;
     regs : int array array;
     reg_ready : int array array;
+    simt : simt option;
   }
 
-  let create ~n_slots ~n_regs =
+  let create ?lanes ~n_slots ~n_regs () =
     if n_slots < 1 then invalid_arg "Warp.Soa.create: n_slots must be >= 1";
     if n_regs < 1 then invalid_arg "Warp.Soa.create: n_regs must be >= 1";
+    let simt =
+      match lanes with
+      | None -> None
+      | Some lanes ->
+          if lanes < 1 || lanes > 62 then
+            invalid_arg "Warp.Soa.create: lanes must be in 1..62";
+          Some
+            {
+              lanes;
+              full_mask = (1 lsl lanes) - 1;
+              lane_regs = Array.init n_slots (fun _ -> Array.make (lanes * n_regs) 0);
+              active = Array.make n_slots 0;
+              rpc = Array.make n_slots 0;
+              stk_pc = Array.init n_slots (fun _ -> Array.make 8 0);
+              stk_rpc = Array.init n_slots (fun _ -> Array.make 8 0);
+              stk_mask = Array.init n_slots (fun _ -> Array.make 8 0);
+              stk_depth = Array.make n_slots 0;
+            }
+    in
     {
       n_slots;
       n_regs;
@@ -49,6 +87,7 @@ module Soa = struct
       cta_slot = Array.make n_slots (-1);
       regs = Array.init n_slots (fun _ -> Array.make n_regs 0);
       reg_ready = Array.init n_slots (fun _ -> Array.make n_regs 0);
+      simt;
     }
 
   let resident t slot = t.status.(slot) <> st_absent
@@ -94,6 +133,129 @@ module Soa = struct
       if v > !m then m := v
     done;
     t.ready_at.(slot) <- !m
+
+  (* --- SIMT reconvergence stack ---------------------------------------- *)
+
+  let simt_get t =
+    match t.simt with
+    | Some s -> s
+    | None -> invalid_arg "Warp.Soa: SIMT operation in warp-uniform mode"
+
+  let simt_reset t ~slot ~mask ~rpc =
+    let s = simt_get t in
+    Array.fill s.lane_regs.(slot) 0 (Array.length s.lane_regs.(slot)) 0;
+    s.active.(slot) <- mask;
+    s.rpc.(slot) <- rpc;
+    s.stk_depth.(slot) <- 0
+
+  let simt_active t ~slot = (simt_get t).active.(slot)
+
+  let push s ~slot ~pc ~rpc ~mask =
+    let d = s.stk_depth.(slot) in
+    let cap = Array.length s.stk_pc.(slot) in
+    if d = cap then begin
+      let grow a =
+        let b = Array.make (2 * cap) 0 in
+        Array.blit a 0 b 0 cap;
+        b
+      in
+      s.stk_pc.(slot) <- grow s.stk_pc.(slot);
+      s.stk_rpc.(slot) <- grow s.stk_rpc.(slot);
+      s.stk_mask.(slot) <- grow s.stk_mask.(slot)
+    end;
+    s.stk_pc.(slot).(d) <- pc;
+    s.stk_rpc.(slot).(d) <- rpc;
+    s.stk_mask.(slot).(d) <- mask;
+    s.stk_depth.(slot) <- d + 1
+
+  (* Divergent conditional branch: suspend the reconvergence continuation
+     (the full active mask resuming at [rpc] in the enclosing scope) and
+     the taken arm; the warp continues into the fall-through arm. The
+     caller then routes the fall-through pc through {!simt_next} — when the
+     branch is a loop exit ([fall_pc = rpc]) that pop makes the taken arm
+     current immediately. *)
+  let simt_diverge t ~slot ~tgt ~taken ~rpc =
+    let s = simt_get t in
+    let m = s.active.(slot) in
+    push s ~slot ~pc:rpc ~rpc:s.rpc.(slot) ~mask:m;
+    push s ~slot ~pc:tgt ~rpc ~mask:taken;
+    s.active.(slot) <- m land lnot taken;
+    s.rpc.(slot) <- rpc
+
+  (* Route a computed next-pc through the reconvergence stack: reaching the
+     current reconvergence point pops the next suspended arm (or the
+     continuation, restoring its wider mask and enclosing scope). *)
+  let simt_next t ~slot next =
+    let s = simt_get t in
+    let next = ref next in
+    while s.stk_depth.(slot) > 0 && !next = s.rpc.(slot) do
+      let d = s.stk_depth.(slot) - 1 in
+      s.stk_depth.(slot) <- d;
+      s.active.(slot) <- s.stk_mask.(slot).(d);
+      s.rpc.(slot) <- s.stk_rpc.(slot).(d);
+      next := s.stk_pc.(slot).(d)
+    done;
+    !next
+
+  (* [Exit] under the current mask: the active lanes terminate and vanish
+     from every suspended mask (a lane exits in exactly one arm). Returns
+     the pc where the surviving lanes resume, or [None] when the whole
+     warp is done. Entries whose mask emptied are discarded; because a
+     continuation's mask is a superset of the arms above it, empty masks
+     only ever sit at the top of the stack. *)
+  let simt_exit t ~slot =
+    let s = simt_get t in
+    let dying = s.active.(slot) in
+    for d = 0 to s.stk_depth.(slot) - 1 do
+      s.stk_mask.(slot).(d) <- s.stk_mask.(slot).(d) land lnot dying
+    done;
+    s.active.(slot) <- 0;
+    let rec resume () =
+      if s.stk_depth.(slot) = 0 then None
+      else begin
+        let d = s.stk_depth.(slot) - 1 in
+        s.stk_depth.(slot) <- d;
+        if s.stk_mask.(slot).(d) = 0 then resume ()
+        else begin
+          s.active.(slot) <- s.stk_mask.(slot).(d);
+          s.rpc.(slot) <- s.stk_rpc.(slot).(d);
+          Some (simt_next t ~slot s.stk_pc.(slot).(d))
+        end
+      end
+    in
+    resume ()
+
+  (* Pure variants for scheduler peeks (the RFV next-pc probe): what
+     {!simt_next} / {!simt_exit} would return, without mutating. *)
+  let simt_peek_next t ~slot next =
+    let s = simt_get t in
+    let next = ref next and rpc = ref s.rpc.(slot) in
+    let d = ref (s.stk_depth.(slot) - 1) in
+    while !d >= 0 && !next = !rpc do
+      next := s.stk_pc.(slot).(!d);
+      rpc := s.stk_rpc.(slot).(!d);
+      decr d
+    done;
+    !next
+
+  let simt_peek_exit t ~slot =
+    let s = simt_get t in
+    let dying = s.active.(slot) in
+    let rec scan d =
+      if d < 0 then None
+      else if s.stk_mask.(slot).(d) land lnot dying = 0 then scan (d - 1)
+      else begin
+        let next = ref s.stk_pc.(slot).(d) and rpc = ref s.stk_rpc.(slot).(d) in
+        let i = ref (d - 1) in
+        while !i >= 0 && !next = !rpc do
+          next := s.stk_pc.(slot).(!i);
+          rpc := s.stk_rpc.(slot).(!i);
+          decr i
+        done;
+        Some !next
+      end
+    in
+    scan (s.stk_depth.(slot) - 1)
 end
 
 type view = {

@@ -25,6 +25,28 @@ module Soa : sig
   val st_done : int
   val st_absent : int
 
+  (** Per-slot SIMT execution state (allocated only under [--simt]): a
+      lane-resolved register file plus the immediate-post-dominator
+      reconvergence stack. The running state is the triple
+      [(pc.(slot), active.(slot), rpc.(slot))]; suspended branch arms and
+      reconvergence continuations live on the per-slot stack, deepest
+      enclosing scope first. *)
+  type simt = {
+    lanes : int;                  (** warp width (lanes per warp) *)
+    full_mask : int;              (** [(1 lsl lanes) - 1] *)
+    lane_regs : int array array;
+        (** lane-major per-lane register file row per slot
+            ([lane * n_regs + r], [lanes * n_regs] words) *)
+    active : int array;           (** active-lane bitmask per slot *)
+    rpc : int array;
+        (** current reconvergence pc per slot; the program length acts as
+            the never-reached top-level sentinel *)
+    stk_pc : int array array;     (** suspended-entry pcs (rows grow) *)
+    stk_rpc : int array array;
+    stk_mask : int array array;
+    stk_depth : int array;
+  }
+
   type t = {
     n_slots : int;
     n_regs : int;
@@ -56,9 +78,13 @@ module Soa : sig
     cta_slot : int array;         (** resident-CTA slot within the SM *)
     regs : int array array;       (** register file row per slot *)
     reg_ready : int array array;  (** scoreboard row per slot *)
+    simt : simt option;           (** lane-resolved state under [--simt] *)
   }
 
-  val create : n_slots:int -> n_regs:int -> t
+  (** [create ?lanes ~n_slots ~n_regs ()] — passing [lanes] (the warp
+      width, 1..62) allocates the per-lane SIMT state; without it the SoA
+      is the plain warp-uniform layout. *)
+  val create : ?lanes:int -> n_slots:int -> n_regs:int -> unit -> t
 
   (** Is a warp resident in [slot]? *)
   val resident : t -> int -> bool
@@ -91,6 +117,45 @@ module Soa : sig
       of registers the instruction at the new [pc] reads or writes.
       Must be called after every [pc] move (the SM does). *)
   val refresh_ready_at : t -> slot:int -> touched:int array -> unit
+
+  (** {2 SIMT reconvergence stack}
+
+      All operations raise [Invalid_argument] when the SoA was created
+      without [lanes]. *)
+
+  (** Reset a slot's SIMT state at warp launch: zero the lane registers,
+      install [mask] as the active mask and [rpc] (the program-length
+      sentinel) as the top-level reconvergence pc, empty the stack. *)
+  val simt_reset : t -> slot:int -> mask:int -> rpc:int -> unit
+
+  (** Current active-lane bitmask. *)
+  val simt_active : t -> slot:int -> int
+
+  (** Divergent conditional branch at the current pc: pushes the
+      reconvergence continuation (full current mask, resuming at [rpc])
+      and the taken arm ([taken] lanes at [tgt]); the warp continues into
+      the fall-through arm with the remaining lanes under reconvergence
+      scope [rpc]. Route the fall-through pc through {!simt_next}
+      afterwards. *)
+  val simt_diverge : t -> slot:int -> tgt:int -> taken:int -> rpc:int -> unit
+
+  (** [simt_next t ~slot next] routes a computed next-pc through the
+      stack: while [next] equals the current reconvergence pc, pop — the
+      suspended taken arm runs next, and finally the continuation resumes
+      at the reconvergence point with the full mask. Returns the pc to
+      execute. *)
+  val simt_next : t -> slot:int -> int -> int
+
+  (** [Exit] under the current mask: active lanes terminate and are
+      cleared from every suspended mask. [Some pc] resumes the surviving
+      lanes; [None] means every lane has exited (the warp is done). *)
+  val simt_exit : t -> slot:int -> int option
+
+  (** Pure peek variants of {!simt_next} / {!simt_exit} for scheduler
+      probes (no mutation). *)
+  val simt_peek_next : t -> slot:int -> int -> int
+
+  val simt_peek_exit : t -> slot:int -> int option
 end
 
 (** Thin identity record for probe/diagnostic paths. *)

@@ -1,0 +1,51 @@
+(* BFS-Frontier: a data-dependent breadth-first frontier expansion built
+   to exercise true SIMT divergence (unlike the Table I kernels, which are
+   warp-uniform: no [%laneid], so every lane of a warp follows one path).
+   Each lane derives its own frontier depth from its global thread id —
+   lanes of one warp retire from the node loop on different iterations —
+   and each visited node takes one of two arms (pointer-chase plus a
+   register bulge, or a light accumulate) keyed to a loaded value, so the
+   warp splits and reconverges at the join on every iteration. Only
+   meaningful under [--simt]; under the warp-uniform model [%laneid] reads
+   0 and the warp follows lane 0's path. *)
+
+open Gpu_isa.Builder
+module I = Gpu_isa.Instr
+
+(* Register map: r0 gid (warp-base), r1 per-lane thread id, r2 frontier
+   depth (1..4, lane-varying), r3 accumulator, r4 node cursor, r5 node
+   counter, r6 node value / chase cursor, r7 predicate / neighbour,
+   r8..r21 update bulge — 22 registers, which at 512 threads/CTA makes
+   the kernel register-limited (like the paper's occupancy-limited set),
+   so the techniques actually differ under divergence. *)
+let program =
+  assemble ~name:"bfs_frontier"
+    (Shape.global_id ~gid:0
+    @ [ add 1 (r 0) lane_id;
+        and_ 2 (r 1) (imm 3);
+        add 2 (r 2) (imm 1);
+        mov 3 (imm 0);
+        mul 4 (r 1) (imm 4) ]
+    @ Shape.counted_loop ~ctr:5 ~trips:(r 2) ~name:"node"
+        ([ load I.Global 6 (r 4); and_ 7 (r 6) (imm 1); bz (r 7) "even" ]
+        @ Shape.chase I.Global ~addr:6 ~dst:7 ~hops:2
+        @ Shape.bulge ~seed:7 ~acc:3 ~first:8 ~last:21 ~hold:2 ()
+        @ [ bra "join"; label "even"; mad 3 (r 6) (imm 3) (r 3); label "join";
+            store ~ofs:0x10000000 I.Global (r 4) (r 3);
+            add 4 (r 4) (imm 4) ])
+    @ [ exit_ ])
+
+let spec =
+  {
+    Spec.name = "BFS-Frontier";
+    description =
+      "data-dependent frontier expansion: per-lane trip counts and branchy \
+       neighbour updates (true SIMT divergence)";
+    kernel =
+      Gpu_sim.Kernel.make ~name:"bfs_frontier" ~grid_ctas:16 ~cta_threads:512
+        ~params:[||] program;
+    paper_regs = 22;
+    paper_rounded = 24;
+    paper_bs = 16;
+    group = Spec.Occupancy_limited;
+  }

@@ -10,12 +10,18 @@ let all = occupancy_limited @ regfile_sensitive
 
 let latency_bound = [ Pchase.spec ]
 
+(* Divergent kernels read [%laneid]; everything in [all] is warp-uniform.
+   Kept out of [all] so the paper's figures and tables are unchanged —
+   these cells only appear under [--simt] (the head-to-head divergence
+   rows and `bench simt`). *)
+let divergent = [ Bfs_frontier.spec ]
+
 let find name =
   let wanted = String.lowercase_ascii name in
   match
     List.find_opt
       (fun s -> String.lowercase_ascii s.Spec.name = wanted)
-      (all @ latency_bound)
+      (all @ latency_bound @ divergent)
   with
   | Some s -> s
   | None -> raise Not_found

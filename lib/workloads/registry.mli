@@ -19,6 +19,13 @@ val regfile_sensitive : Spec.t list
     them by name. *)
 val latency_bound : Spec.t list
 
+(** Divergent kernels (read [%laneid], so warps genuinely split under
+    [--simt]; currently the BFS-Frontier frontier expansion). Not part of
+    {!all} — the paper's warp-uniform figures are unchanged — but
+    resolved by {!find} and used by the head-to-head divergence rows and
+    [bench simt]. *)
+val divergent : Spec.t list
+
 (** Look up by paper name (case-insensitive).
     @raise Not_found for unknown names. *)
 val find : string -> Spec.t

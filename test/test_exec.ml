@@ -17,6 +17,9 @@ let make_ctx ?(regs = Array.make 8 0) ?(params = [| 10; 20 |]) () =
       memory;
       stats = Stats.create ();
       record_stores = false;
+      lanes = 0;
+      n_regs = Array.length regs;
+      lane_regs = [||];
     },
     shared,
     memory )

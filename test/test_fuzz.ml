@@ -32,7 +32,9 @@ let test_gen_determinism () =
 
 let test_gen_shapes () =
   (* Structural guarantees the oracle relies on. *)
-  let seen_barrier = ref false and seen_pressure = ref false in
+  let seen_barrier = ref false
+  and seen_pressure = ref false
+  and seen_divergent = ref false in
   for seed = 0 to 50 do
     let case = Fuzz.Gen.generate ~seed in
     let prog = case.Fuzz.Gen.program in
@@ -46,12 +48,27 @@ let test_gen_shapes () =
     | Fuzz.Gen.Pressure ->
         seen_pressure := true;
         Alcotest.(check int) "pressure family is barrier-free" 0
-          (Program.count (fun i -> i = Instr.Bar) prog));
+          (Program.count (fun i -> i = Instr.Bar) prog)
+    | Fuzz.Gen.Divergent ->
+        seen_divergent := true;
+        (* Barrier-free (a divergent-arm barrier has no portable SIMT
+           semantics) and genuinely lane-dependent: the program must read
+           [%laneid]. *)
+        Alcotest.(check int) "divergent family is barrier-free" 0
+          (Program.count (fun i -> i = Instr.Bar) prog);
+        let printed = Format.asprintf "%a" Program.pp prog in
+        let contains sub =
+          let n = String.length printed and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub printed i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "divergent family reads %laneid" true
+          (contains "%laneid"));
     Alcotest.(check bool) "stores something" true
       (Program.count (function Instr.Store _ -> true | _ -> false) prog >= 1)
   done;
-  Alcotest.(check bool) "both families exercised" true
-    (!seen_barrier && !seen_pressure)
+  Alcotest.(check bool) "all three families exercised" true
+    (!seen_barrier && !seen_pressure && !seen_divergent)
 
 let test_roundtrips_over_generated () =
   (* Satellite property: the printer, parser and binary codec agree on
@@ -129,13 +146,13 @@ let find_caught_injection fault ~max_seed =
 let test_injection_caught () =
   List.iter
     (fun fault ->
-      match find_caught_injection fault ~max_seed:39 with
+      match find_caught_injection fault ~max_seed:79 with
       | Some _ -> ()
       | None ->
-          Alcotest.failf "fault %s escaped the oracle on seeds 0..39"
+          Alcotest.failf "fault %s escaped the oracle on seeds 0..79"
             (Fuzz.Oracle.fault_name fault))
     [ Fuzz.Oracle.Drop_acquire; Fuzz.Oracle.Early_release; Fuzz.Oracle.Drop_mov;
-      Fuzz.Oracle.Oob_spill ]
+      Fuzz.Oracle.Oob_spill; Fuzz.Oracle.Mask_corrupt ]
 
 let test_strict_oob_rule () =
   (* The shared-memory window rule is what catches an escaped spill: find
@@ -168,8 +185,8 @@ let test_shrink_drop_mov () =
   (* The acceptance loop: a disabled compaction MOV must be caught and the
      counterexample delta-debugged below 20 instructions while still
      failing. *)
-  match find_caught_injection Fuzz.Oracle.Drop_mov ~max_seed:39 with
-  | None -> Alcotest.fail "drop-mov escaped the oracle on seeds 0..39"
+  match find_caught_injection Fuzz.Oracle.Drop_mov ~max_seed:79 with
+  | None -> Alcotest.fail "drop-mov escaped the oracle on seeds 0..79"
   | Some (case, report) ->
       let kind = (List.hd report.Fuzz.Oracle.failures).Fuzz.Oracle.kind in
       let shrunk = Fuzz.Shrink.minimize ~inject:Fuzz.Oracle.Drop_mov ~kind case in

@@ -5,7 +5,7 @@ module Soa = Warp.Soa
    unlisted slots stay absent and must be skipped by every scheduler. *)
 let pool ?(priority = fun _ -> 0) slots_ages =
   let n = 1 + List.fold_left (fun acc (s, _) -> max acc s) 0 slots_ages in
-  let soa = Soa.create ~n_slots:n ~n_regs:4 in
+  let soa = Soa.create ~n_slots:n ~n_regs:4 () in
   List.iter
     (fun (s, a) ->
       Soa.launch soa ~slot:s ~cta_slot:0 ~global_cta:0 ~warp_in_cta:s ~age:a;

@@ -1,0 +1,314 @@
+(* The SIMT execution subsystem: lane-resolved register values, predicated
+   execution under an active mask, and the IPDOM reconvergence stack.
+   Covers the reconvergence table, per-lane store traces through diamonds
+   and data-dependent loops, the warp-uniform equivalence contract (a
+   program that never reads [%laneid] is bit-identical under both
+   execution models), the corrupt-mask fault-injection hook, and the
+   divergent registry kernel. *)
+
+open Gpu_isa
+module Stats = Gpu_sim.Stats
+module Runner = Regmutex.Runner
+module Technique = Regmutex.Technique
+module Checker = Regmutex.Checker
+
+let warp_size = Util.small_arch.Gpu_uarch.Arch_config.warp_size
+
+(* Like {!Util.run_with} but under the per-lane model, with lane-store
+   recording on. *)
+let run_simt ?(arch = Util.small_arch) ?(grid = 1) ?(threads = 64)
+    ?(corrupt_mask = 0) ?(fast_forward = true) prog =
+  let kernel =
+    Gpu_sim.Kernel.make ~name:"t" ~grid_ctas:grid ~cta_threads:threads
+      ~params:[||] prog
+  in
+  let config =
+    { (Gpu_sim.Gpu.default_config arch (Util.static_policy prog)) with
+      Gpu_sim.Gpu.record_stores = true;
+      simt = true;
+      corrupt_mask;
+      fast_forward;
+      max_cycles = 2_000_000 }
+  in
+  Gpu_sim.Gpu.run config kernel
+
+(* Each lane takes one of two arms on its own parity and stores a
+   lane-derived value at a thread-unique address. *)
+let lane_diamond =
+  Builder.(
+    assemble ~name:"lane_diamond"
+      [ mov 0 lane_id;
+        and_ 1 (r 0) (imm 1);
+        bz (r 1) "even";
+        mul 2 (r 0) (imm 3);      (* odd lanes: 3*lane *)
+        bra "join";
+        label "even";
+        add 2 (r 0) (imm 100);    (* even lanes: lane+100 *)
+        label "join";
+        add 3 tid lane_id;
+        mul 3 (r 3) (imm 4);
+        store ~ofs:0x10000000 Instr.Global (r 3) (r 2);
+        exit_ ])
+
+let test_lane_diamond () =
+  let stats = run_simt ~grid:1 ~threads:64 lane_diamond in
+  let traces = Stats.lane_store_traces stats in
+  Alcotest.(check int) "one trace per lane" 64 (List.length traces);
+  List.iter
+    (fun ((cta, w, l), stores) ->
+      Alcotest.(check int) "single CTA" 0 cta;
+      let expected_value = if l land 1 = 1 then 3 * l else l + 100 in
+      let expected_addr = 0x10000000 + (4 * ((w * warp_size) + l)) in
+      Alcotest.(check (list (triple Util.instr_space int int)))
+        (Printf.sprintf "warp %d lane %d" w l)
+        [ (Instr.Global, expected_addr, expected_value) ]
+        stores)
+    traces
+
+(* Lane l runs the loop (l mod 4)+1 times, storing once per trip — the
+   reconvergence stack must keep the slow lanes live while the fast lanes
+   sit predicated off. *)
+let lane_loop =
+  Builder.(
+    assemble ~name:"lane_loop"
+      ([ mov 0 lane_id;
+         and_ 2 (r 0) (imm 3);
+         add 2 (r 2) (imm 1);
+         add 3 tid lane_id;
+         mul 3 (r 3) (imm 4) ]
+      @ Workloads.Shape.counted_loop ~ctr:5 ~trips:(r 2) ~name:"l"
+          [ store ~ofs:0x10000000 Instr.Global (r 3) (r 0) ]
+      @ [ exit_ ]))
+
+let test_lane_loop_trips () =
+  let stats = run_simt ~grid:1 ~threads:64 lane_loop in
+  let traces = Stats.lane_store_traces stats in
+  Alcotest.(check int) "one trace per lane" 64 (List.length traces);
+  List.iter
+    (fun ((_, w, l), stores) ->
+      Alcotest.(check int)
+        (Printf.sprintf "warp %d lane %d trip count" w l)
+        ((l land 3) + 1)
+        (List.length stores);
+      List.iter
+        (fun (_, _, v) ->
+          Alcotest.(check int) "stored its lane id" l v)
+        stores)
+    traces;
+  Alcotest.(check bool) "fast lanes sat predicated off" true
+    (stats.Stats.predicated_lane_cycles > 0)
+
+(* A branch all active lanes agree on must not split the warp: no
+   divergence counted, no lanes predicated off, and the dead arm's store
+   never lands. *)
+let test_uniform_branch_no_divergence () =
+  let prog =
+    Builder.(
+      assemble ~name:"uniform_branch"
+        [ mov 0 (imm 1);
+          bz (r 0) "dead";            (* never taken: r0 is 1 everywhere *)
+          add 1 tid lane_id;
+          mul 1 (r 1) (imm 4);
+          store ~ofs:0x10000000 Instr.Global (r 1) (imm 7);
+          bra "end";
+          label "dead";
+          store ~ofs:0x20000000 Instr.Global (imm 0) (imm 666);
+          label "end";
+          exit_ ])
+  in
+  let stats = run_simt ~grid:1 ~threads:64 prog in
+  Alcotest.(check int) "no divergent branches" 0 stats.Stats.divergent_branches;
+  Alcotest.(check int) "no predicated-off lanes" 0
+    stats.Stats.predicated_lane_cycles;
+  List.iter
+    (fun (_, stores) ->
+      List.iter
+        (fun (_, _, v) ->
+          Alcotest.(check int) "dead arm never stored" 7 v)
+        stores)
+    (Stats.lane_store_traces stats)
+
+(* The reconvergence table: the diamond's branch reconverges at the first
+   join instruction; everything that is not a conditional branch holds the
+   sentinel. *)
+let test_reconv_table_diamond () =
+  let module Reconv = Gpu_analysis.Reconv in
+  let table = Reconv.table Util.diamond in
+  let sentinel = Reconv.sentinel Util.diamond in
+  Alcotest.(check int) "one entry per instruction"
+    (Program.length Util.diamond)
+    (Array.length table);
+  (* 0 mov, 1 mov, 2 and, 3 bz, 4 add, 5 bra, 6 sub, 7 store, 8 exit:
+     the bz at 3 reconverges at the join store (7). *)
+  Alcotest.(check int) "diamond branch reconverges at the join" 7 table.(3);
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Jump_if _ | Instr.Jump_ifz _ -> ()
+      | _ ->
+          Alcotest.(check int)
+            (Printf.sprintf "non-conditional pc %d holds the sentinel" i)
+            sentinel table.(i))
+    Util.diamond.Program.body
+
+let test_reconv_table_workloads () =
+  let module Reconv = Gpu_analysis.Reconv in
+  List.iter
+    (fun spec ->
+      let prog = spec.Workloads.Spec.kernel.Gpu_sim.Kernel.program in
+      let table = Reconv.table prog in
+      let len = Program.length prog in
+      let sentinel = Reconv.sentinel prog in
+      Alcotest.(check int)
+        (spec.Workloads.Spec.name ^ ": table length")
+        len (Array.length table);
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Instr.Jump_if _ | Instr.Jump_ifz _ ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s pc %d: reconvergence pc in range"
+                   spec.Workloads.Spec.name i)
+                true
+                (table.(i) = sentinel || (table.(i) > i && table.(i) <= len))
+          | _ ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s pc %d: sentinel" spec.Workloads.Spec.name i)
+                sentinel table.(i))
+        prog.Program.body)
+    (Workloads.Registry.all @ Workloads.Registry.divergent)
+
+(* The subsystem's core contract: a warp-uniform program (the Table I
+   kernels never read [%laneid]) produces the same run fingerprint under
+   the warp-uniform and per-lane models, in both stepping modes. *)
+let test_warp_uniform_fingerprints () =
+  let cfg = Experiments.Exp_config.quick in
+  let simt = { Technique.default_options with Technique.simt = true } in
+  List.iter
+    (fun spec ->
+      let arch = Experiments.Exp_config.eval_arch cfg spec in
+      let kernel = Experiments.Exp_config.kernel_of cfg spec in
+      List.iter
+        (fun t ->
+          let fp r = Runner.fingerprint r in
+          let uniform = fp (Runner.execute arch t kernel) in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: simt ff = uniform" spec.Workloads.Spec.name
+               (Technique.name t))
+            uniform
+            (fp (Runner.execute ~options:simt arch t kernel));
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: simt bf = uniform" spec.Workloads.Spec.name
+               (Technique.name t))
+            uniform
+            (fp
+               (Runner.execute ~options:simt ~fast_forward:false arch t kernel)))
+        [ Technique.Baseline; Technique.Regmutex ])
+    [ List.nth Workloads.Registry.figure1 0;
+      List.nth Workloads.Registry.figure1 1 ]
+
+(* A bar.sync under a divergent arm: real SIMT hardware gives it no
+   meaning (the lanes that branched around it never arrive). This model's
+   barrier counts warps, not lanes, so the partially-masked warp still
+   arrives with the rest of its CTA and the kernel terminates — pin that
+   down, identically in both stepping modes. (The fuzz generator still
+   keeps its divergent family barrier-free: warp-level arrival under a
+   partial mask is a modelling choice, not a semantics the differential
+   oracle should depend on.) *)
+let test_divergent_barrier_terminates () =
+  let prog =
+    Builder.(
+      assemble ~name:"divbar"
+        [ mov 0 lane_id;
+          and_ 1 (r 0) (imm 1);
+          bz (r 1) "skip";
+          bar;                       (* odd lanes' arm *)
+          label "skip";
+          add 2 tid lane_id;
+          mul 2 (r 2) (imm 4);
+          store ~ofs:0x10000000 Instr.Global (r 2) (r 0);
+          exit_ ])
+  in
+  let ff = run_simt ~grid:1 ~threads:64 prog in
+  let bf = run_simt ~grid:1 ~threads:64 ~fast_forward:false prog in
+  Alcotest.(check bool) "warps actually split" true
+    (ff.Stats.divergent_branches > 0);
+  Alcotest.(check int) "same cycle count in both modes" ff.Stats.cycles
+    bf.Stats.cycles;
+  (match
+     Checker.diff_lane_store_traces
+       ~expected:(Stats.lane_store_traces ff)
+       ~actual:(Stats.lane_store_traces bf)
+   with
+  | None -> ()
+  | Some d -> Alcotest.failf "ff/bf lane traces differ: %s" d)
+
+(* The fuzz oracle's fault hook: clearing a lane from every initial mask
+   must be visible in the lane-resolved traces (the cleared lane stores
+   nothing) and invisible when nothing is corrupted. *)
+let test_corrupt_mask_detected () =
+  let clean = Stats.lane_store_traces (run_simt ~grid:1 ~threads:64 lane_diamond) in
+  let corrupt =
+    Stats.lane_store_traces
+      (run_simt ~grid:1 ~threads:64 ~corrupt_mask:2 lane_diamond)
+  in
+  (match Checker.diff_lane_store_traces ~expected:clean ~actual:clean with
+  | None -> ()
+  | Some d -> Alcotest.failf "clean trace differs from itself: %s" d);
+  (match Checker.diff_lane_store_traces ~expected:clean ~actual:corrupt with
+  | None -> Alcotest.fail "corrupted lane 1 escaped the lane differ"
+  | Some _ -> ());
+  List.iter
+    (fun ((_, _, l), stores) ->
+      if l = 1 then
+        Alcotest.(check int) "corrupted lane stored nothing" 0
+          (List.length stores))
+    corrupt
+
+(* The divergent registry kernel really diverges: a valid spec whose
+   baseline SIMT run splits warps and predicates lanes off. *)
+let test_bfs_frontier_diverges () =
+  let spec = Workloads.Registry.find "BFS-Frontier" in
+  (match Workloads.Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "BFS-Frontier spec invalid: %s" e);
+  let cfg = Experiments.Exp_config.quick in
+  let simt = { Technique.default_options with Technique.simt = true } in
+  let run =
+    Runner.execute ~options:simt
+      (Experiments.Exp_config.eval_arch cfg spec)
+      Technique.Baseline
+      (Experiments.Exp_config.kernel_of cfg spec)
+  in
+  Alcotest.(check bool) "divergent branches" true
+    (run.Runner.stats.Stats.divergent_branches > 0);
+  Alcotest.(check bool) "lanes predicated off" true
+    (run.Runner.stats.Stats.predicated_lane_cycles > 0)
+
+let test_laneid_roundtrip () =
+  let prog = lane_diamond in
+  Alcotest.check Util.program "parse (print p) = p" prog
+    (Parser.parse ~name:prog.Program.name
+       (Format.asprintf "%a" Program.pp prog));
+  Alcotest.check Util.program "decode (encode p) = p" prog
+    (Codec.decode_program ~name:prog.Program.name (Codec.encode_program prog))
+
+let suite =
+  [ Alcotest.test_case "lane-resolved diamond stores" `Quick test_lane_diamond;
+    Alcotest.test_case "data-dependent loop trip counts" `Quick
+      test_lane_loop_trips;
+    Alcotest.test_case "uniform branches never split" `Quick
+      test_uniform_branch_no_divergence;
+    Alcotest.test_case "reconvergence table on the diamond" `Quick
+      test_reconv_table_diamond;
+    Alcotest.test_case "reconvergence table on the registry" `Quick
+      test_reconv_table_workloads;
+    Alcotest.test_case "warp-uniform fingerprint equality" `Slow
+      test_warp_uniform_fingerprints;
+    Alcotest.test_case "divergent-arm barrier terminates" `Quick
+      test_divergent_barrier_terminates;
+    Alcotest.test_case "corrupt-mask fault is lane-visible" `Quick
+      test_corrupt_mask_detected;
+    Alcotest.test_case "BFS-Frontier spec diverges" `Slow
+      test_bfs_frontier_diverges;
+    Alcotest.test_case "%laneid round-trips" `Quick test_laneid_roundtrip ]

@@ -8,6 +8,11 @@ let regset = Alcotest.testable Regset.pp Regset.equal
 let instr = Alcotest.testable Instr.pp Instr.equal
 let program = Alcotest.testable Program.pp Program.equal
 
+let instr_space =
+  Alcotest.testable
+    (fun ppf sp -> Format.pp_print_string ppf (Instr.space_name sp))
+    ( = )
+
 (* --- tiny programs ---------------------------------------------------- *)
 
 (* Straight line: r0=1; r1=r0+2; r2=r0*r1; store r2; exit *)
